@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the flit-level NoC: cycle rate under both
+//! routing disciplines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chiplet_noc::{NocConfig, NocSim, NocTopology, Routing, TrafficPattern};
+use chiplet_sim::DetRng;
+
+fn run(config: NocConfig, rate: f64) -> u64 {
+    let mut rng = DetRng::seed_from_u64(1);
+    let stats = NocSim::run_synthetic(config, TrafficPattern::UniformRandom, rate, 200, 2000, &mut rng);
+    stats.delivered
+}
+
+fn bench_buffered(c: &mut Criterion) {
+    let cfg = NocConfig {
+        topology: NocTopology::Mesh { width: 4, height: 2 },
+        routing: Routing::BufferedXY { buffer_depth: 4 },
+        packet_len: 1,
+    };
+    c.bench_function("noc/buffered_mesh_2200_cycles", |b| {
+        b.iter(|| black_box(run(cfg, 0.25)))
+    });
+}
+
+fn bench_deflection(c: &mut Criterion) {
+    let cfg = NocConfig {
+        topology: NocTopology::Mesh { width: 4, height: 2 },
+        routing: Routing::Deflection,
+        packet_len: 1,
+    };
+    c.bench_function("noc/deflection_mesh_2200_cycles", |b| {
+        b.iter(|| black_box(run(cfg, 0.25)))
+    });
+}
+
+fn bench_big_torus(c: &mut Criterion) {
+    let cfg = NocConfig {
+        topology: NocTopology::Torus { width: 8, height: 8 },
+        routing: Routing::BufferedXY { buffer_depth: 4 },
+        packet_len: 1,
+    };
+    c.bench_function("noc/buffered_torus_8x8_2200_cycles", |b| {
+        b.iter(|| black_box(run(cfg, 0.2)))
+    });
+}
+
+criterion_group!(benches, bench_buffered, bench_deflection, bench_big_torus);
+criterion_main!(benches);

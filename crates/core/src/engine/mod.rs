@@ -1,0 +1,1193 @@
+//! The transaction-level chiplet networking engine.
+//!
+//! The engine composes the topology's capacity points into a closed-loop
+//! queueing network and drives it with a deterministic discrete-event loop:
+//!
+//! * each flow's cores **issue** cacheline transactions, gated by (a) an
+//!   optional offered-load pacer with exponential (Poisson) gaps — the
+//!   NOP-rate-control analog, (b) per-core MLP budgets (reads) or
+//!   write-combining budgets (posted writes), and (c) a per-flow in-flight
+//!   budget that scales with offered load (an aggressive sender devotes
+//!   proportionally more outstanding-request resources — §3.5's mechanism);
+//! * transactions then acquire the CCX (and, on parts that have one, CCD)
+//!   **token limiter** (§3.2's queueless traffic-control module, slots
+//!   shared between reads and writes);
+//! * and walk their [`plan::StagePlan`]: FIFO **bandwidth servers** at the
+//!   core port, CCX link, GMI, socket NoC, UMC channel or CXL P-Link, in the
+//!   read or write direction;
+//! * **completion** releases all budgets and records telemetry.
+//!
+//! Latency = unloaded route latency + accumulated queueing waits + memory
+//! device variability. Nothing in Figures 3–6 is scripted: knees, tails,
+//! proportional shares, and interference onsets emerge from this loop.
+
+pub mod plan;
+
+use std::collections::HashMap;
+
+use chiplet_fabric::{Dir, DirectionalChannel, SlotLimiter};
+use chiplet_mem::{AccessOutcome, CacheHierarchy, DramServiceModel, Pattern};
+use chiplet_sim::stats::LatencyHistogram;
+use chiplet_sim::{Bandwidth, ByteSize, DetRng, EventQueue, SimDuration, SimTime};
+use chiplet_topology::{CoreId, DimmId, PlatformKind, Topology};
+
+use crate::flow::{FlowId, FlowSpec, Target};
+use crate::telemetry::{
+    CapacityPoint, DirStats, FlowTelemetry, LinkTelemetry, MatrixCell, TelemetryReport,
+};
+use crate::traffic::{FlowDemand, ResourceKey, TrafficPolicy};
+use plan::{StagePlan, StageRef};
+
+const LINE: u64 = 64;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// RNG seed; same seed ⇒ bit-identical run.
+    pub seed: u64,
+    /// Statistics are collected from `warmup` to the run horizon.
+    pub warmup: SimDuration,
+    /// DRAM service variability; `None` selects by platform (DDR4 for the
+    /// 7302, DDR5 for the 9634, deterministic for custom/monolithic).
+    pub dram: Option<DramServiceModel>,
+    /// CXL device variability; `None` selects the CZ120-class default.
+    pub cxl: Option<DramServiceModel>,
+    /// Traffic-manager policy.
+    pub policy: TrafficPolicy,
+    /// In-flight budget headroom for rate-gated flows, × offered BDP.
+    /// Larger values let saturated flows queue deeper (a stronger latency
+    /// rise at the Figure 3 knee) but also push per-flow budgets into the
+    /// hardware-MLP clamp, which flattens Figure 4's demand-proportional
+    /// sharing; 1.3 balances the two.
+    pub budget_headroom: f64,
+    /// Attach the sketch-based profiler (§4 #5): one record per completed
+    /// transaction, bounded memory, a [`crate::profiler::ProfileReport`]
+    /// on the result.
+    pub profile: bool,
+    /// Record a per-flow bandwidth time series with this sampling window
+    /// (the time-series half of §4 #5's telemetry).
+    pub trace_window: Option<SimDuration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 42,
+            warmup: SimDuration::from_micros(2),
+            dram: None,
+            cxl: None,
+            policy: TrafficPolicy::HardwareDefault,
+            budget_headroom: 1.3,
+            profile: false,
+            trace_window: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with deterministic (variability-free) memory devices, for
+    /// calibration tests.
+    pub fn deterministic() -> Self {
+        EngineConfig {
+            dram: Some(DramServiceModel::deterministic()),
+            cxl: Some(DramServiceModel::deterministic()),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the traffic-manager policy (builder style).
+    pub fn with_policy(mut self, policy: TrafficPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the sketch profiler (builder style).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Enables per-flow bandwidth traces (builder style).
+    pub fn with_trace(mut self, window: SimDuration) -> Self {
+        self.trace_window = Some(window);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Issue { core: u32 },
+    Stage { txn: u32 },
+    Granted { txn: u32 },
+    Complete { txn: u32 },
+    ResetStats,
+    Policy,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    flow: u32,
+    core: u32,
+    plan: u32,
+    issue_ns: f64,
+    waits_ns: f64,
+    extra_ns: f64,
+    stage: u8,
+    limiter_phase: u8,
+    /// Direction this transaction's data moves (temporal-write flows mix
+    /// RFO reads and writebacks).
+    dir_write: bool,
+    live: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CoreState {
+    flow: Option<u32>,
+    core_pos: u32,
+    read_used: u32,
+    write_used: u32,
+    read_cap: u32,
+    write_cap: u32,
+    next_target: u64,
+    next_allowed_ns: f64,
+    attempt_scheduled: bool,
+    blocked_on_core: bool,
+    /// Temporal-write flows alternate RFO reads and writebacks.
+    next_is_writeback: bool,
+}
+
+struct FlowRuntime {
+    spec: FlowSpec,
+    plans: Vec<StagePlan>,
+    targets: u32,
+    outcome: AccessOutcome,
+    budget_max: u32,
+    in_flight: u32,
+    budget_blocked: Vec<u32>,
+    /// Mean inter-issue gap per core, ns; 0 = unthrottled.
+    gap_mean_ns: f64,
+    /// Mean unloaded path latency, ns (the BDP controller's reference).
+    mean_unloaded_ns: f64,
+    /// Current BDP-adaptive rate, GB/s (None until the controller starts).
+    adaptive_rate: Option<f64>,
+    /// Measurement window since the last control tick.
+    win_lat_sum_ns: f64,
+    win_lat_n: u64,
+    trace: Option<chiplet_sim::stats::BandwidthTrace>,
+    issued: u64,
+    completed: u64,
+    bytes: u64,
+    latency: LatencyHistogram,
+}
+
+/// Per-flow and per-link results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-flow outcomes, in flow-addition order.
+    pub flows: Vec<FlowTelemetry>,
+    /// The `/proc/chiplet-net` snapshot.
+    pub telemetry: TelemetryReport,
+    /// The measured window (horizon − warmup).
+    pub window: SimDuration,
+    /// The sketch profiler's output, when [`EngineConfig::profile`] was set.
+    pub profile: Option<crate::profiler::ProfileReport>,
+}
+
+impl RunResult {
+    /// Looks a flow up by name.
+    pub fn flow(&self, name: &str) -> Option<&FlowTelemetry> {
+        self.flows.iter().find(|f| f.name == name)
+    }
+}
+
+/// The engine. Borrowing the topology keeps runs cheap to set up; one
+/// engine executes one run.
+pub struct Engine<'t> {
+    topo: &'t Topology,
+    cfg: EngineConfig,
+    rng: DetRng,
+    queue: EventQueue<Event>,
+    channels: Vec<Option<DirectionalChannel>>,
+    /// Per-socket NoC routing capacity.
+    noc: Vec<DirectionalChannel>,
+    cxl_ports: Vec<DirectionalChannel>,
+    ccx_limiters: Vec<SlotLimiter<u32>>,
+    ccd_limiters: Option<Vec<SlotLimiter<u32>>>,
+    flows: Vec<FlowRuntime>,
+    cores: Vec<CoreState>,
+    txns: Vec<Txn>,
+    free_txns: Vec<u32>,
+    matrix: HashMap<(u32, u32), u64>,
+    dram_model: DramServiceModel,
+    cxl_model: DramServiceModel,
+    horizon_ns: f64,
+    warmup_ns: f64,
+    cache: CacheHierarchy,
+    profiler: Option<crate::profiler::Profiler>,
+}
+
+impl<'t> Engine<'t> {
+    /// Creates an engine over a topology.
+    pub fn new(topo: &'t Topology, cfg: EngineConfig) -> Self {
+        let spec = topo.spec();
+        let channels = topo
+            .links()
+            .iter()
+            .map(|l| {
+                if l.read_cap.is_some() || l.write_cap.is_some() {
+                    Some(DirectionalChannel::new(l.read_cap, l.write_cap))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let noc = (0..spec.socket_count)
+            .map(|_| DirectionalChannel::new(Some(spec.caps.noc_read), Some(spec.caps.noc_write)))
+            .collect();
+        let cxl_ports = match &spec.cxl {
+            Some(cxl) => (0..topo.ccd_total())
+                .map(|_| DirectionalChannel::new(Some(cxl.ccd_read), Some(cxl.ccd_write)))
+                .collect(),
+            None => Vec::new(),
+        };
+
+        // Limiter tokens sized to the *loaded* BDP of the chiplet egress:
+        // capacity × (unloaded latency + 3 × the module's max queueing
+        // delay). Below saturation the pool is transparent; once the read
+        // direction saturates, tokens exhaust and the shared pool
+        // backpressures everything behind it — including writes, which is
+        // the paper's within-chiplet interference asymmetry (Figure 6).
+        let base_ns = spec.dram_latency_ns(chiplet_topology::DimmPosition::Near);
+        let ccx_tokens = derive_limiter_tokens(
+            base_ns,
+            spec.traffic_ctrl.ccx_max_queue_ns,
+            spec.caps.ccx_read,
+            spec.cores_per_ccx * spec.mlp.core_read_outstanding,
+        );
+        let ccx_limiters = (0..topo.ccx_total())
+            .map(|_| SlotLimiter::new(ccx_tokens))
+            .collect();
+        let ccd_limiters = spec.traffic_ctrl.ccd_max_queue_ns.map(|q_ns| {
+            let tokens = derive_limiter_tokens(
+                base_ns,
+                q_ns,
+                spec.caps.gmi_read,
+                spec.cores_per_ccd() * spec.mlp.core_read_outstanding,
+            );
+            (0..topo.ccd_total()).map(|_| SlotLimiter::new(tokens)).collect()
+        });
+
+        let dram_model = cfg.dram.unwrap_or(match spec.kind {
+            PlatformKind::Epyc7302 => DramServiceModel::ddr4(),
+            PlatformKind::Epyc9634 => DramServiceModel::ddr5(),
+            _ => DramServiceModel::deterministic(),
+        });
+        let cxl_model = cfg.cxl.unwrap_or(DramServiceModel::cxl());
+        let rng = DetRng::seed_from_u64(cfg.seed);
+        let cache = CacheHierarchy::from_spec(&spec.cache);
+        let profiler = cfg
+            .profile
+            .then(crate::profiler::Profiler::new);
+
+        Engine {
+            topo,
+            cfg,
+            rng,
+            queue: EventQueue::with_capacity(1 << 16),
+            channels,
+            noc,
+            cxl_ports,
+            ccx_limiters,
+            ccd_limiters,
+            flows: Vec::new(),
+            // Issuer slots: one per core, plus one per NIC DMA engine
+            // (indices ≥ core_count address the NICs).
+            cores: vec![
+                CoreState {
+                    flow: None,
+                    core_pos: 0,
+                    read_used: 0,
+                    write_used: 0,
+                    read_cap: 0,
+                    write_cap: 0,
+                    next_target: 0,
+                    next_allowed_ns: 0.0,
+                    attempt_scheduled: false,
+                    blocked_on_core: false,
+                    next_is_writeback: false,
+                };
+                (topo.core_count() + topo.nic_count()) as usize
+            ],
+            txns: Vec::new(),
+            free_txns: Vec::new(),
+            matrix: HashMap::new(),
+            dram_model,
+            cxl_model,
+            horizon_ns: 0.0,
+            warmup_ns: 0.0,
+            cache,
+            profiler,
+        }
+    }
+
+    /// Registers a flow. Each core may carry at most one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a core is claimed twice.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        let topo = self.topo;
+        let pspec = topo.spec();
+
+        let outcome = AccessOutcome::resolve(&self.cache, spec.op, spec.working_set);
+
+        // Compile plans: per issuer × target element.
+        let (plans, targets): (Vec<StagePlan>, u32) = match (&spec.target, spec.nic) {
+            (Target::Dimms(ds), Some(nic)) => {
+                let plans = ds
+                    .iter()
+                    .map(|&d| StagePlan::nic_to_dimm(topo, nic, d))
+                    .collect();
+                (plans, ds.len() as u32)
+            }
+            (Target::Dimms(ds), None) => {
+                let mut plans = Vec::with_capacity(spec.cores.len() * ds.len());
+                for &c in &spec.cores {
+                    for &d in ds {
+                        plans.push(StagePlan::to_dimm(topo, c, d));
+                    }
+                }
+                (plans, ds.len() as u32)
+            }
+            (Target::Cxl(dev), None) => {
+                let plans = spec
+                    .cores
+                    .iter()
+                    .map(|&c| StagePlan::to_cxl(topo, c, *dev))
+                    .collect();
+                (plans, 1)
+            }
+            (Target::Cxl(_), Some(_)) => unreachable!("FlowBuilder rejects NIC→CXL"),
+        };
+        let mean_unloaded_ns =
+            plans.iter().map(|p| p.unloaded_ns).sum::<f64>() / plans.len().max(1) as f64;
+        // (mean_unloaded_ns feeds the in-flight budget below.)
+
+        // Per-core slot budgets by operation and destination class.
+        let is_cxl = spec.target.is_cxl();
+        let read_cap = if is_cxl {
+            pspec.mlp.cxl_core_read_outstanding
+        } else {
+            pspec.mlp.core_read_outstanding
+        };
+        let write_cap = if is_cxl {
+            let cxl = pspec.cxl.as_ref().expect("cxl target on cxl platform");
+            let lat = pspec.cxl_latency_ns().expect("cxl latency");
+            ((cxl.core_write.as_gb_per_s() * lat / LINE as f64).ceil() as u32).max(1)
+        } else {
+            pspec.mlp.core_write_outstanding
+        };
+        let mlp = Pattern::effective_mlp(spec.pattern, read_cap);
+
+        for (pos, &c) in spec.cores.iter().enumerate() {
+            let cs = &mut self.cores[c.index()];
+            assert!(
+                cs.flow.is_none(),
+                "core {c} already belongs to another flow"
+            );
+            cs.flow = Some(id.0);
+            cs.core_pos = pos as u32;
+            cs.read_cap = if spec.op.is_write() { read_cap } else { mlp };
+            cs.write_cap = write_cap;
+        }
+        if let Some(nic) = spec.nic {
+            let outstanding = topo
+                .spec()
+                .nic
+                .as_ref()
+                .expect("NIC flow on NIC platform")
+                .outstanding;
+            let issuer = topo.core_count() as usize + nic as usize;
+            let cs = &mut self.cores[issuer];
+            assert!(cs.flow.is_none(), "NIC {nic} already belongs to a flow");
+            cs.flow = Some(id.0);
+            cs.core_pos = 0;
+            cs.read_cap = outstanding;
+            cs.write_cap = outstanding;
+        }
+
+        let hw_budget = if spec.nic.is_some() {
+            topo.spec().nic.as_ref().map(|n| n.outstanding).unwrap_or(1)
+        } else {
+            spec.cores.len() as u32 * if spec.op.is_write() { write_cap } else { mlp }
+        };
+        let budget_max = match spec.offered {
+            Some(bw) => {
+                let bdp_lines =
+                    (bw.as_gb_per_s() * mean_unloaded_ns * self.cfg.budget_headroom) / LINE as f64;
+                (bdp_lines.ceil() as u32).clamp(2, hw_budget.max(2))
+            }
+            None => hw_budget.max(1),
+        };
+        let gap_mean_ns = gap_from_rate(spec.offered_per_core());
+
+        self.flows.push(FlowRuntime {
+            spec,
+            plans,
+            targets,
+            outcome,
+            budget_max,
+            in_flight: 0,
+            budget_blocked: Vec::new(),
+            gap_mean_ns,
+            mean_unloaded_ns,
+            adaptive_rate: None,
+            win_lat_sum_ns: 0.0,
+            win_lat_n: 0,
+            trace: self.cfg.trace_window.map(chiplet_sim::stats::BandwidthTrace::new),
+            issued: 0,
+            completed: 0,
+            bytes: 0,
+            latency: LatencyHistogram::new(),
+        });
+        id
+    }
+
+    /// Runs the simulation to `horizon` and returns results for the
+    /// measured window `[warmup, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the horizon does not exceed the warmup.
+    pub fn run(mut self, horizon: SimTime) -> RunResult {
+        assert!(
+            horizon.as_nanos() > self.cfg.warmup.as_nanos(),
+            "horizon must exceed warmup"
+        );
+        self.horizon_ns = horizon.as_nanos() as f64;
+        self.warmup_ns = self.cfg.warmup.as_nanos() as f64;
+
+        self.queue
+            .push(SimTime::from_nanos(self.cfg.warmup.as_nanos()), Event::ResetStats);
+
+        // BDP-adaptive control: periodic ticks across the whole run.
+        if let TrafficPolicy::BdpAdaptive { interval_ns, .. } = self.cfg.policy {
+            let mut t = interval_ns.max(100);
+            while t < horizon.as_nanos() {
+                self.queue.push(SimTime::from_nanos(t), Event::Policy);
+                t += interval_ns.max(100);
+            }
+        }
+
+        // Traffic-manager recomputation points: every distinct flow
+        // start/stop boundary.
+        if self.cfg.policy != TrafficPolicy::HardwareDefault {
+            let mut boundaries: Vec<u64> = self
+                .flows
+                .iter()
+                .flat_map(|f| {
+                    [
+                        f.spec.start.as_nanos(),
+                        f.spec.stop_or(horizon).as_nanos(),
+                    ]
+                })
+                .filter(|&t| t < horizon.as_nanos())
+                .collect();
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            for t in boundaries {
+                self.queue.push(SimTime::from_nanos(t), Event::Policy);
+            }
+        }
+
+        // Kick off issue loops (analytic cache-resident flows excluded).
+        for fi in 0..self.flows.len() {
+            // DMA flows always hit the fabric regardless of working set.
+            let fabric = self.flows[fi].outcome.is_fabric_bound()
+                || self.flows[fi].spec.nic.is_some();
+            if fabric {
+                let start = self.flows[fi].spec.start.min(horizon);
+                let issuers: Vec<u32> = if let Some(nic) = self.flows[fi].spec.nic {
+                    vec![self.topo.core_count() + nic]
+                } else {
+                    self.flows[fi].spec.cores.iter().map(|c| c.0).collect()
+                };
+                for issuer in issuers {
+                    self.cores[issuer as usize].attempt_scheduled = true;
+                    self.queue.push(start, Event::Issue { core: issuer });
+                }
+            }
+        }
+
+        while let Some(ev) = self.queue.pop() {
+            let now_ns = ev.at.as_nanos() as f64;
+            match ev.payload {
+                Event::Issue { core } => self.on_issue(core, now_ns),
+                Event::Stage { txn } => self.on_stage(txn, now_ns),
+                Event::Granted { txn } => self.on_granted(txn, now_ns),
+                Event::Complete { txn } => self.on_complete(txn, now_ns),
+                Event::ResetStats => self.reset_stats(),
+                Event::Policy => self.recompute_policy(now_ns, horizon),
+            }
+        }
+
+        self.finish(horizon)
+    }
+
+    fn reset_stats(&mut self) {
+        for ch in self.channels.iter_mut().flatten() {
+            ch.reset_stats();
+        }
+        for ch in &mut self.noc {
+            ch.reset_stats();
+        }
+        for ch in &mut self.cxl_ports {
+            ch.reset_stats();
+        }
+    }
+
+    fn schedule_at(&mut self, ns: f64, now_ns: f64, ev: Event) {
+        let at = ns.max(now_ns).ceil() as u64;
+        self.queue.push(SimTime::from_nanos(at), ev);
+    }
+
+    fn on_issue(&mut self, core: u32, now_ns: f64) {
+        let cs_flow = {
+            let cs = &mut self.cores[core as usize];
+            cs.attempt_scheduled = false;
+            cs.flow
+        };
+        let Some(fi) = cs_flow else { return };
+        let stop_ns = self.flows[fi as usize]
+            .spec
+            .stop_or(SimTime::from_nanos(self.horizon_ns as u64))
+            .as_nanos() as f64;
+        if now_ns >= stop_ns {
+            return;
+        }
+
+        // Pacing gate.
+        let next_allowed = self.cores[core as usize].next_allowed_ns;
+        if next_allowed > now_ns + 0.5 {
+            self.cores[core as usize].attempt_scheduled = true;
+            self.schedule_at(next_allowed, now_ns, Event::Issue { core });
+            return;
+        }
+
+        // Per-transaction direction: reads and NT writes are uniform;
+        // temporal (cached) writes alternate an RFO read with a writeback —
+        // each store moves the line twice across the fabric (§3.1's reason
+        // for measuring with non-temporal writes).
+        let op = self.flows[fi as usize].spec.op;
+        let is_write = match op {
+            chiplet_mem::OpKind::Read => false,
+            chiplet_mem::OpKind::WriteNonTemporal => true,
+            chiplet_mem::OpKind::WriteTemporal => self.cores[core as usize].next_is_writeback,
+        };
+        {
+            let f = &self.flows[fi as usize];
+            let cs = &self.cores[core as usize];
+            let core_full = if is_write {
+                cs.write_used >= cs.write_cap
+            } else {
+                cs.read_used >= cs.read_cap
+            };
+            if core_full {
+                self.cores[core as usize].blocked_on_core = true;
+                return;
+            }
+            if f.in_flight >= f.budget_max {
+                self.flows[fi as usize].budget_blocked.push(core);
+                return;
+            }
+        }
+
+        // Acquire and create the transaction.
+        {
+            let cs = &mut self.cores[core as usize];
+            if is_write {
+                cs.write_used += 1;
+            } else {
+                cs.read_used += 1;
+            }
+        }
+        let (plan_idx, gap) = {
+            let f = &mut self.flows[fi as usize];
+            f.in_flight += 1;
+            f.issued += 1;
+            let cs = &mut self.cores[core as usize];
+            let t = match f.spec.pattern {
+                Pattern::Random => self.rng.next_below(f.targets as u64),
+                _ => {
+                    let t = cs.next_target % f.targets as u64;
+                    cs.next_target += 1;
+                    t
+                }
+            };
+            (cs.core_pos * f.targets + t as u32, f.gap_mean_ns)
+        };
+
+        if op == chiplet_mem::OpKind::WriteTemporal {
+            let cs = &mut self.cores[core as usize];
+            cs.next_is_writeback = !cs.next_is_writeback;
+        }
+        let txn = self.alloc_txn(Txn {
+            flow: fi,
+            core,
+            plan: plan_idx,
+            issue_ns: now_ns,
+            waits_ns: 0.0,
+            extra_ns: 0.0,
+            stage: 0,
+            limiter_phase: 0,
+            dir_write: is_write,
+            live: true,
+        });
+
+        // Pacing for the next issue. The gap advances the *fractional*
+        // schedule, not the rounded event time: sub-ns gaps (a DMA engine
+        // at tens of GB/s) would otherwise accumulate ~0.5 ns of ceil bias
+        // per transaction and undershoot the configured rate. A stale
+        // schedule (after a long slot stall) catches up at most 1 ns.
+        let next = if gap > 0.0 {
+            let base = self.cores[core as usize]
+                .next_allowed_ns
+                .max(now_ns - 1.0);
+            base + self.rng.exponential(gap)
+        } else {
+            now_ns
+        };
+        self.cores[core as usize].next_allowed_ns = next;
+        self.cores[core as usize].attempt_scheduled = true;
+        self.schedule_at(next, now_ns, Event::Issue { core });
+
+        self.advance_limiters(txn, now_ns);
+    }
+
+    /// Walks the limiter phases; parks in a limiter queue when full.
+    /// Device DMA plans skip the chiplet limiters entirely.
+    fn advance_limiters(&mut self, txn: u32, now_ns: f64) {
+        {
+            let t = &self.txns[txn as usize];
+            let p = &self.flows[t.flow as usize].plans[t.plan as usize];
+            if !p.limiters {
+                self.txns[txn as usize].limiter_phase = 2;
+            }
+        }
+        loop {
+            let (phase, ccx, ccd) = {
+                let t = &self.txns[txn as usize];
+                let p = &self.flows[t.flow as usize].plans[t.plan as usize];
+                (t.limiter_phase, p.ccx, p.ccd)
+            };
+            match phase {
+                0 => {
+                    if self.ccx_limiters[ccx as usize].acquire(txn) {
+                        self.txns[txn as usize].limiter_phase = 1;
+                    } else {
+                        return; // parked at CCX
+                    }
+                }
+                1 => {
+                    if let Some(lims) = self.ccd_limiters.as_mut() {
+                        if lims[ccd as usize].acquire(txn) {
+                            self.txns[txn as usize].limiter_phase = 2;
+                        } else {
+                            return; // parked at CCD
+                        }
+                    } else {
+                        self.txns[txn as usize].limiter_phase = 2;
+                    }
+                }
+                _ => {
+                    // Both limiters held: limiter queueing is part of the
+                    // transaction's wait, then the stage walk begins.
+                    let t = &mut self.txns[txn as usize];
+                    t.waits_ns += now_ns - t.issue_ns;
+                    self.schedule_at(now_ns, now_ns, Event::Stage { txn });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_granted(&mut self, txn: u32, now_ns: f64) {
+        // A limiter handed its slot to this parked transaction.
+        let t = &mut self.txns[txn as usize];
+        debug_assert!(t.live);
+        t.limiter_phase += 1;
+        self.advance_limiters(txn, now_ns);
+    }
+
+    fn on_stage(&mut self, txn: u32, now_ns: f64) {
+        let (flow, plan_idx, stage_idx, is_write) = {
+            let t = &self.txns[txn as usize];
+            (t.flow, t.plan, t.stage, t.dir_write)
+        };
+        let dir = if is_write { Dir::Write } else { Dir::Read };
+        let (point, bytes, device, n_stages, is_cxl) = {
+            let p = &self.flows[flow as usize].plans[plan_idx as usize];
+            let s = &p.stages[stage_idx as usize];
+            (s.point, s.bytes, s.device, p.stages.len(), p.is_cxl)
+        };
+        // Device variability (bank conflicts, refresh, CXL media) delays
+        // the *transaction* but does not serialize the channel: banks and
+        // media overlap independent accesses, so successors are not held
+        // behind a slow one beyond ordinary serialization.
+        let extra = if device {
+            let model = if is_cxl {
+                self.cxl_model
+            } else {
+                self.dram_model
+            };
+            model.extra_service_ns(&mut self.rng)
+        } else {
+            0.0
+        };
+        let adm = match point {
+            StageRef::Link(l) => self.channels[l as usize]
+                .as_mut()
+                .expect("stage link has a channel")
+                .admit(dir, now_ns, bytes),
+            StageRef::SocketNoc(sk) => self.noc[sk as usize].admit(dir, now_ns, bytes),
+            StageRef::CxlPort(c) => self.cxl_ports[c as usize].admit(dir, now_ns, bytes),
+        };
+        {
+            let t = &mut self.txns[txn as usize];
+            t.waits_ns += adm.wait_ns;
+            t.extra_ns += extra;
+        }
+        if (stage_idx as usize) + 1 < n_stages {
+            self.txns[txn as usize].stage += 1;
+            self.schedule_at(adm.depart_ns + extra, now_ns, Event::Stage { txn });
+        } else {
+            let done = {
+                let t = &self.txns[txn as usize];
+                let p = &self.flows[flow as usize].plans[plan_idx as usize];
+                (t.issue_ns + p.unloaded_ns + t.waits_ns + t.extra_ns).max(adm.depart_ns)
+            };
+            self.schedule_at(done, now_ns, Event::Complete { txn });
+        }
+    }
+
+    fn on_complete(&mut self, txn: u32, now_ns: f64) {
+        let (flow, core, plan_idx) = {
+            let t = &self.txns[txn as usize];
+            (t.flow, t.core, t.plan)
+        };
+        let (ccx, ccd, matrix_dest, has_limiters) = {
+            let p = &self.flows[flow as usize].plans[plan_idx as usize];
+            (p.ccx, p.ccd, p.matrix_dest, p.limiters)
+        };
+        let is_write = self.txns[txn as usize].dir_write;
+        let op = self.flows[flow as usize].spec.op;
+
+        // Release limiters (CCD first — reverse acquisition order); grants
+        // wake parked transactions. DMA plans never held them.
+        if has_limiters {
+            if let Some(lims) = self.ccd_limiters.as_mut() {
+                if let Some(next) = lims[ccd as usize].release() {
+                    self.schedule_at(now_ns, now_ns, Event::Granted { txn: next });
+                }
+            }
+            if let Some(next) = self.ccx_limiters[ccx as usize].release() {
+                self.schedule_at(now_ns, now_ns, Event::Granted { txn: next });
+            }
+        }
+
+        // Release core and flow budgets.
+        {
+            let cs = &mut self.cores[core as usize];
+            if is_write {
+                cs.write_used -= 1;
+            } else {
+                cs.read_used -= 1;
+            }
+        }
+        self.flows[flow as usize].in_flight -= 1;
+
+        // Controller window: every completion feeds the BDP controller.
+        {
+            let t = &self.txns[txn as usize];
+            let lat = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns
+                + t.waits_ns
+                + t.extra_ns;
+            let f = &mut self.flows[flow as usize];
+            f.win_lat_sum_ns += lat;
+            f.win_lat_n += 1;
+        }
+
+        // Record, inside the measured window only.
+        {
+            let t = &self.txns[txn as usize];
+            if t.issue_ns >= self.warmup_ns && now_ns <= self.horizon_ns {
+                // Temporal-write flows: only the writeback carries the
+                // application's payload; the RFO read is coherence
+                // overhead (it still loads the fabric above).
+                let counts_payload =
+                    op != chiplet_mem::OpKind::WriteTemporal || t.dir_write;
+                let f = &mut self.flows[flow as usize];
+                f.completed += 1;
+                if counts_payload {
+                    f.bytes += LINE;
+                    if let Some(trace) = f.trace.as_mut() {
+                        trace.record(
+                            SimTime::from_nanos(now_ns as u64),
+                            ByteSize::from_bytes(LINE),
+                        );
+                    }
+                }
+                let lat = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns
+                    + self.txns[txn as usize].waits_ns
+                    + self.txns[txn as usize].extra_ns;
+                self.flows[flow as usize]
+                    .latency
+                    .record(SimDuration::from_nanos_f64(lat));
+                let matrix_src = if ccd == u32::MAX {
+                    // Device rows sit after the compute chiplets.
+                    self.topo.ccd_total() + self.flows[flow as usize].spec.nic.unwrap_or(0)
+                } else {
+                    ccd
+                };
+                *self.matrix.entry((matrix_src, matrix_dest)).or_insert(0) += LINE;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.observe(FlowId(flow), matrix_src, matrix_dest, LINE, lat);
+                }
+            }
+        }
+        self.free_txn(txn);
+
+        // Wake the issuing core (its slot freed) and one flow-budget waiter.
+        let stop_ns = self.flows[flow as usize]
+            .spec
+            .stop_or(SimTime::from_nanos(self.horizon_ns as u64))
+            .as_nanos() as f64;
+        if now_ns < stop_ns {
+            if self.cores[core as usize].blocked_on_core
+                && !self.cores[core as usize].attempt_scheduled
+            {
+                self.cores[core as usize].blocked_on_core = false;
+                self.cores[core as usize].attempt_scheduled = true;
+                self.schedule_at(now_ns, now_ns, Event::Issue { core });
+            }
+            if let Some(waiter) = self.flows[flow as usize].budget_blocked.pop() {
+                if !self.cores[waiter as usize].attempt_scheduled {
+                    self.cores[waiter as usize].attempt_scheduled = true;
+                    self.schedule_at(now_ns, now_ns, Event::Issue { core: waiter });
+                }
+            }
+        }
+    }
+
+    fn recompute_policy(&mut self, now_ns: f64, horizon: SimTime) {
+        // Demands and resource sets of flows active at `now`.
+        let active: Vec<usize> = (0..self.flows.len())
+            .filter(|&i| {
+                let f = &self.flows[i];
+                (f.outcome.is_fabric_bound() || f.spec.nic.is_some())
+                    && (f.spec.start.as_nanos() as f64) <= now_ns
+                    && now_ns < f.spec.stop_or(horizon).as_nanos() as f64
+            })
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+
+        let mut capacities: HashMap<ResourceKey, f64> = HashMap::new();
+        let demands: Vec<FlowDemand> = active
+            .iter()
+            .map(|&i| {
+                let f = &self.flows[i];
+                let dir = if f.spec.op.is_write() {
+                    Dir::Write
+                } else {
+                    Dir::Read
+                };
+                // Traffic fraction per capacity point: interleaving spreads
+                // the flow evenly over its plans, so a point crossed by k of
+                // the flow's n plans carries k/n of its rate.
+                let mut counts: HashMap<ResourceKey, u32> = HashMap::new();
+                for p in &f.plans {
+                    for s in &p.stages {
+                        let key = resource_key(s.point, dir);
+                        if let Some(cap) = self.capacity_of(s.point, dir) {
+                            capacities.entry(key).or_insert(cap);
+                            *counts.entry(key).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let n_plans = f.plans.len().max(1) as f64;
+                let mut resources: Vec<(ResourceKey, f64)> = counts
+                    .into_iter()
+                    .map(|(k, c)| (k, c as f64 / n_plans))
+                    .collect();
+                resources.sort_by_key(|&(k, _)| k);
+                FlowDemand {
+                    demand: f
+                        .spec
+                        .offered
+                        .map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
+                    weight: 1.0,
+                    resources,
+                }
+            })
+            .collect();
+
+        if let TrafficPolicy::BdpAdaptive { latency_factor, .. } = self.cfg.policy {
+            // AIMD on each active flow's rate against its latency target.
+            for &i in &active {
+                let f = &mut self.flows[i];
+                let measured = if f.win_lat_n > 0 {
+                    f.win_lat_sum_ns / f.win_lat_n as f64
+                } else {
+                    f.mean_unloaded_ns
+                };
+                f.win_lat_sum_ns = 0.0;
+                f.win_lat_n = 0;
+                let target = latency_factor * f.mean_unloaded_ns;
+                let demand_gb = f.spec.offered.map_or(f64::INFINITY, |b| b.as_gb_per_s());
+                // Start from the hardware-budget-implied rate.
+                let current = f.adaptive_rate.unwrap_or_else(|| {
+                    (f.budget_max as f64 * LINE as f64 / f.mean_unloaded_ns).min(1000.0)
+                });
+                let next = if measured > target {
+                    (current * 0.85).max(0.25)
+                } else {
+                    (current * 1.05 + 0.1).min(demand_gb).min(1000.0)
+                };
+                f.adaptive_rate = Some(next);
+                let per_issuer = next / f.spec.issuer_count() as f64;
+                f.gap_mean_ns =
+                    gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)));
+            }
+            return;
+        }
+
+        if let Some(rates) = self.cfg.policy.allocate(&demands, &capacities) {
+            for (k, &i) in active.iter().enumerate() {
+                let issuers = self.flows[i].spec.issuer_count() as f64;
+                let per_issuer =
+                    Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
+                self.flows[i].gap_mean_ns = gap_from_rate(Some(per_issuer));
+            }
+        }
+    }
+
+    fn capacity_of(&self, point: StageRef, dir: Dir) -> Option<f64> {
+        let ch = match point {
+            StageRef::Link(l) => self.channels[l as usize].as_ref()?,
+            StageRef::SocketNoc(sk) => &self.noc[sk as usize],
+            StageRef::CxlPort(c) => &self.cxl_ports[c as usize],
+        };
+        ch.server(dir).map(|s| s.capacity().as_bytes_per_s())
+    }
+
+    fn alloc_txn(&mut self, txn: Txn) -> u32 {
+        match self.free_txns.pop() {
+            Some(id) => {
+                self.txns[id as usize] = txn;
+                id
+            }
+            None => {
+                self.txns.push(txn);
+                (self.txns.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_txn(&mut self, id: u32) {
+        self.txns[id as usize].live = false;
+        self.free_txns.push(id);
+    }
+
+    fn finish(self, horizon: SimTime) -> RunResult {
+        let window = horizon - SimTime::from_nanos(self.cfg.warmup.as_nanos());
+        let window_ns = window.as_nanos() as f64;
+        let secs = window.as_secs_f64();
+
+        let flows: Vec<FlowTelemetry> = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                // Cache-resident core flows are accounted analytically; DMA
+                // flows always run on the fabric.
+                if let (AccessOutcome::CacheHit { latency_ns, .. }, None) =
+                    (f.outcome, f.spec.nic)
+                {
+                    // Cache-resident: accounted analytically. One line per
+                    // hit latency per core, or the offered rate if lower.
+                    let per_core = Bandwidth::from_gb_per_s(LINE as f64 / latency_ns);
+                    let hw =
+                        Bandwidth::from_gb_per_s(per_core.as_gb_per_s() * f.spec.cores.len() as f64);
+                    let achieved = f.spec.offered.map_or(hw, |o| o.min(hw));
+                    let mut latency = LatencyHistogram::new();
+                    latency.record(SimDuration::from_nanos_f64(latency_ns));
+                    return FlowTelemetry {
+                        id: FlowId(i as u32),
+                        name: f.spec.name.clone(),
+                        issued: 0,
+                        completed: 0,
+                        bytes: (achieved.as_bytes_per_s() * secs) as u64,
+                        achieved,
+                        latency,
+                        analytic: true,
+                        analytic_latency_ns: Some(latency_ns),
+                        trace: Vec::new(),
+                    };
+                }
+                FlowTelemetry {
+                    id: FlowId(i as u32),
+                    name: f.spec.name.clone(),
+                    issued: f.issued,
+                    completed: f.completed,
+                    bytes: f.bytes,
+                    achieved: Bandwidth::from_bytes_per_s(f.bytes as f64 / secs),
+                    latency: f.latency.clone(),
+                    analytic: false,
+                    analytic_latency_ns: None,
+                    trace: f
+                        .trace
+                        .clone()
+                        .map(|t| t.finish(horizon))
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
+
+        let mut links = Vec::new();
+        for (i, ch) in self.channels.iter().enumerate() {
+            let Some(ch) = ch else { continue };
+            let kind = self.topo.links()[i].kind;
+            links.push(link_telemetry(
+                CapacityPoint::Link {
+                    link: i as u32,
+                    kind,
+                },
+                ch,
+                window_ns,
+            ));
+        }
+        for (sk, ch) in self.noc.iter().enumerate() {
+            links.push(link_telemetry(
+                CapacityPoint::SocketNoc { socket: sk as u32 },
+                ch,
+                window_ns,
+            ));
+        }
+        for (c, ch) in self.cxl_ports.iter().enumerate() {
+            links.push(link_telemetry(
+                CapacityPoint::CxlPort { ccd: c as u32 },
+                ch,
+                window_ns,
+            ));
+        }
+
+        let mut matrix: Vec<MatrixCell> = self
+            .matrix
+            .iter()
+            .map(|(&(ccd, dest), &bytes)| MatrixCell { ccd, dest, bytes })
+            .collect();
+        matrix.sort_by_key(|c| (c.ccd, c.dest));
+
+        let profile = self.profiler.as_ref().map(crate::profiler::Profiler::report);
+        RunResult {
+            profile,
+            telemetry: TelemetryReport {
+                platform: self.topo.spec().name.clone(),
+                window,
+                links,
+                flows: flows.clone(),
+                matrix,
+            },
+            flows,
+            window,
+        }
+    }
+}
+
+/// Limiter tokens: the loaded BDP of the chiplet egress,
+/// `capacity × (base latency + 3 × max queue delay) / line`. A platform
+/// without the module (`max_queue_ns == 0`) gets a transparent pool far
+/// above any reachable in-flight count.
+fn derive_limiter_tokens(
+    base_latency_ns: f64,
+    max_queue_ns: f64,
+    cap: Bandwidth,
+    hw_demand_slots: u32,
+) -> u32 {
+    if max_queue_ns <= 0.0 {
+        return hw_demand_slots.max(1) * 4;
+    }
+    let loaded_ns = base_latency_ns + 3.0 * max_queue_ns;
+    ((cap.as_gb_per_s() * loaded_ns / LINE as f64).ceil() as u32).max(1)
+}
+
+/// Mean inter-issue gap (ns) for a per-core offered rate; 0 = unthrottled.
+fn gap_from_rate(rate: Option<Bandwidth>) -> f64 {
+    match rate {
+        Some(bw) if bw.is_positive() => LINE as f64 / bw.bytes_per_ns(),
+        _ => 0.0,
+    }
+}
+
+fn link_telemetry(point: CapacityPoint, ch: &DirectionalChannel, window_ns: f64) -> LinkTelemetry {
+    let dir_stats = |dir: Dir| -> DirStats {
+        match ch.server(dir) {
+            Some(s) => DirStats {
+                bytes: s.bytes_served(),
+                admissions: s.admitted(),
+                utilization: s.utilization(window_ns),
+                mean_wait_ns: s.mean_wait_ns(),
+                max_wait_ns: s.max_wait_ns(),
+            },
+            None => DirStats::default(),
+        }
+    };
+    LinkTelemetry {
+        point,
+        read: dir_stats(Dir::Read),
+        write: dir_stats(Dir::Write),
+    }
+}
+
+/// Convenience: pointer-chase latency from a core to a DIMM (the Table 2
+/// methodology) without standing up flows by hand. Returns mean ns.
+pub fn pointer_chase_latency_ns(
+    topo: &Topology,
+    core: CoreId,
+    dimm: DimmId,
+    working_set: ByteSize,
+    cfg: EngineConfig,
+) -> f64 {
+    let mut engine = Engine::new(topo, cfg);
+    engine.add_flow(
+        FlowSpec::pointer_chase("chase", core, Target::dimm(dimm))
+            .working_set(working_set)
+            .build(topo),
+    );
+    let result = engine.run(SimTime::from_micros(30));
+    result.flows[0].mean_latency_ns()
+}
+
+fn resource_key(point: StageRef, dir: Dir) -> ResourceKey {
+    let d = match dir {
+        Dir::Read => 0u64,
+        Dir::Write => 1u64,
+    };
+    match point {
+        StageRef::Link(l) => (l as u64) | (d << 40),
+        StageRef::SocketNoc(sk) => (1 << 41) | (sk as u64) | (d << 40),
+        StageRef::CxlPort(c) => (1 << 42) | (c as u64) | (d << 40),
+    }
+}
+
+#[cfg(test)]
+mod tests;

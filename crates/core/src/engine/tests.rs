@@ -1,0 +1,501 @@
+//! Engine calibration and behavior tests.
+//!
+//! These assert the paper's *shapes* (who binds where, what rises when)
+//! with tolerances; exact paper-vs-measured numbers live in EXPERIMENTS.md.
+
+use super::*;
+use chiplet_mem::OpKind;
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{DimmPosition, PlatformSpec};
+
+fn topo_7302() -> Topology {
+    Topology::build(&PlatformSpec::epyc_7302())
+}
+
+fn topo_9634() -> Topology {
+    Topology::build(&PlatformSpec::epyc_9634())
+}
+
+fn within(value: f64, expected: f64, tol_frac: f64) -> bool {
+    (value - expected).abs() <= expected * tol_frac
+}
+
+/// All cores of CCD 0 / CCX 0 / the whole socket.
+fn cores_of(topo: &Topology, scope: &str) -> Vec<CoreId> {
+    match scope {
+        "core" => vec![CoreId(0)],
+        "ccx" => topo.cores_of_ccx(0).collect(),
+        "ccd" => topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+        "cpu" => topo.core_ids().collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn max_bandwidth(topo: &Topology, scope: &str, op: OpKind) -> f64 {
+    let mut engine = Engine::new(topo, EngineConfig::deterministic());
+    let cores = cores_of(topo, scope);
+    let b = FlowSpec::reads("bw", cores, Target::all_dimms(topo))
+        .op(op)
+        .working_set(ByteSize::from_gib(1));
+    engine.add_flow(b.build(topo));
+    let result = engine.run(SimTime::from_micros(40));
+    result.flows[0].achieved.as_gb_per_s()
+}
+
+#[test]
+fn table2_pointer_chase_near_dimm() {
+    for (topo, expected) in [(topo_7302(), 124.0), (topo_9634(), 141.0)] {
+        let dimm = topo.dimm_at_position(CoreId(0), DimmPosition::Near).unwrap();
+        let lat = pointer_chase_latency_ns(
+            &topo,
+            CoreId(0),
+            dimm,
+            ByteSize::from_gib(1),
+            EngineConfig::deterministic(),
+        );
+        assert!(
+            within(lat, expected, 0.05),
+            "{}: chase latency {lat} vs {expected}",
+            topo.spec().name
+        );
+    }
+}
+
+#[test]
+fn table2_position_ordering_holds_under_chase() {
+    let topo = topo_7302();
+    let mut last = 0.0;
+    for pos in [DimmPosition::Near, DimmPosition::Vertical, DimmPosition::Horizontal, DimmPosition::Diagonal] {
+        let dimm = topo.dimm_at_position(CoreId(0), pos).unwrap();
+        let lat = pointer_chase_latency_ns(
+            &topo,
+            CoreId(0),
+            dimm,
+            ByteSize::from_gib(1),
+            EngineConfig::deterministic(),
+        );
+        assert!(lat > last, "{pos}: {lat} not above {last}");
+        last = lat;
+    }
+}
+
+#[test]
+fn table2_cache_levels_resolve_analytically() {
+    let topo = topo_7302();
+    let lat = pointer_chase_latency_ns(
+        &topo,
+        CoreId(0),
+        DimmId(0),
+        ByteSize::from_kib(16),
+        EngineConfig::deterministic(),
+    );
+    assert!((lat - 1.24).abs() < 1e-6, "L1 chase {lat}");
+    let lat = pointer_chase_latency_ns(
+        &topo,
+        CoreId(0),
+        DimmId(0),
+        ByteSize::from_mib(8),
+        EngineConfig::deterministic(),
+    );
+    assert!((lat - 34.3).abs() < 1e-6, "L3 chase {lat}");
+}
+
+#[test]
+fn table3_read_bandwidth_7302() {
+    let topo = topo_7302();
+    // Paper: core 14.9, CCX 25.1, CCD 32.5, CPU 106.7 GB/s.
+    let core = max_bandwidth(&topo, "core", OpKind::Read);
+    assert!(within(core, 14.9, 0.10), "core read {core}");
+    let ccx = max_bandwidth(&topo, "ccx", OpKind::Read);
+    assert!(within(ccx, 25.1, 0.10), "ccx read {ccx}");
+    let ccd = max_bandwidth(&topo, "ccd", OpKind::Read);
+    assert!(within(ccd, 32.5, 0.10), "ccd read {ccd}");
+    let cpu = max_bandwidth(&topo, "cpu", OpKind::Read);
+    assert!(within(cpu, 106.7, 0.10), "cpu read {cpu}");
+}
+
+#[test]
+fn table3_write_bandwidth_7302() {
+    let topo = topo_7302();
+    // Paper: core 3.6, CCX 7.1, CCD 14.3, CPU 55.1 GB/s.
+    let core = max_bandwidth(&topo, "core", OpKind::WriteNonTemporal);
+    assert!(within(core, 3.6, 0.12), "core write {core}");
+    let ccx = max_bandwidth(&topo, "ccx", OpKind::WriteNonTemporal);
+    assert!(within(ccx, 7.1, 0.12), "ccx write {ccx}");
+    let cpu = max_bandwidth(&topo, "cpu", OpKind::WriteNonTemporal);
+    assert!(within(cpu, 55.1, 0.12), "cpu write {cpu}");
+}
+
+#[test]
+fn table3_read_bandwidth_9634() {
+    let topo = topo_9634();
+    let core = max_bandwidth(&topo, "core", OpKind::Read);
+    assert!(within(core, 14.6, 0.10), "core read {core}");
+    let ccd = max_bandwidth(&topo, "ccd", OpKind::Read);
+    assert!(within(ccd, 33.2, 0.10), "ccd read {ccd}");
+    let cpu = max_bandwidth(&topo, "cpu", OpKind::Read);
+    assert!(within(cpu, 366.2, 0.10), "cpu read {cpu}");
+}
+
+#[test]
+fn table3_cxl_bandwidth_9634() {
+    let topo = topo_9634();
+    let run = |cores: Vec<CoreId>, op: OpKind| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::reads("cxl", cores, Target::Cxl(0))
+                .op(op)
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
+        );
+        engine.run(SimTime::from_micros(40)).flows[0]
+            .achieved
+            .as_gb_per_s()
+    };
+    // Paper: core 5.4/2.8; CCD ~24-25/15-16; CPU 88.1/87.7.
+    let core_r = run(vec![CoreId(0)], OpKind::Read);
+    assert!(within(core_r, 5.4, 0.12), "cxl core read {core_r}");
+    let core_w = run(vec![CoreId(0)], OpKind::WriteNonTemporal);
+    assert!(within(core_w, 2.8, 0.15), "cxl core write {core_w}");
+    let ccd_r = run(topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), OpKind::Read);
+    assert!(within(ccd_r, 24.3, 0.12), "cxl ccd read {ccd_r}");
+}
+
+#[test]
+fn cxl_chase_latency_matches_table2() {
+    let topo = topo_9634();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::pointer_chase("chase", CoreId(0), Target::Cxl(0))
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
+    );
+    let result = engine.run(SimTime::from_micros(30));
+    let lat = result.flows[0].mean_latency_ns();
+    assert!(within(lat, 243.0, 0.05), "cxl chase {lat}");
+}
+
+#[test]
+fn single_umc_binds_a_one_dimm_flow() {
+    // §3.3: "a compute chiplet must access multiple memory controllers to
+    // attain higher aggregated bandwidth" — one DIMM caps at the UMC rate.
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads(
+            "one-dimm",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::dimm(DimmId(0)),
+        )
+        .working_set(ByteSize::from_gib(1))
+        .build(&topo),
+    );
+    let bw = engine.run(SimTime::from_micros(40)).flows[0]
+        .achieved
+        .as_gb_per_s();
+    assert!(within(bw, 21.1, 0.10), "one-DIMM bw {bw} vs UMC cap 21.1");
+}
+
+#[test]
+fn latency_rises_with_offered_load() {
+    // Figure 3's shape: mean latency grows toward saturation.
+    let topo = topo_7302();
+    let run_at = |gb: f64| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::reads("load", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
+                .offered(Bandwidth::from_gb_per_s(gb))
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(60));
+        (r.flows[0].achieved.as_gb_per_s(), r.flows[0].mean_latency_ns())
+    };
+    let (bw_lo, lat_lo) = run_at(5.0);
+    let (bw_hi, lat_hi) = run_at(31.0);
+    assert!(within(bw_lo, 5.0, 0.10), "low load achieved {bw_lo}");
+    assert!(bw_hi > 28.0, "high load achieved {bw_hi}");
+    assert!(
+        lat_hi > lat_lo + 5.0,
+        "latency should rise: {lat_lo} -> {lat_hi}"
+    );
+    assert!(lat_lo < 142.0, "unloaded latency {lat_lo}");
+}
+
+#[test]
+fn competing_flows_share_proportionally() {
+    // Figure 4 case 4: both demands above the equal share of the shared
+    // GMI link; shares settle ∝ demand (sender-driven aggressive).
+    let topo = topo_7302();
+    let ccd0: Vec<CoreId> = topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect();
+    let (f0_cores, f1_cores) = ccd0.split_at(2);
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("aggressive", f0_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(24.0))
+            .build(&topo),
+    );
+    engine.add_flow(
+        FlowSpec::reads("modest", f1_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(12.0))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    let a = r.flow("aggressive").unwrap().achieved.as_gb_per_s();
+    let m = r.flow("modest").unwrap().achieved.as_gb_per_s();
+    // GMI cap 32.5 shared 2:1 → ~21.7 / ~10.8.
+    assert!(a + m > 29.0, "link underused: {a} + {m}");
+    let ratio = a / m;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "share ratio {ratio} (a={a}, m={m})"
+    );
+}
+
+#[test]
+fn equal_demands_split_evenly() {
+    // Figure 4 case 3.
+    let topo = topo_7302();
+    let ccd0: Vec<CoreId> = topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect();
+    let (f0_cores, f1_cores) = ccd0.split_at(2);
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    for (name, cores) in [("a", f0_cores), ("b", f1_cores)] {
+        engine.add_flow(
+            FlowSpec::reads(name, cores.to_vec(), Target::all_dimms(&topo))
+                .offered(Bandwidth::from_gb_per_s(24.0))
+                .build(&topo),
+        );
+    }
+    let r = engine.run(SimTime::from_micros(60));
+    let a = r.flow("a").unwrap().achieved.as_gb_per_s();
+    let b = r.flow("b").unwrap().achieved.as_gb_per_s();
+    assert!((a / b - 1.0).abs() < 0.15, "unequal split {a} vs {b}");
+}
+
+#[test]
+fn under_subscription_gives_everyone_their_demand() {
+    // Figure 4 case 1.
+    let topo = topo_7302();
+    let ccd0: Vec<CoreId> = topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect();
+    let (f0_cores, f1_cores) = ccd0.split_at(2);
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("a", f0_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(10.0))
+            .build(&topo),
+    );
+    engine.add_flow(
+        FlowSpec::reads("b", f1_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(14.0))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    assert!(within(r.flow("a").unwrap().achieved.as_gb_per_s(), 10.0, 0.08));
+    assert!(within(r.flow("b").unwrap().achieved.as_gb_per_s(), 14.0, 0.08));
+}
+
+#[test]
+fn max_min_policy_protects_the_small_flow() {
+    // Implication #4's fix: under MaxMinFair the small flow gets its full
+    // demand instead of a proportional share.
+    let topo = topo_7302();
+    let ccd0: Vec<CoreId> = topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect();
+    let (f0_cores, f1_cores) = ccd0.split_at(2);
+    let mut cfg = EngineConfig::deterministic();
+    cfg.policy = TrafficPolicy::MaxMinFair;
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads("big", f0_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(30.0))
+            .build(&topo),
+    );
+    engine.add_flow(
+        FlowSpec::reads("small", f1_cores.to_vec(), Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(8.0))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    let small = r.flow("small").unwrap().achieved.as_gb_per_s();
+    assert!(
+        within(small, 8.0, 0.10),
+        "max-min should satisfy the small flow, got {small}"
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let topo = topo_9634();
+    let run = |seed| {
+        let cfg = EngineConfig::default().with_seed(seed);
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads("r", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
+                .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(20));
+        (
+            r.flows[0].bytes,
+            r.flows[0].latency.quantile(0.999),
+            r.telemetry.total_bytes(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).0, 0);
+}
+
+#[test]
+fn telemetry_identifies_gmi_bottleneck() {
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("r", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(40));
+    let b = r.telemetry.bottleneck().unwrap();
+    assert!(
+        matches!(
+            b.point,
+            CapacityPoint::Link {
+                kind: chiplet_topology::LinkKind::Gmi,
+                ..
+            }
+        ),
+        "bottleneck was {:?}",
+        b.point
+    );
+    assert!(b.read.utilization > 0.9);
+}
+
+#[test]
+fn traffic_matrix_recorded() {
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(20));
+    // Core 0 is on CCD 0; traffic spreads across all 8 UMCs.
+    assert_eq!(r.telemetry.matrix.len(), 8);
+    for cell in &r.telemetry.matrix {
+        assert_eq!(cell.ccd, 0);
+        assert!(cell.bytes > 0);
+    }
+}
+
+#[test]
+fn random_pattern_loses_prefetch_bandwidth() {
+    let topo = topo_7302();
+    let run = |pattern: Pattern| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&topo))
+                .pattern(pattern)
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
+        );
+        engine.run(SimTime::from_micros(30)).flows[0]
+            .achieved
+            .as_gb_per_s()
+    };
+    let seq = run(Pattern::Sequential);
+    let rnd = run(Pattern::Random);
+    assert!(
+        rnd < seq * 0.65 && rnd > seq * 0.35,
+        "random {rnd} vs sequential {seq}"
+    );
+}
+
+#[test]
+fn cache_resident_flow_is_analytic() {
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("l1", vec![CoreId(0)], Target::all_dimms(&topo))
+            .working_set(ByteSize::from_kib(16))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(10));
+    assert!(r.flows[0].analytic);
+    assert_eq!(r.flows[0].issued, 0);
+    // No fabric traffic at all.
+    assert_eq!(r.telemetry.links.iter().map(|l| l.read.bytes).sum::<u64>(), 0);
+}
+
+#[test]
+fn tail_latency_reflects_dram_variability() {
+    // With the stochastic DDR4 model, low-load P999 sits hundreds of ns
+    // above the mean (Figure 3's low-load tails).
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::default());
+    engine.add_flow(
+        FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(5.0))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(200));
+    let mean = r.flows[0].mean_latency_ns();
+    let p999 = r.flows[0].p999_latency_ns();
+    assert!(mean < 160.0, "mean {mean}");
+    assert!(p999 > 350.0 && p999 < 700.0, "p999 {p999}");
+}
+
+#[test]
+#[should_panic(expected = "already belongs to another flow")]
+fn double_core_claim_rejected() {
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::default());
+    engine.add_flow(FlowSpec::reads("a", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo));
+    engine.add_flow(FlowSpec::reads("b", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo));
+}
+
+#[test]
+fn traces_capture_flow_lifecycle() {
+    // A flow that stops mid-run leaves a trace that is busy, then zero.
+    let topo = topo_7302();
+    let mut cfg = EngineConfig::deterministic();
+    cfg.trace_window = Some(SimDuration::from_micros(2));
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads("traced", vec![CoreId(0)], Target::all_dimms(&topo))
+            .stop(SimTime::from_micros(20))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(40));
+    let trace = &r.flows[0].trace;
+    assert!(trace.len() >= 15, "trace has {} points", trace.len());
+    // Busy early...
+    assert!(trace[2].bandwidth.as_gb_per_s() > 5.0, "{:?}", trace[2]);
+    // ...silent after the stop.
+    let late = trace.iter().rev().take(5).collect::<Vec<_>>();
+    for p in late {
+        assert_eq!(p.bandwidth.as_gb_per_s(), 0.0, "{p:?}");
+    }
+    // No trace requested => empty.
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("untraced", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(10));
+    assert!(r.flows[0].trace.is_empty());
+}
+
+#[test]
+fn flow_stops_at_its_stop_time() {
+    let topo = topo_7302();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::reads("short", vec![CoreId(0)], Target::all_dimms(&topo))
+            .stop(SimTime::from_micros(10))
+            .build(&topo),
+    );
+    engine.add_flow(
+        FlowSpec::reads("long", vec![CoreId(4)], Target::all_dimms(&topo)).build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(40));
+    let short = r.flow("short").unwrap();
+    let long = r.flow("long").unwrap();
+    // The short flow only issued for ~8 µs of the 38 µs window.
+    assert!(short.bytes < long.bytes / 2);
+    assert!(short.bytes > 0);
+}

@@ -1,0 +1,190 @@
+//! Filesystem export: the `/sys/firmware/chiplet-net` + `/proc/chiplet-net`
+//! layout the paper proposes (§4 #1).
+//!
+//! "We believe that a similar hardware abstraction for chiplet networks
+//! (like /sys/firmware/chiplet-net) is essential. It not only presents an
+//! architectural overview, but also provides runtime performance telemetry
+//! statistics for each link and intermediate hop through /proc/chiplet-net."
+//!
+//! [`export_sysfs`] materializes exactly that under a caller-chosen root:
+//!
+//! ```text
+//! <root>/sys/firmware/chiplet-net/platform        one-line platform name
+//! <root>/sys/firmware/chiplet-net/descriptor.json the full structural doc
+//! <root>/sys/firmware/chiplet-net/summary         human-readable counts
+//! <root>/proc/chiplet-net/links/<id>              per-capacity-point counters
+//! <root>/proc/chiplet-net/flows/<name>            per-flow statistics
+//! <root>/proc/chiplet-net/matrix                  src dest bytes triples
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use chiplet_topology::descriptor::ChipletNetDescriptor;
+
+use crate::telemetry::{CapacityPoint, TelemetryReport};
+
+/// Writes the firmware descriptor and runtime telemetry as a sysfs/procfs
+/// style tree under `root`. Existing files are overwritten.
+pub fn export_sysfs(
+    desc: &ChipletNetDescriptor,
+    report: &TelemetryReport,
+    root: &Path,
+) -> io::Result<()> {
+    let firmware = root.join("sys/firmware/chiplet-net");
+    fs::create_dir_all(&firmware)?;
+    fs::write(firmware.join("platform"), format!("{}\n", desc.platform))?;
+    fs::write(firmware.join("descriptor.json"), desc.to_json())?;
+    fs::write(
+        firmware.join("summary"),
+        format!(
+            "platform: {}\nmicroarchitecture: {}\ncompute: {} CCD x {} CCX x {} cores\n\
+             umcs: {}\ncxl-devices: {}\nnodes: {}\nlinks: {}\ncapacity-points: {}\n",
+            desc.platform,
+            desc.microarchitecture,
+            desc.compute_shape.0,
+            desc.compute_shape.1,
+            desc.compute_shape.2,
+            desc.umc_count,
+            desc.cxl_device_count,
+            desc.nodes.len(),
+            desc.links.len(),
+            desc.capacity_point_count(),
+        ),
+    )?;
+
+    let proc = root.join("proc/chiplet-net");
+    let links_dir = proc.join("links");
+    fs::create_dir_all(&links_dir)?;
+    for link in &report.links {
+        let name = match link.point {
+            CapacityPoint::Link { link, kind } => format!("link{link}-{kind:?}"),
+            CapacityPoint::SocketNoc { socket } => format!("noc-socket{socket}"),
+            CapacityPoint::CxlPort { ccd } => format!("cxl-port-ccd{ccd}"),
+        };
+        let body = format!(
+            "read_bytes: {}\nread_admissions: {}\nread_utilization: {:.4}\n\
+             read_mean_wait_ns: {:.2}\nread_max_wait_ns: {:.2}\n\
+             write_bytes: {}\nwrite_admissions: {}\nwrite_utilization: {:.4}\n\
+             write_mean_wait_ns: {:.2}\nwrite_max_wait_ns: {:.2}\n",
+            link.read.bytes,
+            link.read.admissions,
+            link.read.utilization,
+            link.read.mean_wait_ns,
+            link.read.max_wait_ns,
+            link.write.bytes,
+            link.write.admissions,
+            link.write.utilization,
+            link.write.mean_wait_ns,
+            link.write.max_wait_ns,
+        );
+        fs::write(links_dir.join(name), body)?;
+    }
+
+    let flows_dir = proc.join("flows");
+    fs::create_dir_all(&flows_dir)?;
+    for flow in &report.flows {
+        let safe: String = flow
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let body = format!(
+            "id: {}\nissued: {}\ncompleted: {}\nbytes: {}\nachieved_gb_s: {:.3}\n\
+             mean_latency_ns: {:.2}\np999_latency_ns: {:.2}\nanalytic: {}\n",
+            flow.id,
+            flow.issued,
+            flow.completed,
+            flow.bytes,
+            flow.achieved.as_gb_per_s(),
+            flow.mean_latency_ns(),
+            flow.p999_latency_ns(),
+            flow.analytic,
+        );
+        fs::write(flows_dir.join(safe), body)?;
+    }
+
+    let mut matrix = String::from("# src dest bytes\n");
+    for cell in &report.matrix {
+        matrix.push_str(&format!("{} {} {}\n", cell.ccd, cell.dest, cell.bytes));
+    }
+    fs::write(proc.join("matrix"), matrix)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::flow::{FlowSpec, Target};
+    use chiplet_sim::SimTime;
+    use chiplet_topology::{CcdId, PlatformSpec, Topology};
+
+    fn unique_root(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "chiplet-net-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn exports_the_full_tree() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::reads("probe", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
+                .build(&topo),
+        );
+        let result = engine.run(SimTime::from_micros(15));
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+
+        let root = unique_root("tree");
+        export_sysfs(&desc, &result.telemetry, &root).unwrap();
+
+        let platform =
+            fs::read_to_string(root.join("sys/firmware/chiplet-net/platform")).unwrap();
+        assert!(platform.contains("7302"));
+        let summary = fs::read_to_string(root.join("sys/firmware/chiplet-net/summary")).unwrap();
+        assert!(summary.contains("compute: 4 CCD x 2 CCX x 2 cores"));
+        // Descriptor round-trips through the file.
+        let json =
+            fs::read_to_string(root.join("sys/firmware/chiplet-net/descriptor.json")).unwrap();
+        let back = ChipletNetDescriptor::from_json(&json).unwrap();
+        assert_eq!(back, desc);
+        // One file per capacity point, one per flow, plus the matrix.
+        let links = fs::read_dir(root.join("proc/chiplet-net/links")).unwrap().count();
+        assert_eq!(links, result.telemetry.links.len());
+        let flow =
+            fs::read_to_string(root.join("proc/chiplet-net/flows/probe")).unwrap();
+        assert!(flow.contains("achieved_gb_s"));
+        let matrix = fs::read_to_string(root.join("proc/chiplet-net/matrix")).unwrap();
+        assert!(matrix.lines().count() > 1);
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flow_names_are_sanitized() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::reads(
+                "weird/name with spaces!",
+                vec![chiplet_topology::CoreId(0)],
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        let result = engine.run(SimTime::from_micros(10));
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        let root = unique_root("sanitize");
+        export_sysfs(&desc, &result.telemetry, &root).unwrap();
+        assert!(root
+            .join("proc/chiplet-net/flows/weird_name_with_spaces_")
+            .exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

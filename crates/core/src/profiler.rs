@@ -1,0 +1,222 @@
+//! The chiplet-net profiler (§4 #5).
+//!
+//! "We advocate for a system-level perf-like profiling utility, entrenched
+//! with the server SoC, that collaboratively combines the hardware
+//! architectural PMU with time-series-based probabilistic and compact data
+//! structures (like Sketches) to distill application-specific execution
+//! telemetry."
+//!
+//! [`Profiler`] is that utility's core: it ingests one record per completed
+//! transaction (source unit, destination, bytes, latency) and maintains,
+//! in bounded memory regardless of traffic volume:
+//!
+//! * a Count-Min sketch of bytes per (source, destination) pair,
+//! * a SpaceSaving heavy-hitter table of the hottest pairs,
+//! * DDSketch-style latency quantiles, global and per flow.
+//!
+//! Enable it on a run with [`EngineConfig::profile`]; the engine feeds it
+//! at every completion and attaches a [`ProfileReport`] to the result.
+//!
+//! [`EngineConfig::profile`]: crate::engine::EngineConfig::profile
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowId;
+use crate::sketch::{CountMinSketch, QuantileSketch, SpaceSaving};
+
+/// Per-transaction profiling state.
+#[derive(Debug)]
+pub struct Profiler {
+    bytes_by_pair: CountMinSketch,
+    heavy: SpaceSaving<(u32, u32)>,
+    latency: QuantileSketch,
+    per_flow: HashMap<FlowId, QuantileSketch>,
+    records: u64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler with default accuracies (1% byte error, 16 heavy
+    /// hitters, 1% latency quantile error).
+    pub fn new() -> Self {
+        Profiler {
+            bytes_by_pair: CountMinSketch::with_error(0.01, 0.01),
+            heavy: SpaceSaving::new(16),
+            latency: QuantileSketch::new(0.01),
+            per_flow: HashMap::new(),
+            records: 0,
+        }
+    }
+
+    /// Ingests one completed transaction.
+    pub fn observe(&mut self, flow: FlowId, src: u32, dest: u32, bytes: u64, latency_ns: f64) {
+        self.records += 1;
+        self.bytes_by_pair.update(&(src, dest), bytes);
+        self.heavy.update((src, dest), bytes);
+        self.latency.record(latency_ns);
+        self.per_flow
+            .entry(flow)
+            .or_insert_with(|| QuantileSketch::new(0.01))
+            .record(latency_ns);
+    }
+
+    /// Transactions observed.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes estimate for a (source, destination) pair — never below truth.
+    pub fn bytes_estimate(&self, src: u32, dest: u32) -> u64 {
+        self.bytes_by_pair.estimate(&(src, dest))
+    }
+
+    /// Finalizes into a serializable report.
+    pub fn report(&self) -> ProfileReport {
+        let mut flows: Vec<FlowProfile> = self
+            .per_flow
+            .iter()
+            .map(|(&flow, sk)| FlowProfile {
+                flow,
+                samples: sk.count(),
+                p50_ns: sk.quantile(0.5).unwrap_or(0.0),
+                p99_ns: sk.quantile(0.99).unwrap_or(0.0),
+                p999_ns: sk.quantile(0.999).unwrap_or(0.0),
+            })
+            .collect();
+        flows.sort_by_key(|f| f.flow);
+        ProfileReport {
+            records: self.records,
+            heavy_hitters: self
+                .heavy
+                .heavy_hitters()
+                .into_iter()
+                .map(|((src, dest), bytes)| HeavyPair { src, dest, bytes })
+                .collect(),
+            global_p50_ns: self.latency.quantile(0.5).unwrap_or(0.0),
+            global_p99_ns: self.latency.quantile(0.99).unwrap_or(0.0),
+            global_p999_ns: self.latency.quantile(0.999).unwrap_or(0.0),
+            flows,
+            memory_bytes: self.bytes_by_pair.memory_bytes()
+                + self.latency.memory_bytes()
+                + self
+                    .per_flow
+                    .values()
+                    .map(QuantileSketch::memory_bytes)
+                    .sum::<usize>(),
+        }
+    }
+}
+
+/// A hot (source, destination) pair. Sources are compute chiplets (or
+/// device rows past them); destinations are UMCs (or CXL devices past them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeavyPair {
+    /// Source unit row.
+    pub src: u32,
+    /// Destination unit column.
+    pub dest: u32,
+    /// Byte upper bound (SpaceSaving overestimate).
+    pub bytes: u64,
+}
+
+/// Per-flow latency quantiles from the profiler's sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowProfile {
+    /// The flow.
+    pub flow: FlowId,
+    /// Samples observed.
+    pub samples: u64,
+    /// Median latency, ns.
+    pub p50_ns: f64,
+    /// P99 latency, ns.
+    pub p99_ns: f64,
+    /// P999 latency, ns.
+    pub p999_ns: f64,
+}
+
+/// The profiler's serializable output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Transactions observed.
+    pub records: u64,
+    /// Hottest (source, destination) pairs, heaviest first.
+    pub heavy_hitters: Vec<HeavyPair>,
+    /// Global median latency, ns.
+    pub global_p50_ns: f64,
+    /// Global P99 latency, ns.
+    pub global_p99_ns: f64,
+    /// Global P999 latency, ns.
+    pub global_p999_ns: f64,
+    /// Per-flow quantiles.
+    pub flows: Vec<FlowProfile>,
+    /// Total sketch memory, bytes — bounded regardless of traffic.
+    pub memory_bytes: usize,
+}
+
+impl ProfileReport {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is always serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_and_reports() {
+        let mut p = Profiler::new();
+        for i in 0..10_000u64 {
+            let flow = FlowId((i % 2) as u32);
+            p.observe(flow, (i % 4) as u32, (i % 8) as u32, 64, 100.0 + (i % 50) as f64);
+        }
+        let r = p.report();
+        assert_eq!(r.records, 10_000);
+        assert_eq!(r.flows.len(), 2);
+        assert!(r.global_p50_ns > 100.0 && r.global_p50_ns < 160.0);
+        assert!(r.global_p999_ns >= r.global_p99_ns);
+        assert!(!r.heavy_hitters.is_empty());
+    }
+
+    #[test]
+    fn heavy_hitter_finds_the_elephant() {
+        let mut p = Profiler::new();
+        for _ in 0..5_000 {
+            p.observe(FlowId(0), 0, 0, 64, 120.0);
+        }
+        for i in 0..5_000u64 {
+            p.observe(FlowId(1), 1 + (i % 3) as u32, (i % 8) as u32, 8, 130.0);
+        }
+        let r = p.report();
+        assert_eq!((r.heavy_hitters[0].src, r.heavy_hitters[0].dest), (0, 0));
+        // Count-Min never underestimates the elephant.
+        assert!(p.bytes_estimate(0, 0) >= 5_000 * 64);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut p = Profiler::new();
+        for i in 0..200_000u64 {
+            p.observe(FlowId(0), (i % 12) as u32, (i % 12) as u32, 64, (i % 1000) as f64);
+        }
+        let r = p.report();
+        assert!(r.memory_bytes < 512 * 1024, "{} bytes", r.memory_bytes);
+    }
+
+    #[test]
+    fn report_round_trips_json() {
+        let mut p = Profiler::new();
+        p.observe(FlowId(3), 1, 2, 64, 150.0);
+        let r = p.report();
+        let back: ProfileReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

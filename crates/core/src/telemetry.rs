@@ -1,0 +1,257 @@
+//! Runtime telemetry: the `/proc/chiplet-net` analog.
+//!
+//! §4 #1 of the paper calls for "runtime performance telemetry statistics
+//! for each link and intermediate hop through /proc/chiplet-net". A
+//! [`TelemetryReport`] is that document: per-link utilization, throughput,
+//! and queueing statistics in both directions, per-flow achieved bandwidth
+//! and latency distribution, and the measured traffic matrix — all
+//! serializable to JSON.
+
+use chiplet_sim::stats::LatencyHistogram;
+use chiplet_sim::{Bandwidth, SimDuration};
+use chiplet_topology::LinkKind;
+use serde::{Deserialize, Serialize};
+
+use crate::flow::FlowId;
+
+/// One direction of one capacity point.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DirStats {
+    /// Bytes that crossed during the measured window.
+    pub bytes: u64,
+    /// Transactions admitted.
+    pub admissions: u64,
+    /// Fraction of the window the server was busy.
+    pub utilization: f64,
+    /// Mean queueing wait, ns.
+    pub mean_wait_ns: f64,
+    /// Largest queueing wait, ns.
+    pub max_wait_ns: f64,
+}
+
+impl DirStats {
+    /// Achieved throughput over a window.
+    pub fn throughput(&self, window: SimDuration) -> Bandwidth {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::from_bytes_per_s(self.bytes as f64 / secs)
+        }
+    }
+}
+
+/// Telemetry for one capacity point (a physical link, the socket NoC, or a
+/// per-CCD CXL port).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkTelemetry {
+    /// Identity of the capacity point.
+    pub point: CapacityPoint,
+    /// Read-direction statistics.
+    pub read: DirStats,
+    /// Write-direction statistics.
+    pub write: DirStats,
+}
+
+/// Identity of a contention point in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapacityPoint {
+    /// A topology link, by id and kind.
+    Link {
+        /// The link's id in the topology.
+        link: u32,
+        /// Its physical class.
+        kind: LinkKind,
+    },
+    /// A socket's I/O-die NoC routing capacity.
+    SocketNoc {
+        /// The socket index.
+        socket: u32,
+    },
+    /// The per-CCD CXL port capacity.
+    CxlPort {
+        /// The compute chiplet.
+        ccd: u32,
+    },
+}
+
+/// Per-flow results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowTelemetry {
+    /// Flow id.
+    pub id: FlowId,
+    /// Flow name.
+    pub name: String,
+    /// Transactions issued during the whole run.
+    pub issued: u64,
+    /// Transactions completed inside the measured window.
+    pub completed: u64,
+    /// Payload bytes completed inside the measured window.
+    pub bytes: u64,
+    /// Achieved bandwidth over the measured window.
+    pub achieved: Bandwidth,
+    /// End-to-end latency distribution (measured window).
+    pub latency: LatencyHistogram,
+    /// True when the flow was cache-resident and accounted analytically
+    /// (no fabric traffic).
+    pub analytic: bool,
+    /// Exact (sub-ns) latency for analytic cache-resident flows; the
+    /// histogram only holds whole nanoseconds.
+    pub analytic_latency_ns: Option<f64>,
+    /// Bandwidth time series, when the run recorded traces
+    /// (`EngineConfig::trace_window`).
+    #[serde(default)]
+    pub trace: Vec<chiplet_sim::stats::TracePoint>,
+}
+
+impl FlowTelemetry {
+    /// Mean latency, ns (NaN when no samples). Analytic flows report their
+    /// exact cache-hit latency.
+    pub fn mean_latency_ns(&self) -> f64 {
+        self.analytic_latency_ns
+            .unwrap_or_else(|| self.latency.mean_ns_f64())
+    }
+
+    /// P999 latency, ns (0 when no samples).
+    pub fn p999_latency_ns(&self) -> f64 {
+        self.latency
+            .p999()
+            .map(|d| d.as_nanos() as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// One cell of the measured traffic matrix: bytes from a compute chiplet to
+/// a destination (UMC channel or CXL device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Source compute chiplet.
+    pub ccd: u32,
+    /// Destination: UMC index, or `umc_count + device` for CXL devices.
+    pub dest: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// The full runtime report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Platform name.
+    pub platform: String,
+    /// Measured window length.
+    pub window: SimDuration,
+    /// Per-capacity-point statistics.
+    pub links: Vec<LinkTelemetry>,
+    /// Per-flow statistics.
+    pub flows: Vec<FlowTelemetry>,
+    /// Ground-truth traffic matrix cells (nonzero only).
+    pub matrix: Vec<MatrixCell>,
+}
+
+impl TelemetryReport {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("telemetry is always serializable")
+    }
+
+    /// The busiest capacity point by utilization in either direction —
+    /// "identifying the bandwidth throttling path segment at runtime"
+    /// (Implication #2).
+    pub fn bottleneck(&self) -> Option<&LinkTelemetry> {
+        self.links.iter().max_by(|a, b| {
+            let ua = a.read.utilization.max(a.write.utilization);
+            let ub = b.read.utilization.max(b.write.utilization);
+            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Total payload bytes completed by all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(kind: LinkKind, ur: f64, uw: f64) -> LinkTelemetry {
+        LinkTelemetry {
+            point: CapacityPoint::Link { link: 0, kind },
+            read: DirStats {
+                utilization: ur,
+                ..Default::default()
+            },
+            write: DirStats {
+                utilization: uw,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn bottleneck_picks_highest_utilization() {
+        let report = TelemetryReport {
+            platform: "test".into(),
+            window: SimDuration::from_micros(10),
+            links: vec![
+                link(LinkKind::Gmi, 0.4, 0.1),
+                link(LinkKind::MemChannel, 0.2, 0.9),
+                link(LinkKind::CoreL3, 0.5, 0.5),
+            ],
+            flows: vec![],
+            matrix: vec![],
+        };
+        let b = report.bottleneck().unwrap();
+        assert!(matches!(
+            b.point,
+            CapacityPoint::Link {
+                kind: LinkKind::MemChannel,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn throughput_from_dir_stats() {
+        let d = DirStats {
+            bytes: 64_000,
+            ..Default::default()
+        };
+        let bw = d.throughput(SimDuration::from_micros(1));
+        assert!((bw.as_gb_per_s() - 64.0).abs() < 1e-9);
+        assert_eq!(d.throughput(SimDuration::ZERO), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = TelemetryReport {
+            platform: "x".into(),
+            window: SimDuration::from_micros(1),
+            links: vec![link(LinkKind::Gmi, 0.1, 0.2)],
+            flows: vec![],
+            matrix: vec![MatrixCell {
+                ccd: 0,
+                dest: 3,
+                bytes: 640,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("SocketNoc") || json.contains("Gmi"));
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.matrix.len(), 1);
+    }
+
+    #[test]
+    fn empty_report_has_no_bottleneck() {
+        let report = TelemetryReport {
+            platform: "x".into(),
+            window: SimDuration::ZERO,
+            links: vec![],
+            flows: vec![],
+            matrix: vec![],
+        };
+        assert!(report.bottleneck().is_none());
+        assert_eq!(report.total_bytes(), 0);
+    }
+}

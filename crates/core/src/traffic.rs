@@ -1,0 +1,377 @@
+//! The global software traffic manager.
+//!
+//! Implication #4: hardware partitioning is sender-driven and
+//! traffic-oblivious; the paper proposes materializing the flow abstraction
+//! "in a global software-based traffic manager" so allocation policy is
+//! programmable. [`TrafficPolicy`] is that manager's policy knob, and
+//! [`max_min_allocate`] / [`weighted_allocate`] are its allocators:
+//! progressive-filling water-level algorithms over the flows' shared
+//! capacity points.
+//!
+//! The engine enforces an allocation by pacing each flow at its allocated
+//! rate at the *source* (token-bucket gating of issue), exactly how a
+//! software manager would have to do it on real hardware today.
+
+use std::collections::HashMap;
+
+use chiplet_sim::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// An opaque capacity-point key used by the allocator (the engine passes
+/// its internal stage identities).
+pub type ResourceKey = u64;
+
+/// A flow's view for allocation: its demand and the capacity points it
+/// crosses in the relevant direction, each with the *fraction* of the
+/// flow's traffic that crosses it (interleaved traffic spreads over UMC
+/// channels and core ports, so a flow at rate R loads each of T channels
+/// with only R/T).
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Requested rate; `f64::INFINITY` for unthrottled flows.
+    pub demand: f64,
+    /// Weight for weighted fairness (1.0 = plain max-min).
+    pub weight: f64,
+    /// Capacity points crossed: `(key, fraction)` with fraction in (0, 1].
+    pub resources: Vec<(ResourceKey, f64)>,
+}
+
+/// The manager's allocation policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPolicy {
+    /// No software control: hardware sender-driven partitioning (the
+    /// paper's status quo).
+    #[default]
+    HardwareDefault,
+    /// Max-min fairness across flows sharing each capacity point.
+    MaxMinFair,
+    /// Weighted max-min with per-flow weights (indexed by flow order).
+    WeightedFair {
+        /// Per-flow weights; missing entries default to 1.0.
+        weights: Vec<f64>,
+    },
+    /// Static per-flow rate caps, GB/s (indexed by flow order; missing
+    /// entries mean uncapped).
+    RateLimit {
+        /// Per-flow caps, GB/s.
+        caps_gb_s: Vec<f64>,
+    },
+    /// BDP-adaptive control (Implication #3): the engine monitors each
+    /// flow's runtime latency and applies AIMD rate adjustments to hold it
+    /// near `latency_factor ×` the flow's unloaded path latency — keeping
+    /// the in-flight window near the true BDP instead of deep in the queue.
+    BdpAdaptive {
+        /// Target latency as a multiple of the unloaded path latency
+        /// (e.g. 1.15 = allow 15% queueing).
+        latency_factor: f64,
+        /// Control interval, ns (how often rates adjust).
+        interval_ns: u64,
+    },
+}
+
+/// Progressive-filling max-min allocation.
+///
+/// Raises every unfrozen flow's rate at equal speed (scaled by weight)
+/// until a capacity point saturates; flows crossing it freeze at their
+/// current level; repeats until all flows are frozen or satisfied.
+/// Returns per-flow rates in the same order as `flows`.
+///
+/// Capacities and demands are in bytes/s (any consistent unit works).
+pub fn weighted_allocate(
+    flows: &[FlowDemand],
+    capacities: &HashMap<ResourceKey, f64>,
+) -> Vec<f64> {
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    // Remaining capacity per resource.
+    let mut remaining: HashMap<ResourceKey, f64> = capacities.clone();
+
+    // Flows with zero demand are trivially frozen.
+    for (i, f) in flows.iter().enumerate() {
+        if f.demand <= 0.0 {
+            frozen[i] = true;
+        }
+    }
+
+    for _round in 0..=n {
+        // Active weighted load per resource (weight × traffic fraction).
+        let mut load: HashMap<ResourceKey, f64> = HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for &(r, frac) in &f.resources {
+                *load.entry(r).or_insert(0.0) += f.weight * frac;
+            }
+        }
+        if load.is_empty() {
+            break;
+        }
+
+        // The water level can rise until the first of:
+        //   (a) some active flow reaches its demand,
+        //   (b) some resource exhausts its remaining capacity.
+        let mut delta = f64::INFINITY;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && f.demand.is_finite() {
+                delta = delta.min((f.demand - rate[i]) / f.weight);
+            }
+        }
+        for (r, w) in &load {
+            let rem = remaining.get(r).copied().unwrap_or(f64::INFINITY);
+            if *w > 0.0 {
+                delta = delta.min(rem / w);
+            }
+        }
+        if !delta.is_finite() {
+            // All remaining flows are unthrottled and cross no finite
+            // resource: they are unconstrained; leave at +inf conceptually,
+            // represented by a huge rate.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = f.demand.min(f64::MAX / 4.0);
+                    frozen[i] = true;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Raise and debit.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rate[i] += delta * f.weight;
+            for &(r, frac) in &f.resources {
+                if let Some(rem) = remaining.get_mut(&r) {
+                    *rem -= delta * f.weight * frac;
+                }
+            }
+        }
+
+        // Freeze flows that met demand or sit on an exhausted resource.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let met = f.demand.is_finite() && rate[i] >= f.demand - 1e-9;
+            let stuck = f.resources.iter().any(|&(r, _)| {
+                remaining
+                    .get(&r)
+                    .is_some_and(|rem| *rem <= 1e-9)
+            });
+            if met || stuck {
+                frozen[i] = true;
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+/// Plain max-min (all weights 1).
+pub fn max_min_allocate(
+    flows: &[FlowDemand],
+    capacities: &HashMap<ResourceKey, f64>,
+) -> Vec<f64> {
+    weighted_allocate(flows, capacities)
+}
+
+impl TrafficPolicy {
+    /// Computes per-flow enforced rates, or `None` when the policy leaves
+    /// the hardware in charge. `flows` must carry weight 1.0; weighted and
+    /// rate-limit policies override per their parameters.
+    pub fn allocate(
+        &self,
+        flows: &[FlowDemand],
+        capacities: &HashMap<ResourceKey, f64>,
+    ) -> Option<Vec<Bandwidth>> {
+        match self {
+            TrafficPolicy::HardwareDefault => None,
+            TrafficPolicy::MaxMinFair => {
+                let rates = max_min_allocate(flows, capacities);
+                Some(rates.into_iter().map(Bandwidth::from_bytes_per_s).collect())
+            }
+            TrafficPolicy::WeightedFair { weights } => {
+                let weighted: Vec<FlowDemand> = flows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| FlowDemand {
+                        weight: weights.get(i).copied().unwrap_or(1.0).max(1e-9),
+                        ..f.clone()
+                    })
+                    .collect();
+                let rates = weighted_allocate(&weighted, capacities);
+                Some(rates.into_iter().map(Bandwidth::from_bytes_per_s).collect())
+            }
+            // BdpAdaptive is a closed-loop controller: the engine drives it
+            // from runtime measurements, not from this one-shot allocator.
+            TrafficPolicy::BdpAdaptive { .. } => None,
+            TrafficPolicy::RateLimit { caps_gb_s } => Some(
+                flows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        let cap = caps_gb_s.get(i).copied().unwrap_or(f64::INFINITY) * 1e9;
+                        Bandwidth::from_bytes_per_s(f.demand.min(cap).min(f64::MAX / 4.0))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(pairs: &[(u64, f64)]) -> HashMap<ResourceKey, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    fn fd(demand: f64, resources: &[u64]) -> FlowDemand {
+        FlowDemand {
+            demand,
+            weight: 1.0,
+            resources: resources.iter().map(|&r| (r, 1.0)).collect(),
+        }
+    }
+
+    #[test]
+    fn single_bottleneck_splits_evenly() {
+        let flows = [fd(f64::INFINITY, &[1]), fd(f64::INFINITY, &[1])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert!((rates[0] - 15.0).abs() < 1e-9);
+        assert!((rates[1] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_demand_gets_demand_rest_to_big() {
+        // The defining max-min property (vs the hardware's proportional
+        // sharing): the small flow is satisfied in full.
+        let flows = [fd(5.0, &[1]), fd(f64::INFINITY, &[1])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_subscription_everyone_satisfied() {
+        let flows = [fd(8.0, &[1]), fd(10.0, &[1])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert!((rates[0] - 8.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck_chain() {
+        // Flow A crosses r1 (cap 10) and r2 (cap 30); flow B crosses r2
+        // only. A is limited to 10 by r1; B takes 20 on r2.
+        let flows = [fd(f64::INFINITY, &[1, 2]), fd(f64::INFINITY, &[2])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 10.0), (2, 30.0)]));
+        assert!((rates[0] - 10.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 20.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let flows = [
+            FlowDemand {
+                demand: f64::INFINITY,
+                weight: 2.0,
+                resources: vec![(1, 1.0)],
+            },
+            FlowDemand {
+                demand: f64::INFINITY,
+                weight: 1.0,
+                resources: vec![(1, 1.0)],
+            },
+        ];
+        let rates = weighted_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert!((rates[0] - 20.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_gets_zero() {
+        let flows = [fd(0.0, &[1]), fd(f64::INFINITY, &[1])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_flow_gets_demand() {
+        // Crosses only resources with no configured cap.
+        let flows = [fd(12.0, &[99])];
+        let rates = max_min_allocate(&flows, &caps(&[(1, 30.0)]));
+        assert!((rates[0] - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_hardware_default_is_none() {
+        let flows = [fd(1.0, &[1])];
+        assert!(TrafficPolicy::HardwareDefault
+            .allocate(&flows, &caps(&[(1, 10.0)]))
+            .is_none());
+    }
+
+    #[test]
+    fn policy_rate_limit_caps() {
+        let flows = [fd(f64::INFINITY, &[1]), fd(3e9, &[1])];
+        let rates = TrafficPolicy::RateLimit {
+            caps_gb_s: vec![5.0],
+        }
+        .allocate(&flows, &caps(&[]))
+        .unwrap();
+        assert!((rates[0].as_gb_per_s() - 5.0).abs() < 1e-9);
+        assert!((rates[1].as_gb_per_s() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_work_conserving() {
+        // Random-ish topology: verify Σ allocations on each resource ≤ cap,
+        // and no flow could be raised without breaking feasibility.
+        let flows = [
+            fd(f64::INFINITY, &[1, 2]),
+            fd(f64::INFINITY, &[2, 3]),
+            fd(4.0, &[3]),
+            fd(f64::INFINITY, &[1]),
+        ];
+        let capacities = caps(&[(1, 20.0), (2, 15.0), (3, 12.0)]);
+        let rates = max_min_allocate(&flows, &capacities);
+        // Feasibility.
+        for (r, cap) in &capacities {
+            let sum: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.iter().any(|&(k, _)| k == *r))
+                .map(|(_, rate)| rate)
+                .sum();
+            assert!(sum <= cap + 1e-6, "resource {r}: {sum} > {cap}");
+        }
+        // Work conservation: every unsatisfied flow sits on a saturated
+        // resource.
+        for (f, rate) in flows.iter().zip(&rates) {
+            if *rate < f.demand - 1e-6 {
+                let on_saturated = f.resources.iter().any(|&(r, _)| {
+                    let Some(cap) = capacities.get(&r) else {
+                        return false;
+                    };
+                    let sum: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(g, _)| g.resources.iter().any(|&(k, _)| k == r))
+                        .map(|(_, x)| x)
+                        .sum();
+                    sum >= cap - 1e-6
+                });
+                assert!(on_saturated, "flow under demand but no saturated resource");
+            }
+        }
+    }
+}

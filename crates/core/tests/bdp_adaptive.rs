@@ -1,0 +1,113 @@
+//! The BDP-adaptive traffic controller (Implication #3): holding flows at
+//! their bandwidth-delay product instead of deep in the queues.
+
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_net::traffic::TrafficPolicy;
+use chiplet_sim::{ByteSize, SimTime};
+use chiplet_topology::{CcdId, PlatformSpec, Topology};
+
+fn run(policy: TrafficPolicy) -> (f64, f64, f64) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let mut cfg = EngineConfig::deterministic();
+    cfg.policy = policy;
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(120));
+    let f = &r.flows[0];
+    (
+        f.achieved.as_gb_per_s(),
+        f.mean_latency_ns(),
+        f.p999_latency_ns(),
+    )
+}
+
+#[test]
+fn adaptive_trades_little_bandwidth_for_much_latency() {
+    let (bw_hw, lat_hw, p999_hw) = run(TrafficPolicy::HardwareDefault);
+    let (bw_ad, lat_ad, p999_ad) = run(TrafficPolicy::BdpAdaptive {
+        latency_factor: 1.10,
+        interval_ns: 2_000,
+    });
+    // Hardware default: full MLP pressure queues deep (~252 ns sojourn).
+    assert!(lat_hw > 220.0, "hardware latency {lat_hw}");
+    // The controller holds latency near 1.1× the ~136 ns unloaded mean...
+    assert!(
+        lat_ad < lat_hw * 0.75,
+        "adaptive latency {lat_ad} vs hardware {lat_hw}"
+    );
+    assert!(lat_ad < 190.0, "adaptive latency {lat_ad}");
+    // ...while keeping most of the bandwidth.
+    assert!(
+        bw_ad > bw_hw * 0.80,
+        "adaptive bandwidth {bw_ad} vs hardware {bw_hw}"
+    );
+    // Tails shrink too.
+    assert!(p999_ad <= p999_hw, "tails: {p999_ad} vs {p999_hw}");
+}
+
+#[test]
+fn tighter_latency_targets_give_lower_latency() {
+    let (_, lat_loose, _) = run(TrafficPolicy::BdpAdaptive {
+        latency_factor: 1.5,
+        interval_ns: 2_000,
+    });
+    let (_, lat_tight, _) = run(TrafficPolicy::BdpAdaptive {
+        latency_factor: 1.05,
+        interval_ns: 2_000,
+    });
+    assert!(
+        lat_tight < lat_loose,
+        "tight {lat_tight} should undercut loose {lat_loose}"
+    );
+}
+
+#[test]
+fn adaptive_respects_an_offered_demand_ceiling() {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let mut cfg = EngineConfig::deterministic();
+    cfg.policy = TrafficPolicy::BdpAdaptive {
+        latency_factor: 2.0, // permissive: the demand, not latency, binds
+        interval_ns: 2_000,
+    };
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
+            .offered(chiplet_sim::Bandwidth::from_gb_per_s(10.0))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(120));
+    let bw = r.flows[0].achieved.as_gb_per_s();
+    assert!((8.5..=10.5).contains(&bw), "demand-capped adaptive {bw}");
+}
+
+#[test]
+fn two_adaptive_flows_share_and_stay_low_latency() {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let mut cfg = EngineConfig::deterministic();
+    cfg.policy = TrafficPolicy::BdpAdaptive {
+        latency_factor: 1.15,
+        interval_ns: 2_000,
+    };
+    let mut engine = Engine::new(&topo, cfg);
+    let cores: Vec<_> = topo.cores_of_ccd(CcdId(0)).collect();
+    let (a, b) = cores.split_at(2);
+    engine.add_flow(FlowSpec::reads("a", a.to_vec(), Target::all_dimms(&topo)).build(&topo));
+    engine.add_flow(FlowSpec::reads("b", b.to_vec(), Target::all_dimms(&topo)).build(&topo));
+    let r = engine.run(SimTime::from_micros(150));
+    let (fa, fb) = (&r.flows[0], &r.flows[1]);
+    let total = fa.achieved.as_gb_per_s() + fb.achieved.as_gb_per_s();
+    assert!(total > 24.0, "total {total} under-uses the 32.5 GMI");
+    for f in [fa, fb] {
+        assert!(
+            f.mean_latency_ns() < 200.0,
+            "{}: latency {} too high under adaptive control",
+            f.name,
+            f.mean_latency_ns()
+        );
+    }
+}

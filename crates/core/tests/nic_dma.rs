@@ -1,0 +1,168 @@
+//! NIC DMA flows (§4 #3's fused intra-/inter-host stack): a terabit-class
+//! device streaming into and out of memory through the chiplet network.
+
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{CcdId, DimmId, NicSpec, PlatformSpec, Topology};
+
+fn topo_with_nic() -> Topology {
+    Topology::build(&PlatformSpec::epyc_9634().with_nic(NicSpec::gbe400()))
+}
+
+#[test]
+fn nic_is_absent_unless_attached() {
+    let plain = Topology::build(&PlatformSpec::epyc_9634());
+    assert_eq!(plain.nic_count(), 0);
+    assert_eq!(topo_with_nic().nic_count(), 1);
+}
+
+#[test]
+fn rx_dma_reaches_line_rate() {
+    // 400 GbE RX: the NIC pushes 50 GB/s into memory — more than any
+    // single compute chiplet can write (23.6 GB/s GMI), the paper's §4 #3
+    // observation.
+    let topo = topo_with_nic();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo)).build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(40));
+    let bw = r.flows[0].achieved.as_gb_per_s();
+    assert!(
+        (46.0..=51.0).contains(&bw),
+        "RX DMA {bw} should reach the 50 GB/s line rate"
+    );
+    let gmi_write = topo.spec().caps.gmi_write.as_gb_per_s();
+    assert!(bw > gmi_write, "the NIC outruns a compute chiplet's writes");
+}
+
+#[test]
+fn tx_dma_reads_at_line_rate() {
+    let topo = topo_with_nic();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(FlowSpec::nic_dma_read("tx", 0, Target::all_dimms(&topo)).build(&topo));
+    let r = engine.run(SimTime::from_micros(40));
+    let bw = r.flows[0].achieved.as_gb_per_s();
+    assert!((46.0..=51.0).contains(&bw), "TX DMA {bw}");
+}
+
+#[test]
+fn dma_contends_with_core_traffic_at_shared_umcs() {
+    // RX DMA into two DIMMs while a chiplet writes the same DIMMs: both
+    // squeeze at the shared UMC write capacity (2 × 28.3 GB/s).
+    let topo = topo_with_nic();
+    let shared: Vec<DimmId> = vec![DimmId(0), DimmId(1)];
+    let run = |with_dma: bool| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::writes(
+                "cores",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::Dimms(shared.clone()),
+            )
+            .build(&topo),
+        );
+        if with_dma {
+            engine.add_flow(
+                FlowSpec::nic_dma_write("rx", 0, Target::Dimms(shared.clone())).build(&topo),
+            );
+        }
+        engine.run(SimTime::from_micros(40)).flows[0]
+            .achieved
+            .as_gb_per_s()
+    };
+    let alone = run(false);
+    let contended = run(true);
+    assert!(
+        contended < alone * 0.85,
+        "DMA should squeeze core writes at the shared UMCs: {alone} -> {contended}"
+    );
+}
+
+#[test]
+fn dma_unaffected_by_chiplet_limiters() {
+    // A saturating core read stream on CCD0 does not throttle the NIC
+    // (the DMA engine sits past the chiplet limiters and targets
+    // different UMCs).
+    let topo = topo_with_nic();
+    let nic_dimms: Vec<DimmId> = vec![DimmId(6), DimmId(7)];
+    let run = |with_cores: bool| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::nic_dma_write("rx", 0, Target::Dimms(nic_dimms.clone())).build(&topo),
+        );
+        if with_cores {
+            engine.add_flow(
+                FlowSpec::reads(
+                    "cores",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::Dimms(vec![DimmId(0), DimmId(1)]),
+                )
+                .build(&topo),
+            );
+        }
+        engine.run(SimTime::from_micros(40)).flows[0]
+            .achieved
+            .as_gb_per_s()
+    };
+    let alone = run(false);
+    let with_cores = run(true);
+    assert!(
+        with_cores > alone * 0.92,
+        "disjoint UMCs should isolate the DMA: {alone} -> {with_cores}"
+    );
+}
+
+#[test]
+fn dma_rate_limiting_works() {
+    // The traffic manager can pace the NIC like any flow.
+    let topo = topo_with_nic();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo))
+            .offered(Bandwidth::from_gb_per_s(10.0))
+            .build(&topo),
+    );
+    let bw = engine.run(SimTime::from_micros(40)).flows[0]
+        .achieved
+        .as_gb_per_s();
+    assert!((9.0..=10.5).contains(&bw), "paced DMA {bw}");
+}
+
+#[test]
+fn dma_appears_in_the_traffic_matrix_as_a_device_row() {
+    let topo = topo_with_nic();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo)).build(&topo));
+    let r = engine.run(SimTime::from_micros(20));
+    let device_row = topo.ccd_total();
+    assert!(
+        r.telemetry.matrix.iter().all(|c| c.ccd == device_row),
+        "DMA traffic should use the device matrix row"
+    );
+    assert!(r.telemetry.matrix.len() == topo.dimm_count() as usize);
+}
+
+#[test]
+fn small_dma_working_set_still_hits_fabric() {
+    // Device DMA bypasses the cache model entirely: even a tiny buffer
+    // produces fabric traffic (no analytic shortcut).
+    let topo = topo_with_nic();
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo))
+            .working_set(ByteSize::from_kib(4))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(20));
+    assert!(!r.flows[0].analytic);
+    assert!(r.flows[0].completed > 0);
+}
+
+#[test]
+#[should_panic(expected = "NIC 0 not present")]
+fn nic_flow_requires_nic_platform() {
+    let topo = Topology::build(&PlatformSpec::epyc_9634());
+    let _ = FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo)).build(&topo);
+}

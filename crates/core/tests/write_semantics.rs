@@ -1,0 +1,85 @@
+//! Temporal (write-allocate) vs non-temporal store semantics: the reason
+//! the paper's utility measures writes with non-temporal stores (§3.1).
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{ByteSize, SimTime};
+use chiplet_topology::{CcdId, PlatformSpec, Topology};
+
+fn write_bw(op: OpKind, ws: ByteSize) -> (f64, bool) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+    engine.add_flow(
+        FlowSpec::writes("w", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
+            .op(op)
+            .working_set(ws)
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    (r.flows[0].achieved.as_gb_per_s(), r.flows[0].analytic)
+}
+
+#[test]
+fn cached_temporal_writes_stay_in_cache() {
+    // A cache-resident working set never touches the fabric.
+    let (bw, analytic) = write_bw(OpKind::WriteTemporal, ByteSize::from_mib(4));
+    assert!(analytic);
+    assert!(bw > 0.0);
+}
+
+#[test]
+fn streaming_temporal_writes_pay_the_rfo_tax() {
+    // Memory-sized working set: every store reads the line first (RFO) and
+    // writes it back — the payload rate lands well below the NT-store rate.
+    let ws = ByteSize::from_gib(1);
+    let (nt, _) = write_bw(OpKind::WriteNonTemporal, ws);
+    let (temporal, analytic) = write_bw(OpKind::WriteTemporal, ws);
+    assert!(!analytic);
+    assert!(
+        temporal < nt * 0.85,
+        "temporal {temporal} should trail NT {nt} (RFO overhead)"
+    );
+    assert!(temporal > 3.0, "temporal writes still make progress: {temporal}");
+}
+
+#[test]
+fn rfo_loads_both_link_directions() {
+    // The same store stream drives read-direction traffic (RFOs) that a
+    // pure NT stream never produces.
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let run = |op: OpKind| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        engine.add_flow(
+            FlowSpec::writes("w", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
+                .op(op)
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(40));
+        let gmi = r
+            .telemetry
+            .links
+            .iter()
+            .find(|l| {
+                matches!(
+                    l.point,
+                    chiplet_net::telemetry::CapacityPoint::Link {
+                        kind: chiplet_topology::LinkKind::Gmi,
+                        ..
+                    }
+                ) && l.read.bytes + l.write.bytes > 0
+            })
+            .expect("the used GMI link");
+        (gmi.read.bytes, gmi.write.bytes)
+    };
+    let (nt_read, nt_write) = run(OpKind::WriteNonTemporal);
+    let (t_read, t_write) = run(OpKind::WriteTemporal);
+    assert_eq!(nt_read, 0, "NT stores never read");
+    assert!(nt_write > 0);
+    assert!(t_read > 0, "temporal stores must RFO");
+    assert!(t_write > 0);
+    // Roughly one RFO per writeback.
+    let ratio = t_read as f64 / t_write as f64;
+    assert!((0.7..=1.4).contains(&ratio), "RFO:WB ratio {ratio}");
+}

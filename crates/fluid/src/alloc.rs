@@ -1,0 +1,257 @@
+//! The sender-driven equilibrium allocator.
+//!
+//! §3.5: under over-subscription, "the flow with a higher demand takes more
+//! bandwidth than its equal share" (Figure 4, cases 2/4), while Figure 5
+//! shows that a flow throttled *below* its fair share keeps its full demand
+//! (the unthrottled competitor takes exactly the unused bandwidth). The
+//! equilibrium that matches both observations is **bounded-proportional**:
+//!
+//! 1. flows whose demand does not exceed their max-min fair share are fully
+//!    satisfied (their modest in-flight needs always fit the hardware MLP
+//!    budget);
+//! 2. the remaining capacity is split among the rest in proportion to
+//!    demand — the aggressive sender's extra in-flight pressure wins a
+//!    proportionally larger share of the traffic-oblivious FIFO arbiter.
+
+/// Computes the sender-driven equilibrium allocation.
+///
+/// * `demands[i]` — flow `i`'s offered rate (any consistent unit); use
+///   `f64::INFINITY` for an unthrottled flow.
+/// * `flow_links[i]` — indices into `capacities` of the links flow `i`
+///   crosses.
+/// * `capacities[l]` — link `l`'s capacity.
+///
+/// Returns per-flow rates: feasible on every link, never above demand,
+/// max-min-protective for below-fair-share flows, and demand-proportional
+/// among the over-subscribers on each saturated link.
+pub fn proportional_allocate(
+    demands: &[f64],
+    flow_links: &[Vec<usize>],
+    capacities: &[f64],
+) -> Vec<f64> {
+    assert_eq!(demands.len(), flow_links.len());
+    let n = demands.len();
+
+    // Phase A: max-min fair rates (progressive filling).
+    let fair = max_min(demands, flow_links, capacities);
+
+    // Flows satisfied at their max-min rate keep their demand.
+    let satisfied: Vec<bool> = demands
+        .iter()
+        .zip(&fair)
+        .map(|(&d, &f)| d.is_finite() && d <= f + 1e-9)
+        .collect();
+
+    let mut rate = vec![0.0f64; n];
+    let mut residual = capacities.to_vec();
+    for i in 0..n {
+        if satisfied[i] {
+            rate[i] = demands[i];
+            for &l in &flow_links[i] {
+                residual[l] = (residual[l] - demands[i]).max(0.0);
+            }
+        }
+    }
+
+    // Phase B: the rest split the residual capacity proportionally to
+    // demand via damped fixed-point scaling.
+    let rest: Vec<usize> = (0..n).filter(|&i| !satisfied[i]).collect();
+    if rest.is_empty() {
+        return rate;
+    }
+    let mut r: Vec<f64> = rest
+        .iter()
+        .map(|&i| {
+            if demands[i].is_finite() {
+                demands[i]
+            } else {
+                flow_links[i]
+                    .iter()
+                    .map(|&l| residual[l])
+                    .fold(f64::INFINITY, f64::min)
+                    .min(f64::MAX / 4.0)
+            }
+        })
+        .collect();
+    for _ in 0..64 {
+        let mut usage = vec![0.0; capacities.len()];
+        for (k, &i) in rest.iter().enumerate() {
+            for &l in &flow_links[i] {
+                usage[l] += r[k];
+            }
+        }
+        let mut scale = vec![1.0f64; capacities.len()];
+        let mut worst = 1.0f64;
+        for (l, &u) in usage.iter().enumerate() {
+            if u > residual[l] && u > 0.0 {
+                scale[l] = residual[l] / u;
+                worst = worst.min(scale[l]);
+            }
+        }
+        if worst >= 1.0 - 1e-12 {
+            break;
+        }
+        for (k, &i) in rest.iter().enumerate() {
+            let s = flow_links[i]
+                .iter()
+                .map(|&l| scale[l])
+                .fold(1.0f64, f64::min);
+            r[k] *= s;
+        }
+    }
+    for (k, &i) in rest.iter().enumerate() {
+        rate[i] = if demands[i].is_finite() {
+            r[k].min(demands[i])
+        } else {
+            r[k]
+        };
+    }
+    rate
+}
+
+/// Max-min fair rates by progressive filling (demand-capped).
+pub fn max_min(demands: &[f64], flow_links: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
+    let n = demands.len();
+    let mut rate = vec![0.0f64; n];
+    let mut frozen: Vec<bool> = demands.iter().map(|&d| d <= 0.0).collect();
+    let mut residual = capacities.to_vec();
+
+    for _ in 0..=n {
+        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Count active flows per link.
+        let mut count = vec![0usize; capacities.len()];
+        for &i in &active {
+            for &l in &flow_links[i] {
+                count[l] += 1;
+            }
+        }
+        // The fill can rise until a demand is met or a link exhausts.
+        let mut delta = f64::INFINITY;
+        for &i in &active {
+            if demands[i].is_finite() {
+                delta = delta.min(demands[i] - rate[i]);
+            }
+        }
+        for (l, &c) in count.iter().enumerate() {
+            if c > 0 {
+                delta = delta.min(residual[l] / c as f64);
+            }
+        }
+        if !delta.is_finite() {
+            for &i in &active {
+                rate[i] = f64::MAX / 4.0;
+                frozen[i] = true;
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+        for &i in &active {
+            rate[i] += delta;
+            for &l in &flow_links[i] {
+                residual[l] -= delta;
+            }
+        }
+        for &i in &active {
+            let met = demands[i].is_finite() && rate[i] >= demands[i] - 1e-9;
+            let stuck = flow_links[i].iter().any(|&l| residual[l] <= 1e-9);
+            if met || stuck {
+                frozen[i] = true;
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_subscribed_flows_get_demands() {
+        let rates = proportional_allocate(&[5.0, 8.0], &[vec![0], vec![0]], &[30.0]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_subscribed_split_is_proportional() {
+        // Demands 30 and 20 over capacity 33, both above the 16.5 fair
+        // share → 19.8 and 13.2 (3:2 kept) — Figure 4 case 4.
+        let rates = proportional_allocate(&[30.0, 20.0], &[vec![0], vec![0]], &[33.0]);
+        assert!((rates[0] + rates[1] - 33.0).abs() < 1e-6);
+        assert!((rates[0] / rates[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_demands_split_equally() {
+        let rates = proportional_allocate(&[25.0, 25.0], &[vec![0], vec![0]], &[33.0]);
+        assert!((rates[0] - rates[1]).abs() < 1e-9);
+        assert!((rates[0] - 16.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unthrottled_pair_splits_capacity() {
+        let inf = f64::INFINITY;
+        let rates = proportional_allocate(&[inf, inf], &[vec![0], vec![0]], &[40.0]);
+        assert!((rates[0] - 20.0).abs() < 1e-6);
+        assert!((rates[1] - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn below_fair_share_flow_is_protected() {
+        // Figure 5's premise: a flow throttled below its fair share keeps
+        // its demand; the aggressive one takes exactly the rest.
+        let rates = proportional_allocate(&[10.0, 40.0], &[vec![0], vec![0]], &[25.0]);
+        assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 15.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn fig5_equilibrium_shape() {
+        // Capacity 33.2; flow 0 throttled to half − 2; flow 1 unthrottled.
+        let cap = 33.2;
+        let d0 = cap / 2.0 - 2.0;
+        let rates = proportional_allocate(&[d0, f64::INFINITY], &[vec![0], vec![0]], &[cap]);
+        assert!((rates[0] - d0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - (cap / 2.0 + 2.0)).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn multi_link_takes_tightest_bottleneck() {
+        let rates =
+            proportional_allocate(&[f64::INFINITY, 50.0], &[vec![0, 1], vec![1]], &[10.0, 100.0]);
+        assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feasibility_on_shared_chain() {
+        let demands = [f64::INFINITY, f64::INFINITY, 7.0];
+        let links = [vec![0, 1], vec![1, 2], vec![2]];
+        let caps = [20.0, 18.0, 16.0];
+        let rates = proportional_allocate(&demands, &links, &caps);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = links
+                .iter()
+                .zip(&rates)
+                .filter(|(ls, _)| ls.contains(&l))
+                .map(|(_, r)| r)
+                .sum();
+            assert!(used <= cap + 1e-6, "link {l}: {used} > {cap}");
+        }
+        assert!(rates[2] <= 7.0 + 1e-9);
+    }
+
+    #[test]
+    fn max_min_basics() {
+        let rates = max_min(&[5.0, f64::INFINITY], &[vec![0], vec![0]], &[30.0]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 25.0).abs() < 1e-9);
+    }
+}

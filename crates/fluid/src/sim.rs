@@ -1,0 +1,497 @@
+//! The fluid simulation loop.
+//!
+//! Fixed-step integration: at every tick the engine evaluates each flow's
+//! demand schedule, computes the sender-driven equilibrium, and relaxes the
+//! achieved rates toward it — upward with the link's harvest time constant,
+//! downward instantly. Links flagged unstable add AR(1) noise to harvested
+//! bandwidth (the 7302 IF behavior the paper attributes to the intra-CC
+//! queueing module).
+
+use chiplet_sim::stats::TracePoint;
+use chiplet_sim::{Bandwidth, DetRng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::proportional_allocate;
+
+/// Harvest-noise parameters for an unstable link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instability {
+    /// Noise amplitude as a fraction of the flow's *harvested* bandwidth
+    /// (the amount above its long-run equal share).
+    pub amplitude: f64,
+    /// AR(1) correlation per tick, in `[0, 1)`.
+    pub correlation: f64,
+}
+
+/// A shared link in the fluid model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluidLink {
+    /// Display name ("IF", "GMI", "P-Link").
+    pub name: String,
+    /// Directional capacity.
+    pub capacity: Bandwidth,
+    /// Harvest ramp time constant: reaching ~95% of newly available
+    /// bandwidth takes ≈3τ.
+    pub harvest_tau: SimDuration,
+    /// Harvest instability, when present.
+    pub instability: Option<Instability>,
+}
+
+impl FluidLink {
+    /// An EPYC 9634 Infinity-Fabric-class link: ~100 ms harvesting.
+    pub fn if_9634() -> Self {
+        FluidLink {
+            name: "IF".into(),
+            capacity: Bandwidth::from_gb_per_s(33.2),
+            harvest_tau: SimDuration::from_millis(33),
+            instability: None,
+        }
+    }
+
+    /// An EPYC 9634 P-Link/CXL-class link: ~500 ms harvesting.
+    pub fn plink_9634() -> Self {
+        FluidLink {
+            name: "P-Link".into(),
+            capacity: Bandwidth::from_gb_per_s(24.3),
+            harvest_tau: SimDuration::from_millis(165),
+            instability: None,
+        }
+    }
+
+    /// An EPYC 7302 Infinity-Fabric-class link: harvesting with the
+    /// "drastic variation" the paper observes.
+    pub fn if_7302() -> Self {
+        FluidLink {
+            name: "IF".into(),
+            capacity: Bandwidth::from_gb_per_s(25.1),
+            harvest_tau: SimDuration::from_millis(33),
+            instability: Some(Instability {
+                amplitude: 0.9,
+                correlation: 0.7,
+            }),
+        }
+    }
+}
+
+/// A piecewise-constant demand schedule.
+///
+/// Pieces are `(from, demand)` with `None` = unthrottled; the schedule
+/// holds each piece until the next one starts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandSchedule {
+    pieces: Vec<(SimTime, Option<Bandwidth>)>,
+}
+
+impl DemandSchedule {
+    /// A constant schedule.
+    pub fn constant(demand: Option<Bandwidth>) -> Self {
+        DemandSchedule {
+            pieces: vec![(SimTime::ZERO, demand)],
+        }
+    }
+
+    /// Builds from `(from, demand)` pieces; they must start at time zero
+    /// and be strictly increasing in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, unsorted, or non-zero-starting schedule.
+    pub fn piecewise(pieces: Vec<(SimTime, Option<Bandwidth>)>) -> Self {
+        assert!(!pieces.is_empty(), "schedule needs at least one piece");
+        assert_eq!(pieces[0].0, SimTime::ZERO, "schedule must start at zero");
+        assert!(
+            pieces.windows(2).all(|w| w[0].0 < w[1].0),
+            "schedule pieces must be strictly increasing"
+        );
+        DemandSchedule { pieces }
+    }
+
+    /// The demand at time `t`.
+    pub fn at(&self, t: SimTime) -> Option<Bandwidth> {
+        self.pieces
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= t)
+            .map(|(_, d)| *d)
+            .expect("schedule covers time zero")
+    }
+}
+
+/// One flow in the fluid model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluidFlowSpec {
+    /// Display name.
+    pub name: String,
+    /// Demand over time.
+    pub demand: DemandSchedule,
+    /// Indices into the link table of the links crossed.
+    pub links: Vec<usize>,
+}
+
+/// The fluid engine.
+pub struct FluidSim {
+    links: Vec<FluidLink>,
+    flows: Vec<FluidFlowSpec>,
+}
+
+impl FluidSim {
+    /// Creates an engine over a link table.
+    pub fn new(links: Vec<FluidLink>) -> Self {
+        FluidSim {
+            links,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Adds a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a link index out of range.
+    pub fn add_flow(&mut self, flow: FluidFlowSpec) {
+        for &l in &flow.links {
+            assert!(l < self.links.len(), "flow '{}': bad link {l}", flow.name);
+        }
+        self.flows.push(flow);
+    }
+
+    /// Runs to `horizon` with step `dt`, sampling every `sample` interval.
+    /// Returns one trace per flow, in addition order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `dt` or `sample`.
+    pub fn run(
+        &self,
+        horizon: SimTime,
+        dt: SimDuration,
+        sample: SimDuration,
+        seed: u64,
+    ) -> Vec<Vec<TracePoint>> {
+        assert!(!dt.is_zero() && !sample.is_zero(), "dt and sample must be positive");
+        let n = self.flows.len();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity.as_gb_per_s()).collect();
+        let flow_links: Vec<Vec<usize>> = self.flows.iter().map(|f| f.links.clone()).collect();
+
+        // Per-flow achieved rate (GB/s) and AR(1) noise state.
+        let mut rate = vec![0.0f64; n];
+        let mut noise = vec![0.0f64; n];
+        // Long-run equal share per flow (for the instability reference):
+        // equal split of its tightest link among the flows crossing it.
+        let equal_share: Vec<f64> = (0..n)
+            .map(|i| {
+                self.flows[i]
+                    .links
+                    .iter()
+                    .map(|&l| {
+                        let crossing = flow_links.iter().filter(|ls| ls.contains(&l)).count();
+                        caps[l] / crossing.max(1) as f64
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        let mut traces: Vec<Vec<TracePoint>> = vec![Vec::new(); n];
+        let mut accum = vec![0.0f64; n];
+        let mut accum_ticks = 0u64;
+        let mut next_sample = SimTime::ZERO + sample;
+
+        let dt_s = dt.as_secs_f64();
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            // Demands at this instant.
+            let demands: Vec<f64> = self
+                .flows
+                .iter()
+                .map(|f| {
+                    f.demand
+                        .at(t)
+                        .map_or(f64::INFINITY, |b| b.as_gb_per_s())
+                })
+                .collect();
+            let equilibrium = proportional_allocate(&demands, &flow_links, &caps);
+
+            // Relax toward equilibrium: instant down, τ-limited up.
+            for i in 0..n {
+                if equilibrium[i] <= rate[i] {
+                    rate[i] = equilibrium[i];
+                } else {
+                    // The slowest crossed link's τ governs the ramp.
+                    let tau = self.flows[i]
+                        .links
+                        .iter()
+                        .map(|&l| self.links[l].harvest_tau.as_secs_f64())
+                        .fold(0.0f64, f64::max);
+                    let k = if tau > 0.0 {
+                        1.0 - (-dt_s / tau).exp()
+                    } else {
+                        1.0
+                    };
+                    rate[i] += (equilibrium[i] - rate[i]) * k;
+                }
+            }
+
+            // Instability: noisy harvested bandwidth on flagged links.
+            let mut observed = rate.clone();
+            for i in 0..n {
+                let inst = self.flows[i]
+                    .links
+                    .iter()
+                    .filter_map(|&l| self.links[l].instability)
+                    .next();
+                if let Some(inst) = inst {
+                    let harvested = (rate[i] - equal_share[i]).max(0.0);
+                    if harvested > 1e-9 {
+                        let eps = rng.next_f64() * 2.0 - 1.0;
+                        noise[i] = inst.correlation * noise[i]
+                            + (1.0 - inst.correlation) * eps;
+                        observed[i] = (rate[i] + harvested * inst.amplitude * noise[i]).max(0.0);
+                    } else {
+                        noise[i] = 0.0;
+                    }
+                }
+            }
+
+            // Enforce feasibility after noise.
+            for (l, &cap) in caps.iter().enumerate() {
+                let used: f64 = (0..n)
+                    .filter(|&i| flow_links[i].contains(&l))
+                    .map(|i| observed[i])
+                    .sum();
+                if used > cap {
+                    let s = cap / used;
+                    for i in (0..n).filter(|&i| flow_links[i].contains(&l)) {
+                        observed[i] *= s;
+                    }
+                }
+            }
+
+            for i in 0..n {
+                accum[i] += observed[i];
+            }
+            accum_ticks += 1;
+            t += dt;
+
+            if t >= next_sample {
+                for i in 0..n {
+                    let avg = accum[i] / accum_ticks as f64;
+                    traces[i].push(TracePoint {
+                        at: next_sample - sample,
+                        bandwidth: Bandwidth::from_gb_per_s(avg),
+                    });
+                    accum[i] = 0.0;
+                }
+                accum_ticks = 0;
+                next_sample += sample;
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(x: f64) -> Bandwidth {
+        Bandwidth::from_gb_per_s(x)
+    }
+
+    /// The Figure 5 scenario: flow 0 throttled by 2 GB/s during [2,3) s and
+    /// [4,5) s; flow 1 unthrottled.
+    fn fig5(link: FluidLink) -> (FluidSim, f64) {
+        let cap = link.capacity.as_gb_per_s();
+        let mut sim = FluidSim::new(vec![link]);
+        let half = cap / 2.0;
+        sim.add_flow(FluidFlowSpec {
+            name: "flow0".into(),
+            demand: DemandSchedule::piecewise(vec![
+                (SimTime::ZERO, None),
+                (SimTime::from_secs(2), Some(gb(half - 2.0))),
+                (SimTime::from_secs(3), None),
+                (SimTime::from_secs(4), Some(gb(half - 2.0))),
+                (SimTime::from_secs(5), None),
+            ]),
+            links: vec![0],
+        });
+        sim.add_flow(FluidFlowSpec {
+            name: "flow1".into(),
+            demand: DemandSchedule::constant(None),
+            links: vec![0],
+        });
+        (sim, cap)
+    }
+
+    fn value_at(trace: &[TracePoint], t_ms: u64) -> f64 {
+        trace
+            .iter()
+            .rev()
+            .find(|p| p.at <= SimTime::from_millis(t_ms))
+            .map(|p| p.bandwidth.as_gb_per_s())
+            .unwrap()
+    }
+
+    #[test]
+    fn steady_state_is_equal_split() {
+        let (sim, cap) = fig5(FluidLink::if_9634());
+        let traces = sim.run(
+            SimTime::from_secs(6),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            1,
+        );
+        // At 1.9 s (before the throttle) both flows sit at half capacity.
+        for tr in &traces {
+            let v = value_at(tr, 1900);
+            assert!((v - cap / 2.0).abs() < 0.2, "steady {v} vs {}", cap / 2.0);
+        }
+    }
+
+    #[test]
+    fn harvesting_takes_about_100ms_on_if() {
+        let (sim, cap) = fig5(FluidLink::if_9634());
+        let traces = sim.run(
+            SimTime::from_secs(6),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            1,
+        );
+        let flow1 = &traces[1];
+        let target = cap / 2.0 + 2.0;
+        // Immediately after the throttle flow 1 has not yet harvested...
+        let early = value_at(flow1, 2020);
+        assert!(early < target - 0.5, "early {early} vs target {target}");
+        // ...but within ~150 ms it has.
+        let after = value_at(flow1, 2150);
+        assert!(after > target - 0.3, "after 150 ms: {after} vs {target}");
+        // And the release is reclaimed quickly after 3 s.
+        let reclaimed = value_at(flow1, 3200);
+        assert!((reclaimed - cap / 2.0).abs() < 0.5, "reclaim {reclaimed}");
+    }
+
+    #[test]
+    fn plink_harvests_slower_than_if() {
+        let run = |link: FluidLink| {
+            let (sim, cap) = fig5(link);
+            let traces = sim.run(
+                SimTime::from_secs(6),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(10),
+                1,
+            );
+            let target = cap / 2.0 + 2.0;
+            // Time (ms after 2000) when flow 1 first reaches 95% of the
+            // harvestable extra.
+            let t = traces[1]
+                .iter()
+                .filter(|p| p.at >= SimTime::from_secs(2))
+                .find(|p| p.bandwidth.as_gb_per_s() >= cap / 2.0 + 1.9)
+                .map(|p| p.at.as_nanos() / 1_000_000 - 2000);
+            (t, target)
+        };
+        let (t_if, _) = run(FluidLink::if_9634());
+        let (t_plink, _) = run(FluidLink::plink_9634());
+        let t_if = t_if.expect("IF harvest completes");
+        let t_plink = t_plink.expect("P-Link harvest completes");
+        assert!(
+            t_if < 200 && t_plink > 300 && t_plink < 900,
+            "harvest times: IF {t_if} ms, P-Link {t_plink} ms"
+        );
+    }
+
+    #[test]
+    fn the_7302_if_is_unstable() {
+        let variance_of = |link: FluidLink| {
+            let (sim, _) = fig5(link);
+            let traces = sim.run(
+                SimTime::from_secs(6),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(10),
+                7,
+            );
+            // Flow 1's variance during the second throttle window.
+            let vals: Vec<f64> = traces[1]
+                .iter()
+                .filter(|p| {
+                    p.at >= SimTime::from_millis(4300) && p.at < SimTime::from_millis(4900)
+                })
+                .map(|p| p.bandwidth.as_gb_per_s())
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        let stable = variance_of(FluidLink::if_9634());
+        let unstable = variance_of(FluidLink::if_7302());
+        assert!(
+            unstable > stable * 10.0 + 0.01,
+            "variance: unstable {unstable} vs stable {stable}"
+        );
+    }
+
+    #[test]
+    fn conservation_never_exceeds_capacity() {
+        let (sim, cap) = fig5(FluidLink::if_7302());
+        let traces = sim.run(
+            SimTime::from_secs(6),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            3,
+        );
+        for (p0, p1) in traces[0].iter().zip(&traces[1]) {
+            let sum = p0.bandwidth.as_gb_per_s() + p1.bandwidth.as_gb_per_s();
+            assert!(sum <= cap + 1e-6, "sum {sum} exceeds {cap}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let (sim, _) = fig5(FluidLink::if_7302());
+        let a = sim.run(
+            SimTime::from_secs(2),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            9,
+        );
+        let (sim2, _) = fig5(FluidLink::if_7302());
+        let b = sim2.run(
+            SimTime::from_secs(2),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            9,
+        );
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn schedule_lookup() {
+        let s = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, None),
+            (SimTime::from_secs(1), Some(gb(5.0))),
+            (SimTime::from_secs(2), None),
+        ]);
+        assert_eq!(s.at(SimTime::from_millis(500)), None);
+        assert_eq!(s.at(SimTime::from_millis(1500)), Some(gb(5.0)));
+        assert_eq!(s.at(SimTime::from_secs(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at zero")]
+    fn schedule_must_start_at_zero() {
+        let _ = DemandSchedule::piecewise(vec![(SimTime::from_secs(1), None)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad link")]
+    fn bad_link_index_rejected() {
+        let mut sim = FluidSim::new(vec![FluidLink::if_9634()]);
+        sim.add_flow(FluidFlowSpec {
+            name: "x".into(),
+            demand: DemandSchedule::constant(None),
+            links: vec![5],
+        });
+    }
+}

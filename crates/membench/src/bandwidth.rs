@@ -1,0 +1,123 @@
+//! Peak-bandwidth probes (Table 3).
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{CcdId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::scope::CoreScope;
+
+/// Where a bandwidth probe points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Destination {
+    /// All DIMMs, cacheline-interleaved (the NPS1 default).
+    Dimms,
+    /// CXL device 0.
+    Cxl,
+}
+
+/// Maximum achieved bandwidth from a core scope to a destination: AVX-style
+/// sequential reads or non-temporal writes at full throttle.
+///
+/// Returns `None` for a CXL destination on a platform without CXL.
+pub fn max_bandwidth(
+    topo: &Topology,
+    scope: CoreScope,
+    dest: Destination,
+    op: OpKind,
+    cfg: &EngineConfig,
+) -> Option<Bandwidth> {
+    let target = match dest {
+        Destination::Dimms => Target::all_dimms(topo),
+        Destination::Cxl => {
+            if topo.cxl_device_count() == 0 {
+                return None;
+            }
+            Target::Cxl(0)
+        }
+    };
+    let mut engine = Engine::new(topo, cfg.clone());
+    engine.add_flow(
+        FlowSpec::reads("bw-probe", scope.cores(topo, CcdId(0)), target)
+            .op(op)
+            .working_set(ByteSize::from_gib(1))
+            .build(topo),
+    );
+    let result = engine.run(SimTime::from_micros(40));
+    Some(result.flows[0].achieved)
+}
+
+/// One Table 3 row: scope plus read/write bandwidth, GB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthRow {
+    /// Issuing scope.
+    pub scope: CoreScope,
+    /// Sequential-read bandwidth, GB/s.
+    pub read_gb_s: f64,
+    /// Non-temporal-write bandwidth, GB/s.
+    pub write_gb_s: f64,
+}
+
+/// The full Table 3 column for one destination: all four scopes, read and
+/// write. `None` when the destination does not exist on the platform.
+pub fn table3_column(
+    topo: &Topology,
+    dest: Destination,
+    cfg: &EngineConfig,
+) -> Option<Vec<BandwidthRow>> {
+    CoreScope::ALL
+        .iter()
+        .map(|&scope| {
+            let read = max_bandwidth(topo, scope, dest, OpKind::Read, cfg)?;
+            let write = max_bandwidth(topo, scope, dest, OpKind::WriteNonTemporal, cfg)?;
+            Some(BandwidthRow {
+                scope,
+                read_gb_s: read.as_gb_per_s(),
+                write_gb_s: write.as_gb_per_s(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn scopes_scale_up_bandwidth() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let cfg = EngineConfig::deterministic();
+        let rows = table3_column(&topo, Destination::Dimms, &cfg).unwrap();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].read_gb_s > w[0].read_gb_s,
+                "read bandwidth should grow with scope: {w:?}"
+            );
+        }
+        // Reads always beat NT writes at the same scope (Table 3).
+        for r in &rows {
+            assert!(r.read_gb_s > r.write_gb_s, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cxl_column_absent_on_7302() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        assert!(table3_column(&topo, Destination::Cxl, &EngineConfig::deterministic()).is_none());
+    }
+
+    #[test]
+    fn cxl_slower_than_dram_on_9634() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let cfg = EngineConfig::deterministic();
+        let dram =
+            max_bandwidth(&topo, CoreScope::Core, Destination::Dimms, OpKind::Read, &cfg).unwrap();
+        let cxl =
+            max_bandwidth(&topo, CoreScope::Core, Destination::Cxl, OpKind::Read, &cfg).unwrap();
+        assert!(cxl.as_gb_per_s() < dram.as_gb_per_s() * 0.5);
+    }
+}

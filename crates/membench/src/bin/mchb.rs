@@ -1,0 +1,381 @@
+//! `mchb` — the micro chiplet benchmark utility, as a command-line tool.
+//!
+//! The paper's §3.1 describes a utility that "can flexibly generate
+//! different data flows ... originating from and destined to compute
+//! chiplets, memory domains, and device domains". This binary is that tool
+//! over the simulator:
+//!
+//! ```text
+//! mchb latency   --platform 9634 [--core N]
+//! mchb bandwidth --platform 7302 [--scope core|ccx|ccd|cpu] [--dest dimm|cxl]
+//! mchb loaded    --platform 9634 --scenario gmi [--op read|write]
+//! mchb compete   --platform 7302 --link gmi --d0 29.0 --d1 19.5
+//! mchb interfere --platform 9634 --domain if-intra --fg write --bg read
+//! mchb topo      --platform dual7302 [--json]
+//! ```
+//!
+//! Run `mchb help` for the full reference.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use chiplet_mem::OpKind;
+use chiplet_membench::bandwidth::{table3_column, Destination};
+use chiplet_membench::compete::{competing_flows, CompeteLink};
+use chiplet_membench::interference::{interference_sweep, InterferenceDomain};
+use chiplet_membench::latency::{chase_sweep, cxl_latency, default_working_sets, position_latencies};
+use chiplet_membench::loaded::{default_fractions, loaded_latency_sweep, LinkScenario};
+use chiplet_net::engine::EngineConfig;
+use chiplet_topology::descriptor::ChipletNetDescriptor;
+use chiplet_topology::{CoreId, NicSpec, PlatformSpec, Topology};
+
+const HELP: &str = "\
+mchb — micro chiplet benchmark utility (simulated)
+
+USAGE: mchb <command> [--key value]...
+
+COMMANDS
+  latency     pointer-chase ladder: working-set sweep, DIMM positions, CXL
+  bandwidth   peak read/write bandwidth per scope (Table 3 column)
+  loaded      latency vs offered load on one interconnect (Figure 3 panel)
+  compete     two competing flows on a shared link (Figure 4 case)
+  interfere   frontend-vs-background read/write interference (Figure 6)
+  topo        print the chiplet-net descriptor summary
+  help        this text
+
+COMMON OPTIONS
+  --platform 7302|9634|dual7302|monolithic   (default 9634)
+  --seed N                                   (default 42)
+  --stochastic                               use noisy DRAM/CXL models
+
+COMMAND OPTIONS
+  latency:    --core N
+  bandwidth:  --scope core|ccx|ccd|cpu (default: all)  --dest dimm|cxl
+  loaded:     --scenario if-intra|if-inter|gmi|plink   --op read|write
+  compete:    --link if|gmi|plink  --d0 GB/s  --d1 GB/s  --op read|write
+  interfere:  --domain if-intra|if-inter|gmi|plink  --fg read|write
+              --bg read|write
+  topo:       --json  --nic (attach a 400GbE NIC)
+";
+
+/// Minimal `--key value` argument map.
+struct Args {
+    command: String,
+    kv: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+        let _ = argv.next();
+        let items: Vec<String> = argv.collect();
+        Self::from_vec(items)
+    }
+
+    fn from_vec(items: Vec<String>) -> Result<Args, String> {
+        let mut it = items.into_iter();
+        let command = it.next().unwrap_or_else(|| "help".to_string());
+        let mut kv = HashMap::new();
+        let mut flags = Vec::new();
+        let rest: Vec<String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got '{}'", rest[i]))?
+                .to_string();
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                kv.insert(key, rest[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key);
+                i += 1;
+            }
+        }
+        Ok(Args { command, kv, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn platform(args: &Args) -> Result<PlatformSpec, String> {
+    let mut spec = match args.get("platform").unwrap_or("9634") {
+        "7302" => PlatformSpec::epyc_7302(),
+        "9634" => PlatformSpec::epyc_9634(),
+        "dual7302" => PlatformSpec::dual_epyc_7302(),
+        "monolithic" => PlatformSpec::monolithic_baseline(),
+        other => return Err(format!("unknown platform '{other}'")),
+    };
+    if args.flag("nic") {
+        spec = spec.with_nic(NicSpec::gbe400());
+    }
+    Ok(spec)
+}
+
+fn config(args: &Args) -> Result<EngineConfig, String> {
+    let mut cfg = if args.flag("stochastic") {
+        EngineConfig::default()
+    } else {
+        EngineConfig::deterministic()
+    };
+    cfg.seed = args.f64_or("seed", 42.0)? as u64;
+    Ok(cfg)
+}
+
+fn op_of(s: Option<&str>) -> Result<OpKind, String> {
+    match s.unwrap_or("read") {
+        "read" => Ok(OpKind::Read),
+        "write" => Ok(OpKind::WriteNonTemporal),
+        other => Err(format!("unknown op '{other}' (read|write)")),
+    }
+}
+
+fn cmd_latency(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let cfg = config(args)?;
+    let core = CoreId(args.f64_or("core", 0.0)? as u32);
+    println!("pointer-chase ladder from {core} on {}:", spec.name);
+    println!("{:>12}  {:>10}", "working set", "latency ns");
+    for p in chase_sweep(&topo, core, &default_working_sets(), &cfg) {
+        println!("{:>12}  {:>10.2}", p.working_set.to_string(), p.latency_ns);
+    }
+    println!("\nDIMM positions:");
+    for (pos, lat) in position_latencies(&topo, core, &cfg) {
+        println!("{pos:>12}  {lat:>10.1}");
+    }
+    if let Some(lat) = cxl_latency(&topo, core, &cfg) {
+        println!("{:>12}  {lat:>10.1}", "cxl");
+    }
+    Ok(())
+}
+
+fn cmd_bandwidth(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let cfg = config(args)?;
+    let dest = match args.get("dest").unwrap_or("dimm") {
+        "dimm" => Destination::Dimms,
+        "cxl" => Destination::Cxl,
+        other => return Err(format!("unknown dest '{other}' (dimm|cxl)")),
+    };
+    let rows = table3_column(&topo, dest, &cfg)
+        .ok_or_else(|| format!("{}: destination not present", spec.name))?;
+    let filter = args.get("scope");
+    println!("peak bandwidth on {} (GB/s, read/write):", spec.name);
+    for r in rows {
+        let name = r.scope.to_string().to_lowercase();
+        if filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        println!("{:>6}: {:>7.1} / {:<7.1}", name, r.read_gb_s, r.write_gb_s);
+    }
+    Ok(())
+}
+
+fn cmd_loaded(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let cfg = config(args)?;
+    let scenario = match args.get("scenario").unwrap_or("gmi") {
+        "if-intra" => LinkScenario::IfIntraCc,
+        "if-inter" => LinkScenario::IfInterCc,
+        "gmi" => LinkScenario::Gmi,
+        "plink" => LinkScenario::PlinkCxl,
+        other => return Err(format!("unknown scenario '{other}'")),
+    };
+    if !scenario.supported(&topo) {
+        return Err(format!("{scenario} unsupported on {}", spec.name));
+    }
+    let op = op_of(args.get("op"))?;
+    println!("{} — {scenario}, op {op}:", spec.name);
+    println!("{:>12} {:>13} {:>9} {:>9}", "offered GB/s", "achieved GB/s", "avg ns", "P999 ns");
+    for p in loaded_latency_sweep(&topo, scenario, op, &default_fractions(), &cfg) {
+        println!(
+            "{:>12.1} {:>13.1} {:>9.1} {:>9.1}",
+            p.offered_gb_s, p.achieved_gb_s, p.mean_ns, p.p999_ns
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compete(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let cfg = config(args)?;
+    let link = match args.get("link").unwrap_or("gmi") {
+        "if" => CompeteLink::IfIntraCc,
+        "gmi" => CompeteLink::Gmi,
+        "plink" => CompeteLink::PLink,
+        other => return Err(format!("unknown link '{other}' (if|gmi|plink)")),
+    };
+    if !link.supported(&topo) {
+        return Err(format!("{link} unsupported on {}", spec.name));
+    }
+    let op = op_of(args.get("op"))?;
+    let d0 = args.get("d0").map(|v| v.parse().map_err(|_| "--d0: bad number".to_string())).transpose()?;
+    let d1 = args.get("d1").map(|v| v.parse().map_err(|_| "--d1: bad number".to_string())).transpose()?;
+    let out = competing_flows(&topo, link, d0, d1, op, &cfg);
+    println!(
+        "{} — {link} (capacity ~{:.1} GB/s):",
+        spec.name,
+        link.capacity_gb_s(&topo)
+    );
+    let req = |d: Option<f64>| d.map_or("max".to_string(), |v| format!("{v:.1}"));
+    println!(
+        "flow0: requested {:>6}, achieved {:.1} GB/s",
+        req(out.requested0_gb_s),
+        out.achieved0_gb_s
+    );
+    println!(
+        "flow1: requested {:>6}, achieved {:.1} GB/s",
+        req(out.requested1_gb_s),
+        out.achieved1_gb_s
+    );
+    Ok(())
+}
+
+fn cmd_interfere(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let cfg = config(args)?;
+    let domain = match args.get("domain").unwrap_or("gmi") {
+        "if-intra" => InterferenceDomain::IfIntraCc,
+        "if-inter" => InterferenceDomain::IfInterCc,
+        "gmi" => InterferenceDomain::Gmi,
+        "plink" => InterferenceDomain::PLink,
+        other => return Err(format!("unknown domain '{other}'")),
+    };
+    if !domain.supported(&topo) {
+        return Err(format!("{domain} unsupported on {}", spec.name));
+    }
+    let fg = op_of(args.get("fg"))?;
+    let bg = op_of(args.get("bg"))?;
+    let loads = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, f64::INFINITY];
+    println!("{} — {domain}: frontend {fg} vs background {bg}:", spec.name);
+    println!("{:>11} {:>12} {:>11}", "bg offered", "bg achieved", "X achieved");
+    for p in interference_sweep(&topo, domain, fg, bg, &loads, &cfg) {
+        let off = if p.bg_offered_gb_s.is_finite() {
+            format!("{:.1}", p.bg_offered_gb_s)
+        } else {
+            "max".to_string()
+        };
+        println!("{off:>11} {:>12.1} {:>11.1}", p.bg_achieved_gb_s, p.fg_achieved_gb_s);
+    }
+    Ok(())
+}
+
+fn cmd_topo(args: &Args) -> Result<(), String> {
+    let spec = platform(args)?;
+    let topo = Topology::build(&spec);
+    let desc = ChipletNetDescriptor::from_topology(&topo);
+    if args.flag("json") {
+        println!("{}", desc.to_json());
+    } else {
+        println!("{}: {} — {} nodes, {} links, {} capacity points", spec.name,
+            desc.microarchitecture, desc.nodes.len(), desc.links.len(),
+            desc.capacity_point_count());
+        println!(
+            "cores {}, CCDs {}, UMCs {}, CXL {}, NICs {}, sockets {}",
+            topo.core_count(),
+            topo.ccd_total(),
+            topo.dimm_count(),
+            topo.cxl_device_count(),
+            topo.nic_count(),
+            topo.socket_count()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mchb: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "latency" => cmd_latency(&args),
+        "bandwidth" => cmd_bandwidth(&args),
+        "loaded" => cmd_loaded(&args),
+        "compete" => cmd_compete(&args),
+        "interfere" => cmd_interfere(&args),
+        "topo" => cmd_topo(&args),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mchb: {e}\nrun `mchb help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> Args {
+        Args::from_vec(items.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn parses_kv_and_flags() {
+        let a = args(&["compete", "--link", "gmi", "--d0", "29.2", "--json"]);
+        assert_eq!(a.command, "compete");
+        assert_eq!(a.get("link"), Some("gmi"));
+        assert_eq!(a.f64_or("d0", 0.0).unwrap(), 29.2);
+        assert!(a.flag("json"));
+        assert!(!a.flag("nic"));
+    }
+
+    #[test]
+    fn empty_argv_means_help() {
+        let a = Args::from_vec(Vec::new()).unwrap();
+        assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        assert!(Args::from_vec(vec!["latency".into(), "oops".into()]).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = args(&["compete", "--d0", "not-a-number"]);
+        assert!(a.f64_or("d0", 0.0).is_err());
+    }
+
+    #[test]
+    fn platform_selection() {
+        for (name, cores) in [("7302", 16u32), ("9634", 84), ("dual7302", 32)] {
+            let a = args(&["topo", "--platform", name]);
+            let spec = platform(&a).unwrap();
+            let topo = Topology::build(&spec);
+            assert_eq!(topo.core_count(), cores, "{name}");
+        }
+        let a = args(&["topo", "--platform", "z80"]);
+        assert!(platform(&a).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Two-flow bandwidth partitioning (Figure 4).
+//!
+//! "We launch two competing flows at different links, use NOP instructions
+//! to control their requested bandwidth, and see how much bandwidth each
+//! flow achieves." The harness splits a contention domain's cores between
+//! two flows and reports each flow's achieved bandwidth.
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{CcdId, CoreId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The shared link two competing flows contend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompeteLink {
+    /// Both flows inside one CCX: the Infinity Fabric / CCX limiter.
+    IfIntraCc,
+    /// Both flows on one CCD (different CCXs where available): the GMI.
+    Gmi,
+    /// Two CCDs driving the CXL device: the P-Link.
+    PLink,
+}
+
+impl CompeteLink {
+    /// Core sets for the two flows.
+    pub fn split_cores(self, topo: &Topology) -> (Vec<CoreId>, Vec<CoreId>) {
+        match self {
+            CompeteLink::IfIntraCc => {
+                let cores: Vec<CoreId> = topo.cores_of_ccx(0).collect();
+                let mid = cores.len() / 2;
+                (cores[..mid].to_vec(), cores[mid..].to_vec())
+            }
+            CompeteLink::Gmi => {
+                let cores: Vec<CoreId> = topo.cores_of_ccd(CcdId(0)).collect();
+                let mid = cores.len() / 2;
+                (cores[..mid].to_vec(), cores[mid..].to_vec())
+            }
+            CompeteLink::PLink => {
+                // Three chiplets per flow: a single CCD's CXL port (~24
+                // GB/s) cannot contend on the ~88 GB/s P-Link aggregate.
+                let per_flow = (topo.spec().ccd_count / 2).clamp(1, 3);
+                let grab = |from: u32| -> Vec<CoreId> {
+                    (from..from + per_flow)
+                        .flat_map(|c| topo.cores_of_ccd(CcdId(c)).collect::<Vec<_>>())
+                        .collect()
+                };
+                (grab(0), grab(per_flow))
+            }
+        }
+    }
+
+    /// The two flows' destination.
+    pub fn target(self, topo: &Topology) -> Target {
+        match self {
+            CompeteLink::PLink => Target::Cxl(0),
+            _ => Target::all_dimms(topo),
+        }
+    }
+
+    /// The shared read-direction capacity, GB/s (the Figure 4 y-scale).
+    pub fn capacity_gb_s(self, topo: &Topology) -> f64 {
+        let spec = topo.spec();
+        match self {
+            CompeteLink::IfIntraCc => spec.caps.ccx_read.as_gb_per_s(),
+            CompeteLink::Gmi => spec.caps.gmi_read.as_gb_per_s(),
+            CompeteLink::PLink => spec
+                .cxl
+                .as_ref()
+                .expect("P-Link competition requires CXL")
+                .plink_read
+                .as_gb_per_s(),
+        }
+    }
+
+    /// Platform support check.
+    pub fn supported(self, topo: &Topology) -> bool {
+        match self {
+            CompeteLink::PLink => topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2,
+            // (each P-Link flow uses up to three chiplets; two suffice)
+            CompeteLink::IfIntraCc => topo.spec().cores_per_ccx >= 2,
+            CompeteLink::Gmi => topo.spec().cores_per_ccd() >= 2,
+        }
+    }
+}
+
+impl core::fmt::Display for CompeteLink {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            CompeteLink::IfIntraCc => "IF (intra-CC)",
+            CompeteLink::Gmi => "GMI",
+            CompeteLink::PLink => "P-Link/CXL",
+        })
+    }
+}
+
+/// Result of one competition run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompetitionOutcome {
+    /// Flow 0's requested bandwidth, GB/s (`None` = unthrottled).
+    pub requested0_gb_s: Option<f64>,
+    /// Flow 1's requested bandwidth.
+    pub requested1_gb_s: Option<f64>,
+    /// Flow 0's achieved bandwidth, GB/s.
+    pub achieved0_gb_s: f64,
+    /// Flow 1's achieved bandwidth, GB/s.
+    pub achieved1_gb_s: f64,
+}
+
+/// Runs two competing flows with the given demands (GB/s; `None` =
+/// unthrottled) over a shared link.
+pub fn competing_flows(
+    topo: &Topology,
+    link: CompeteLink,
+    demand0: Option<f64>,
+    demand1: Option<f64>,
+    op: OpKind,
+    cfg: &EngineConfig,
+) -> CompetitionOutcome {
+    assert!(link.supported(topo), "{link} unsupported on platform");
+    let (cores0, cores1) = link.split_cores(topo);
+    let target = link.target(topo);
+    let mut engine = Engine::new(topo, cfg.clone());
+    for (name, cores, demand) in [("flow0", cores0, demand0), ("flow1", cores1, demand1)] {
+        let mut b = FlowSpec::reads(name, cores, target.clone())
+            .op(op)
+            .working_set(ByteSize::from_gib(1));
+        if let Some(gb) = demand {
+            b = b.offered(Bandwidth::from_gb_per_s(gb));
+        }
+        engine.add_flow(b.build(topo));
+    }
+    let r = engine.run(SimTime::from_micros(80));
+    CompetitionOutcome {
+        requested0_gb_s: demand0,
+        requested1_gb_s: demand1,
+        achieved0_gb_s: r.flows[0].achieved.as_gb_per_s(),
+        achieved1_gb_s: r.flows[1].achieved.as_gb_per_s(),
+    }
+}
+
+/// The paper's four Figure 4 cases for a link of capacity `c` GB/s:
+/// under-subscribed; one small; equal demands; both big but unequal.
+/// Returns `(case_name, demand0, demand1)`.
+pub fn figure4_cases(c: f64) -> [(&'static str, f64, f64); 4] {
+    [
+        ("case1: under-subscribed", 0.30 * c, 0.40 * c),
+        ("case2: one small", 0.25 * c, 0.90 * c),
+        ("case3: equal demands", 0.75 * c, 0.75 * c),
+        ("case4: unequal demands", 0.90 * c, 0.60 * c),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn case3_equal_demands_split_evenly_on_gmi() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let c = CompeteLink::Gmi.capacity_gb_s(&topo);
+        let out = competing_flows(
+            &topo,
+            CompeteLink::Gmi,
+            Some(0.75 * c),
+            Some(0.75 * c),
+            OpKind::Read,
+            &EngineConfig::deterministic(),
+        );
+        let ratio = out.achieved0_gb_s / out.achieved1_gb_s;
+        assert!((0.85..=1.15).contains(&ratio), "ratio {ratio}");
+        assert!(out.achieved0_gb_s + out.achieved1_gb_s > 0.9 * c);
+    }
+
+    #[test]
+    fn case4_aggressive_sender_wins_on_gmi() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let c = CompeteLink::Gmi.capacity_gb_s(&topo);
+        let out = competing_flows(
+            &topo,
+            CompeteLink::Gmi,
+            Some(0.90 * c),
+            Some(0.60 * c),
+            OpKind::Read,
+            &EngineConfig::deterministic(),
+        );
+        assert!(
+            out.achieved0_gb_s > c / 2.0 + 0.5,
+            "aggressive flow should beat the equal share: {out:?}"
+        );
+        assert!(out.achieved0_gb_s > out.achieved1_gb_s * 1.1, "{out:?}");
+    }
+
+    #[test]
+    fn plink_competition_on_9634() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        assert!(CompeteLink::PLink.supported(&topo));
+        let out = competing_flows(
+            &topo,
+            CompeteLink::PLink,
+            None,
+            None,
+            OpKind::Read,
+            &EngineConfig::deterministic(),
+        );
+        // Two unthrottled CCDs cap at their per-CCD CXL ports (~24 GB/s
+        // each), sharing evenly.
+        let ratio = out.achieved0_gb_s / out.achieved1_gb_s;
+        assert!((0.85..=1.15).contains(&ratio), "{out:?}");
+    }
+
+    #[test]
+    fn figure4_case_demands_are_sane() {
+        for (name, d0, d1) in figure4_cases(30.0) {
+            assert!(d0 > 0.0 && d1 > 0.0, "{name}");
+        }
+        let (name, d0, d1) = figure4_cases(30.0)[0];
+        assert!(d0 + d1 < 30.0, "{name} must be under-subscribed");
+        let (_, d0, d1) = figure4_cases(30.0)[3];
+        assert!(d0 + d1 > 30.0 && d0 > 15.0 && d1 > 15.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Read/write interference sweeps (Figure 6).
+//!
+//! "We run a frontend stream X at max rate, vary the traffic load of the
+//! background one Y, and report how much bandwidth X achieves (X-Y)." Four
+//! combinations (read/write × read/write) per contention domain; the paper
+//! observes interference only once a link direction — or the shared
+//! chiplet limiter — saturates.
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{CcdId, CoreId, DimmId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The contention domain of a Figure 6 panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterferenceDomain {
+    /// X and Y inside one CCX: shared IF direction and shared limiter
+    /// tokens.
+    IfIntraCc,
+    /// X and Y on different CCDs targeting the *same* DIMM pair: shared
+    /// UMC channels across the I/O die.
+    IfInterCc,
+    /// X and Y on one CCD: shared GMI.
+    Gmi,
+    /// X and Y on different CCDs targeting CXL: shared P-Link.
+    PLink,
+}
+
+impl InterferenceDomain {
+    /// Core split and target for (X, Y).
+    fn setup(self, topo: &Topology) -> (Vec<CoreId>, Vec<CoreId>, Target, Target) {
+        match self {
+            InterferenceDomain::IfIntraCc => {
+                let cores: Vec<CoreId> = topo.cores_of_ccx(0).collect();
+                let mid = cores.len() / 2;
+                let t = Target::all_dimms(topo);
+                (cores[..mid].to_vec(), cores[mid..].to_vec(), t.clone(), t)
+            }
+            InterferenceDomain::IfInterCc => {
+                // Shared destination: one DIMM, so the two chiplets contend
+                // on a path segment (the UMC channel) the way the paper's
+                // cross-CC streams contend on a shared I/O-die segment.
+                let shared = Target::dimm(DimmId(0));
+                (
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    topo.cores_of_ccd(CcdId(1)).collect(),
+                    shared.clone(),
+                    shared,
+                )
+            }
+            InterferenceDomain::Gmi => {
+                let cores: Vec<CoreId> = topo.cores_of_ccd(CcdId(0)).collect();
+                let mid = cores.len() / 2;
+                let t = Target::all_dimms(topo);
+                (cores[..mid].to_vec(), cores[mid..].to_vec(), t.clone(), t)
+            }
+            InterferenceDomain::PLink => {
+                // Three chiplets per stream: one CCD's CXL port (~24 GB/s)
+                // cannot saturate the ~88 GB/s P-Link aggregate.
+                let per = (topo.spec().ccd_count / 2).clamp(1, 3);
+                let grab = |from: u32| -> Vec<CoreId> {
+                    (from..from + per)
+                        .flat_map(|c| topo.cores_of_ccd(CcdId(c)).collect::<Vec<_>>())
+                        .collect()
+                };
+                (grab(0), grab(per), Target::Cxl(0), Target::Cxl(0))
+            }
+        }
+    }
+
+    /// Platform support check.
+    pub fn supported(self, topo: &Topology) -> bool {
+        match self {
+            InterferenceDomain::PLink => {
+                topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2
+            }
+            InterferenceDomain::IfInterCc => topo.spec().ccd_count >= 2,
+            InterferenceDomain::IfIntraCc => topo.spec().cores_per_ccx >= 2,
+            InterferenceDomain::Gmi => topo.spec().cores_per_ccd() >= 2,
+        }
+    }
+}
+
+impl core::fmt::Display for InterferenceDomain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            InterferenceDomain::IfIntraCc => "IF (intra-CC)",
+            InterferenceDomain::IfInterCc => "IF (inter-CC)",
+            InterferenceDomain::Gmi => "GMI",
+            InterferenceDomain::PLink => "P-Link/CXL",
+        })
+    }
+}
+
+/// One point of an interference sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferencePoint {
+    /// Background offered load, GB/s.
+    pub bg_offered_gb_s: f64,
+    /// Frontend achieved bandwidth, GB/s.
+    pub fg_achieved_gb_s: f64,
+    /// Background achieved bandwidth, GB/s.
+    pub bg_achieved_gb_s: f64,
+}
+
+/// Runs the frontend at max rate against a swept background. A background
+/// load of `0.0` disables the background; `f64::INFINITY` runs it
+/// unthrottled.
+pub fn interference_sweep(
+    topo: &Topology,
+    domain: InterferenceDomain,
+    fg_op: OpKind,
+    bg_op: OpKind,
+    bg_loads_gb_s: &[f64],
+    cfg: &EngineConfig,
+) -> Vec<InterferencePoint> {
+    assert!(domain.supported(topo), "{domain} unsupported on platform");
+    let (fg_cores, bg_cores, fg_target, bg_target) = domain.setup(topo);
+    bg_loads_gb_s
+        .iter()
+        .map(|&bg| {
+            let mut engine = Engine::new(topo, cfg.clone());
+            engine.add_flow(
+                FlowSpec::reads("frontend", fg_cores.clone(), fg_target.clone())
+                    .op(fg_op)
+                    .working_set(ByteSize::from_gib(1))
+                    .build(topo),
+            );
+            let mut b = FlowSpec::reads("background", bg_cores.clone(), bg_target.clone())
+                .op(bg_op)
+                .working_set(ByteSize::from_gib(1));
+            if bg == 0.0 {
+                b = b.stop(SimTime::ZERO); // zero background: never issues
+            } else if bg.is_finite() {
+                b = b.offered(Bandwidth::from_gb_per_s(bg));
+            } // infinite background: unthrottled (the paper's onset regime)
+            engine.add_flow(b.build(topo));
+            let r = engine.run(SimTime::from_micros(80));
+            InterferencePoint {
+                bg_offered_gb_s: bg,
+                fg_achieved_gb_s: r.flows[0].achieved.as_gb_per_s(),
+                bg_achieved_gb_s: r.flows[1].achieved.as_gb_per_s(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn zero_background_means_no_interference() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let pts = interference_sweep(
+            &topo,
+            InterferenceDomain::Gmi,
+            OpKind::Read,
+            OpKind::Read,
+            &[0.0],
+            &EngineConfig::deterministic(),
+        );
+        assert_eq!(pts[0].bg_achieved_gb_s, 0.0);
+        assert!(pts[0].fg_achieved_gb_s > 25.0);
+    }
+
+    #[test]
+    fn read_background_degrades_read_frontend_at_gmi() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let pts = interference_sweep(
+            &topo,
+            InterferenceDomain::Gmi,
+            OpKind::Read,
+            OpKind::Read,
+            &[0.0, 5.0, 15.0],
+            &EngineConfig::deterministic(),
+        );
+        assert!(
+            pts[2].fg_achieved_gb_s < pts[0].fg_achieved_gb_s - 3.0,
+            "frontend should lose bandwidth: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn write_background_spares_read_frontend_on_separate_direction() {
+        // Cross-CCD flows share only UMCs; a modest write background on the
+        // write direction barely moves a read frontend.
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let pts = interference_sweep(
+            &topo,
+            InterferenceDomain::IfInterCc,
+            OpKind::Read,
+            OpKind::WriteNonTemporal,
+            &[0.0, 10.0],
+            &EngineConfig::deterministic(),
+        );
+        let drop = pts[0].fg_achieved_gb_s - pts[1].fg_achieved_gb_s;
+        assert!(
+            drop < pts[0].fg_achieved_gb_s * 0.1,
+            "direction isolation violated: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn intra_cc_read_background_starves_writes() {
+        // The shared CCX limiter: a saturating read stream steals the write
+        // frontend's tokens (the paper's within-CC asymmetry).
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let pts = interference_sweep(
+            &topo,
+            InterferenceDomain::IfIntraCc,
+            OpKind::WriteNonTemporal,
+            OpKind::Read,
+            &[0.0, f64::INFINITY],
+            &EngineConfig::deterministic(),
+        );
+        assert!(
+            pts[1].fg_achieved_gb_s < pts[0].fg_achieved_gb_s * 0.9,
+            "a saturating read background should squeeze the write \
+             frontend through the shared limiter: {pts:?}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Pointer-chase latency probes (the Table 2 methodology).
+
+use chiplet_net::engine::{pointer_chase_latency_ns, Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{ByteSize, SimTime};
+use chiplet_topology::{CoreId, DimmPosition, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One point of a chase sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChasePoint {
+    /// Working-set size.
+    pub working_set: ByteSize,
+    /// Mean access latency, ns.
+    pub latency_ns: f64,
+}
+
+/// Pointer-chase latency as the working set grows — walks L1 → L2 → L3 →
+/// DRAM exactly like the paper's utility.
+pub fn chase_sweep(
+    topo: &Topology,
+    core: CoreId,
+    working_sets: &[ByteSize],
+    cfg: &EngineConfig,
+) -> Vec<ChasePoint> {
+    let dimm = topo
+        .dimm_at_position(core, DimmPosition::Near)
+        .expect("platform has a near DIMM");
+    working_sets
+        .iter()
+        .map(|&ws| ChasePoint {
+            working_set: ws,
+            latency_ns: pointer_chase_latency_ns(topo, core, dimm, ws, cfg.clone()),
+        })
+        .collect()
+}
+
+/// The default working-set ladder: 16 KiB to 1 GiB.
+pub fn default_working_sets() -> Vec<ByteSize> {
+    [
+        16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+    ]
+    .iter()
+    .map(|&k| ByteSize::from_kib(k))
+    .chain([ByteSize::from_gib(1)])
+    .collect()
+}
+
+/// Chase latency to a DIMM at each relative position (Table 2's
+/// near/vertical/horizontal/diagonal rows), ns.
+pub fn position_latencies(
+    topo: &Topology,
+    core: CoreId,
+    cfg: &EngineConfig,
+) -> Vec<(DimmPosition, f64)> {
+    DimmPosition::ALL
+        .iter()
+        .filter_map(|&pos| {
+            let dimm = topo.dimm_at_position(core, pos)?;
+            Some((
+                pos,
+                pointer_chase_latency_ns(topo, core, dimm, ByteSize::from_gib(1), cfg.clone()),
+            ))
+        })
+        .collect()
+}
+
+/// Chase latency to a CXL device, ns, when the platform has one.
+pub fn cxl_latency(topo: &Topology, core: CoreId, cfg: &EngineConfig) -> Option<f64> {
+    if topo.cxl_device_count() == 0 {
+        return None;
+    }
+    let mut engine = Engine::new(topo, cfg.clone());
+    engine.add_flow(
+        FlowSpec::pointer_chase("cxl-chase", core, Target::Cxl(0))
+            .working_set(ByteSize::from_gib(1))
+            .build(topo),
+    );
+    let result = engine.run(SimTime::from_micros(30));
+    Some(result.flows[0].mean_latency_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn sweep_is_monotone_in_working_set() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let pts = chase_sweep(
+            &topo,
+            CoreId(0),
+            &default_working_sets(),
+            &EngineConfig::deterministic(),
+        );
+        for w in pts.windows(2) {
+            assert!(
+                w[1].latency_ns >= w[0].latency_ns - 1e-9,
+                "latency regressed: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Ends at DRAM latency, starts at L1.
+        assert!((pts[0].latency_ns - 1.24).abs() < 1e-6);
+        assert!(pts.last().unwrap().latency_ns > 120.0);
+    }
+
+    #[test]
+    fn position_rows_present_and_ordered() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let rows = position_latencies(&topo, CoreId(0), &EngineConfig::deterministic());
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].1 <= rows[1].1 && rows[1].1 <= rows[2].1);
+    }
+
+    #[test]
+    fn cxl_latency_only_on_cxl_platforms() {
+        let t7302 = Topology::build(&PlatformSpec::epyc_7302());
+        assert!(cxl_latency(&t7302, CoreId(0), &EngineConfig::deterministic()).is_none());
+        let t9634 = Topology::build(&PlatformSpec::epyc_9634());
+        let lat = cxl_latency(&t9634, CoreId(0), &EngineConfig::deterministic()).unwrap();
+        assert!((lat - 243.0).abs() < 12.0, "cxl {lat}");
+    }
+}

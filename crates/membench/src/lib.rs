@@ -1,0 +1,36 @@
+//! # chiplet-membench
+//!
+//! The paper's characterization utility, reimplemented over the simulator.
+//!
+//! §3.1: "We developed a micro benchmark utility (like PMBW) that can
+//! flexibly generate different data flows (such as one or multiple
+//! concurrent cachelines, random/sequential read/write access patterns, and
+//! temporal or non-temporal writes) over a size-configurable working set,
+//! originating from and destined to compute chiplets, memory domains, and
+//! device domains across the chiplet networking subsystem."
+//!
+//! Each probe stands up an engine run and reduces it to the rows the
+//! paper's tables and figures report:
+//!
+//! * [`latency::chase_sweep`] — pointer-chase latency vs working set
+//!   (Table 2's methodology);
+//! * [`bandwidth::max_bandwidth`] — peak read/write bandwidth from a core
+//!   scope to a destination (Table 3);
+//! * [`loaded::loaded_latency_sweep`] — average + P999 latency vs offered
+//!   load (Figure 3);
+//! * [`compete::competing_flows`] — two-flow bandwidth partitioning
+//!   (Figure 4);
+//! * [`interference::interference_sweep`] — frontend-vs-background
+//!   read/write interference (Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod compete;
+pub mod interference;
+pub mod latency;
+pub mod loaded;
+pub mod scope;
+
+pub use scope::CoreScope;

@@ -1,0 +1,206 @@
+//! Loaded-latency sweeps (Figure 3).
+//!
+//! The paper varies a link's offered load with NOP-controlled request rates
+//! and reports average and P999 latency. A [`LinkScenario`] picks which
+//! interconnect the traffic exercises; the sweep paces the issuing cores at
+//! each offered load and reads the latency distribution back.
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_topology::{CcdId, CoreId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which interconnect a Figure 3 panel exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkScenario {
+    /// Traffic from one CCX: bounded by the Infinity Fabric / CCX limiter
+    /// (Figure 3 a/b).
+    IfIntraCc,
+    /// Traffic from two compute chiplets: the inter-CC Infinity Fabric case
+    /// (Figure 3 c).
+    IfInterCc,
+    /// Traffic from one whole CCD: bounded by its GMI link (Figure 3 d/e).
+    Gmi,
+    /// Traffic to the CXL device over the P-Link (Figure 3 f).
+    PlinkCxl,
+}
+
+impl LinkScenario {
+    /// The issuing cores for this scenario.
+    pub fn cores(self, topo: &Topology) -> Vec<CoreId> {
+        match self {
+            LinkScenario::IfIntraCc => topo.cores_of_ccx(0).collect(),
+            LinkScenario::IfInterCc => topo
+                .cores_of_ccd(CcdId(0))
+                .chain(topo.cores_of_ccd(CcdId(1)))
+                .collect(),
+            LinkScenario::Gmi => topo.cores_of_ccd(CcdId(0)).collect(),
+            // P-Link: enough chiplets to saturate the aggregate CXL path.
+            LinkScenario::PlinkCxl => (0..topo.spec().ccd_count.min(6))
+                .flat_map(|c| topo.cores_of_ccd(CcdId(c)).collect::<Vec<_>>())
+                .collect(),
+        }
+    }
+
+    /// The destination for this scenario.
+    pub fn target(self, topo: &Topology) -> Target {
+        match self {
+            LinkScenario::PlinkCxl => Target::Cxl(0),
+            _ => Target::all_dimms(topo),
+        }
+    }
+
+    /// The nominal capacity the sweep spans, in the given direction.
+    pub fn nominal_cap(self, topo: &Topology, op: OpKind) -> Bandwidth {
+        let spec = topo.spec();
+        let write = op.is_write();
+        match self {
+            LinkScenario::IfIntraCc => {
+                if write {
+                    spec.caps.ccx_write
+                } else {
+                    spec.caps.ccx_read
+                }
+            }
+            LinkScenario::IfInterCc => {
+                // Two chiplets: twice the per-CCD capacity.
+                let per = if write {
+                    spec.caps.gmi_write
+                } else {
+                    spec.caps.gmi_read
+                };
+                Bandwidth::from_gb_per_s(per.as_gb_per_s() * 2.0)
+            }
+            LinkScenario::Gmi => {
+                if write {
+                    spec.caps.gmi_write
+                } else {
+                    spec.caps.gmi_read
+                }
+            }
+            LinkScenario::PlinkCxl => {
+                let cxl = spec.cxl.as_ref().expect("scenario requires CXL");
+                if write {
+                    cxl.plink_write
+                } else {
+                    cxl.plink_read
+                }
+            }
+        }
+    }
+
+    /// True when the platform supports the scenario.
+    pub fn supported(self, topo: &Topology) -> bool {
+        match self {
+            LinkScenario::PlinkCxl => topo.cxl_device_count() > 0,
+            LinkScenario::IfInterCc => topo.spec().ccd_count >= 2,
+            _ => true,
+        }
+    }
+}
+
+impl core::fmt::Display for LinkScenario {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            LinkScenario::IfIntraCc => "IF (intra-CC)",
+            LinkScenario::IfInterCc => "IF (inter-CC)",
+            LinkScenario::Gmi => "GMI",
+            LinkScenario::PlinkCxl => "P-Link/CXL",
+        })
+    }
+}
+
+/// One point of a loaded-latency curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load, GB/s.
+    pub offered_gb_s: f64,
+    /// Achieved bandwidth, GB/s.
+    pub achieved_gb_s: f64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// P999 latency, ns.
+    pub p999_ns: f64,
+}
+
+/// Sweeps offered load over `fractions` of the scenario's nominal capacity
+/// and returns one latency point per load.
+pub fn loaded_latency_sweep(
+    topo: &Topology,
+    scenario: LinkScenario,
+    op: OpKind,
+    fractions: &[f64],
+    cfg: &EngineConfig,
+) -> Vec<LoadPoint> {
+    assert!(scenario.supported(topo), "{scenario} unsupported on platform");
+    let cap = scenario.nominal_cap(topo, op).as_gb_per_s();
+    fractions
+        .iter()
+        .map(|&frac| {
+            let offered = cap * frac;
+            let mut engine = Engine::new(topo, cfg.clone());
+            engine.add_flow(
+                FlowSpec::reads("loaded", scenario.cores(topo), scenario.target(topo))
+                    .op(op)
+                    .offered(Bandwidth::from_gb_per_s(offered))
+                    .working_set(ByteSize::from_gib(1))
+                    .build(topo),
+            );
+            let r = engine.run(SimTime::from_micros(120));
+            let f = &r.flows[0];
+            LoadPoint {
+                offered_gb_s: offered,
+                achieved_gb_s: f.achieved.as_gb_per_s(),
+                mean_ns: f.mean_latency_ns(),
+                p999_ns: f.p999_latency_ns(),
+            }
+        })
+        .collect()
+}
+
+/// The default load grid: 10%–100% of nominal capacity.
+pub fn default_fractions() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn gmi_curve_shape_7302() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let pts = loaded_latency_sweep(
+            &topo,
+            LinkScenario::Gmi,
+            OpKind::Read,
+            &[0.2, 0.95],
+            &EngineConfig::default(),
+        );
+        // Latency grows toward saturation; achieved tracks offered at low
+        // load.
+        assert!(pts[1].mean_ns > pts[0].mean_ns);
+        assert!((pts[0].achieved_gb_s - pts[0].offered_gb_s).abs() < 1.0);
+        // Low-load tail reflects DRAM variability (paper: ~470 ns).
+        assert!(pts[0].p999_ns > 300.0, "p999 {}", pts[0].p999_ns);
+    }
+
+    #[test]
+    fn plink_scenario_needs_cxl() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        assert!(!LinkScenario::PlinkCxl.supported(&topo));
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        assert!(LinkScenario::PlinkCxl.supported(&topo));
+    }
+
+    #[test]
+    fn scenario_core_counts() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        assert_eq!(LinkScenario::IfIntraCc.cores(&topo).len(), 2);
+        assert_eq!(LinkScenario::IfInterCc.cores(&topo).len(), 8);
+        assert_eq!(LinkScenario::Gmi.cores(&topo).len(), 4);
+    }
+}

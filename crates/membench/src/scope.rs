@@ -1,0 +1,84 @@
+//! Core scopes: the paper's "from a core / CCX / CCD / CPU" rows.
+
+use chiplet_topology::{CcdId, CoreId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which cores a probe issues from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreScope {
+    /// One core (core 0 of the chosen CCD).
+    Core,
+    /// All cores of one CCX (CCX 0 of the chosen CCD).
+    Ccx,
+    /// All cores of one CCD.
+    Ccd,
+    /// Every core on the socket.
+    Cpu,
+}
+
+impl CoreScope {
+    /// The four scopes in Table 3 order.
+    pub const ALL: [CoreScope; 4] = [
+        CoreScope::Core,
+        CoreScope::Ccx,
+        CoreScope::Ccd,
+        CoreScope::Cpu,
+    ];
+
+    /// Resolves the scope to concrete cores, anchored at `ccd`.
+    pub fn cores(self, topo: &Topology, ccd: CcdId) -> Vec<CoreId> {
+        let spec = topo.spec();
+        match self {
+            CoreScope::Core => vec![CoreId(ccd.0 * spec.cores_per_ccd())],
+            CoreScope::Ccx => {
+                let ccx = ccd.0 * spec.ccx_per_ccd;
+                topo.cores_of_ccx(ccx).collect()
+            }
+            CoreScope::Ccd => topo.cores_of_ccd(ccd).collect(),
+            CoreScope::Cpu => topo.core_ids().collect(),
+        }
+    }
+}
+
+impl core::fmt::Display for CoreScope {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            CoreScope::Core => "Core",
+            CoreScope::Ccx => "CCX",
+            CoreScope::Ccd => "CCD",
+            CoreScope::Cpu => "CPU",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn scope_sizes_on_7302() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        assert_eq!(CoreScope::Core.cores(&topo, CcdId(0)).len(), 1);
+        assert_eq!(CoreScope::Ccx.cores(&topo, CcdId(0)).len(), 2);
+        assert_eq!(CoreScope::Ccd.cores(&topo, CcdId(0)).len(), 4);
+        assert_eq!(CoreScope::Cpu.cores(&topo, CcdId(0)).len(), 16);
+    }
+
+    #[test]
+    fn scope_anchors_at_the_requested_ccd() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let cores = CoreScope::Ccd.cores(&topo, CcdId(2));
+        assert!(cores.iter().all(|c| topo.ccd_of_core(*c) == CcdId(2)));
+        assert_eq!(CoreScope::Core.cores(&topo, CcdId(2)), vec![CoreId(8)]);
+    }
+
+    #[test]
+    fn scope_sizes_on_9634() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        // One CCX per CCD on Zen 4: CCX and CCD scopes coincide.
+        assert_eq!(CoreScope::Ccx.cores(&topo, CcdId(0)).len(), 7);
+        assert_eq!(CoreScope::Ccd.cores(&topo, CcdId(0)).len(), 7);
+        assert_eq!(CoreScope::Cpu.cores(&topo, CcdId(0)).len(), 84);
+    }
+}

@@ -1,0 +1,43 @@
+//! # chiplet-noc
+//!
+//! A flit-level network-on-chip simulator for the I/O die.
+//!
+//! §2.3 of the paper: "the first level is the network-on-chip (NoC) in an
+//! I/O chiplet, employing a Mesh, Torus, Cube, or Dragonfly topology ... The
+//! network contains different switches or routers that use either bufferless
+//! or buffered routing protocols."
+//!
+//! This crate simulates that first level at flit granularity, cycle by
+//! cycle:
+//!
+//! * [`NocConfig`] — topology ([`NocTopology::Mesh`] / [`NocTopology::Torus`])
+//!   and router microarchitecture ([`Routing::BufferedXY`] with input queues
+//!   and credit flow control, or [`Routing::Deflection`] — bufferless,
+//!   age-prioritized, BLESS-style, the design the paper cites via
+//!   Moscibroda & Mutlu);
+//! * [`NocSim`] — the cycle-driven engine with flit injection, routing,
+//!   arbitration, and ejection;
+//! * [`pattern`] — synthetic traffic (uniform random, transpose, hotspot,
+//!   neighbor) with configurable injection rate;
+//! * [`NocStats`] — delivered throughput, latency distribution, deflection
+//!   and stall counters.
+//!
+//! Packets are single flits (the convention of the bufferless-routing
+//! literature): the paper's transaction layer moves cacheline- or
+//! FLIT-granularity units, each of which maps to one NoC flit here. The main
+//! chiplet-net engine models the I/O die with calibrated per-hop constants;
+//! this crate exists to *study* the I/O-die fabric itself (ablation benches
+//! sweep topology and routing discipline) and to validate those constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod pattern;
+pub mod sim;
+pub mod stats;
+
+pub use config::{NocConfig, NocTopology, Routing};
+pub use pattern::TrafficPattern;
+pub use sim::NocSim;
+pub use stats::NocStats;

@@ -1,0 +1,137 @@
+//! Synthetic traffic patterns.
+//!
+//! The standard NoC evaluation workloads: each source draws destinations
+//! from a pattern-specific distribution at a configurable injection rate.
+
+use chiplet_sim::DetRng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::NocTopology;
+
+/// A destination-selection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Uniform random over all other routers.
+    UniformRandom,
+    /// Transpose: router (x, y) sends to (y, x) (requires square grids;
+    /// diagonal routers draw uniformly).
+    Transpose,
+    /// All routers send to one hotspot router with the given id.
+    Hotspot {
+        /// The hotspot destination.
+        target: usize,
+    },
+    /// Nearest-neighbor ring order: router i sends to i+1 (mod N).
+    Neighbor,
+}
+
+impl TrafficPattern {
+    /// Picks a destination for a flit injected at `src`.
+    pub fn destination(self, src: usize, topo: NocTopology, rng: &mut DetRng) -> usize {
+        let n = topo.node_count();
+        match self {
+            TrafficPattern::UniformRandom => {
+                // Uniform over the other n-1 routers.
+                let mut d = rng.next_below(n as u64 - 1) as usize;
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Transpose => {
+                let (x, y) = topo.coords_of(src);
+                let (w, h) = topo.dims();
+                if x == y || y >= w || x >= h {
+                    // Off the transposable square or on the diagonal:
+                    // fall back to uniform.
+                    TrafficPattern::UniformRandom.destination(src, topo, rng)
+                } else {
+                    topo.id_of(y, x)
+                }
+            }
+            TrafficPattern::Hotspot { target } => {
+                if src == target {
+                    TrafficPattern::UniformRandom.destination(src, topo, rng)
+                } else {
+                    target % n
+                }
+            }
+            TrafficPattern::Neighbor => (src + 1) % n,
+        }
+    }
+}
+
+impl core::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrafficPattern::UniformRandom => f.write_str("uniform"),
+            TrafficPattern::Transpose => f.write_str("transpose"),
+            TrafficPattern::Hotspot { target } => write!(f, "hotspot({target})"),
+            TrafficPattern::Neighbor => f.write_str("neighbor"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MESH: NocTopology = NocTopology::Mesh {
+        width: 4,
+        height: 4,
+    };
+
+    #[test]
+    fn uniform_never_self() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for src in 0..MESH.node_count() {
+            for _ in 0..200 {
+                let d = TrafficPattern::UniformRandom.destination(src, MESH, &mut rng);
+                assert_ne!(d, src);
+                assert!(d < MESH.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(TrafficPattern::UniformRandom.destination(0, MESH, &mut rng));
+        }
+        assert_eq!(seen.len(), MESH.node_count() - 1);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let src = MESH.id_of(1, 3);
+        let d = TrafficPattern::Transpose.destination(src, MESH, &mut rng);
+        assert_eq!(d, MESH.id_of(3, 1));
+    }
+
+    #[test]
+    fn hotspot_targets_one_router() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let p = TrafficPattern::Hotspot { target: 5 };
+        for src in 0..MESH.node_count() {
+            let d = p.destination(src, MESH, &mut rng);
+            if src != 5 {
+                assert_eq!(d, 5);
+            } else {
+                assert_ne!(d, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_is_a_ring() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut cur = 0usize;
+        for _ in 0..MESH.node_count() {
+            cur = TrafficPattern::Neighbor.destination(cur, MESH, &mut rng);
+        }
+        assert_eq!(cur, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the NoC simulator.
+
+use chiplet_noc::{NocConfig, NocSim, NocTopology, Routing, TrafficPattern};
+use chiplet_sim::DetRng;
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = NocTopology> {
+    (2u8..6, 2u8..6, prop::bool::ANY).prop_map(|(w, h, torus)| {
+        if torus {
+            NocTopology::Torus {
+                width: w,
+                height: h,
+            }
+        } else {
+            NocTopology::Mesh {
+                width: w,
+                height: h,
+            }
+        }
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = NocConfig> {
+    (arb_topology(), prop::bool::ANY, 1u8..8).prop_map(|(topology, deflect, depth)| NocConfig {
+        topology,
+        routing: if deflect {
+            Routing::Deflection
+        } else {
+            Routing::BufferedXY {
+                buffer_depth: depth,
+            }
+        },
+        packet_len: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flit conservation: at low injection rates every measured flit is
+    /// delivered exactly once (delivered == injected after drain), under
+    /// both routing disciplines and both topologies.
+    #[test]
+    fn flit_conservation(config in arb_config(), seed in 0u64..1000) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let stats = NocSim::run_synthetic(
+            config,
+            TrafficPattern::UniformRandom,
+            0.04,
+            100,
+            800,
+            &mut rng,
+        );
+        prop_assert_eq!(stats.delivered, stats.injected);
+    }
+
+    /// Delivered latency is at least the topological distance: no flit
+    /// arrives faster than its Manhattan (or wrapped) path.
+    #[test]
+    fn latency_lower_bound(config in arb_config(), seed in 0u64..1000) {
+        let rng = DetRng::seed_from_u64(seed);
+        let topo = config.topology;
+        let n = topo.node_count();
+        // One flit per fresh network: measure pure path latency.
+        for src in 0..n.min(6) {
+            let dst = (src + n / 2 + 1) % n;
+            if dst == src {
+                continue;
+            }
+            let mut sim = NocSim::new(config);
+            sim.generate(src, dst);
+            let dist = topo.distance(src, dst) as u64;
+            for _ in 0..(dist + 20) {
+                sim.step();
+            }
+            prop_assert_eq!(sim.stats().delivered, 1, "flit not delivered");
+            let min = sim.stats().latency.min().unwrap().as_nanos();
+            prop_assert!(min >= dist, "latency {min} below distance {dist}");
+        }
+        let _ = rng;
+    }
+
+    /// Determinism: identical seeds give identical statistics.
+    #[test]
+    fn run_determinism(config in arb_config(), seed in 0u64..1000) {
+        let run = || {
+            let mut rng = DetRng::seed_from_u64(seed);
+            NocSim::run_synthetic(config, TrafficPattern::UniformRandom, 0.15, 50, 400, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.injected, b.injected);
+        prop_assert_eq!(a.deflections, b.deflections);
+        prop_assert_eq!(a.latency.quantile(0.999), b.latency.quantile(0.999));
+    }
+
+    /// Wormhole conservation: multi-flit packets at low load all arrive.
+    #[test]
+    fn wormhole_conservation(
+        topo in arb_topology(),
+        len in 2u8..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let stats = NocSim::run_synthetic(
+            NocConfig {
+                topology: topo,
+                routing: Routing::BufferedXY { buffer_depth: 4 },
+                packet_len: len,
+            },
+            TrafficPattern::UniformRandom,
+            0.01,
+            100,
+            800,
+            &mut rng,
+        );
+        prop_assert_eq!(stats.delivered, stats.injected);
+    }
+
+    /// Buffered XY never deflects.
+    #[test]
+    fn buffered_never_deflects(
+        topo in arb_topology(),
+        depth in 1u8..8,
+        rate in 0.01f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let stats = NocSim::run_synthetic(
+            NocConfig { topology: topo, routing: Routing::BufferedXY { buffer_depth: depth }, packet_len: 1 },
+            TrafficPattern::UniformRandom,
+            rate,
+            50,
+            400,
+            &mut rng,
+        );
+        prop_assert_eq!(stats.deflections, 0);
+    }
+}

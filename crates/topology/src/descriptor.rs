@@ -1,0 +1,173 @@
+//! The `chiplet-net` hardware descriptor.
+//!
+//! §4 #1 of the paper proposes a device-tree-like hardware abstraction for
+//! chiplet networks — a `/sys/firmware/chiplet-net` analog an operating
+//! system or runtime could consume. [`ChipletNetDescriptor`] is that
+//! artifact: a self-describing, versioned document listing every node and
+//! link of the SoC with its class, position, latency, and capacities,
+//! serializable to JSON.
+//!
+//! The descriptor is *structural*: runtime telemetry (the `/proc/chiplet-net`
+//! analog) lives in `chiplet-net::telemetry` and references nodes and links
+//! by the ids assigned here.
+
+use chiplet_sim::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{LinkKind, NodeKind, Topology};
+use crate::position::Quadrant;
+
+/// Descriptor format version; bump on breaking layout changes.
+pub const DESCRIPTOR_VERSION: u32 = 1;
+
+/// One node entry of the descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeEntry {
+    /// Node id (index into the topology's node table).
+    pub id: u32,
+    /// Node class and identity.
+    pub kind: NodeKind,
+    /// Service latency contribution, ns.
+    pub latency_ns: f64,
+    /// I/O-die quadrant, when meaningful.
+    pub quadrant: Option<Quadrant>,
+}
+
+/// One link entry of the descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEntry {
+    /// Link id (index into the topology's link table).
+    pub id: u32,
+    /// Physical link class.
+    pub kind: LinkKind,
+    /// Endpoint node ids.
+    pub endpoints: (u32, u32),
+    /// Propagation latency, ns.
+    pub latency_ns: f64,
+    /// Read-direction capacity, GB/s, when this link is a capacity point.
+    pub read_cap_gb_s: Option<f64>,
+    /// Write-direction capacity, GB/s, when this link is a capacity point.
+    pub write_cap_gb_s: Option<f64>,
+}
+
+/// The full descriptor document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipletNetDescriptor {
+    /// Format version.
+    pub version: u32,
+    /// Platform name (e.g. "AMD EPYC 9634").
+    pub platform: String,
+    /// Microarchitecture name.
+    pub microarchitecture: String,
+    /// Structural summary: (ccd, ccx-per-ccd, cores-per-ccx).
+    pub compute_shape: (u32, u32, u32),
+    /// Number of UMC channels.
+    pub umc_count: u32,
+    /// Number of CXL devices.
+    pub cxl_device_count: u32,
+    /// All nodes.
+    pub nodes: Vec<NodeEntry>,
+    /// All links.
+    pub links: Vec<LinkEntry>,
+}
+
+impl ChipletNetDescriptor {
+    /// Extracts the descriptor from a built topology.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let spec = topo.spec();
+        ChipletNetDescriptor {
+            version: DESCRIPTOR_VERSION,
+            platform: spec.name.clone(),
+            microarchitecture: spec.microarchitecture.clone(),
+            compute_shape: (spec.ccd_count, spec.ccx_per_ccd, spec.cores_per_ccx),
+            umc_count: spec.mem.umc_count,
+            cxl_device_count: topo.cxl_device_count(),
+            nodes: topo
+                .nodes()
+                .iter()
+                .map(|n| NodeEntry {
+                    id: n.id.0,
+                    kind: n.kind,
+                    latency_ns: n.latency_ns,
+                    quadrant: n.quadrant,
+                })
+                .collect(),
+            links: topo
+                .links()
+                .iter()
+                .map(|l| LinkEntry {
+                    id: l.id.0,
+                    kind: l.kind,
+                    endpoints: (l.a.0, l.b.0),
+                    latency_ns: l.latency_ns,
+                    read_cap_gb_s: l.read_cap.map(Bandwidth::as_gb_per_s),
+                    write_cap_gb_s: l.write_cap.map(Bandwidth::as_gb_per_s),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON (the `/sys/firmware/chiplet-net` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("descriptor is always serializable")
+    }
+
+    /// Parses a descriptor from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Number of capacity points (links with at least one directional cap).
+    pub fn capacity_point_count(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.read_cap_gb_s.is_some() || l.write_cap_gb_s.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformSpec;
+
+    #[test]
+    fn descriptor_round_trip() {
+        for spec in [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()] {
+            let topo = Topology::build(&spec);
+            let desc = ChipletNetDescriptor::from_topology(&topo);
+            let json = desc.to_json();
+            let back = ChipletNetDescriptor::from_json(&json).unwrap();
+            assert_eq!(desc, back);
+        }
+    }
+
+    #[test]
+    fn descriptor_counts_match_topology() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        assert_eq!(desc.nodes.len(), topo.nodes().len());
+        assert_eq!(desc.links.len(), topo.links().len());
+        assert_eq!(desc.cxl_device_count, 4);
+        assert_eq!(desc.compute_shape, (12, 1, 7));
+        assert!(desc.capacity_point_count() > 0);
+    }
+
+    #[test]
+    fn descriptor_identifies_platform() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        assert!(desc.platform.contains("7302"));
+        assert_eq!(desc.microarchitecture, "Zen 2");
+        assert_eq!(desc.version, DESCRIPTOR_VERSION);
+    }
+
+    #[test]
+    fn json_is_human_readable() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let json = ChipletNetDescriptor::from_topology(&topo).to_json();
+        assert!(json.contains("\"platform\""));
+        assert!(json.contains("NocSwitch"));
+        assert!(json.contains("Gmi"));
+    }
+}

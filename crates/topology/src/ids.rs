@@ -1,0 +1,93 @@
+//! Typed identifiers.
+//!
+//! Indices into the topology's node and link tables, plus semantic IDs for
+//! the architectural units workloads address (cores, CCDs, UMCs, DIMMs).
+//! Newtypes keep a `CoreId` from ever being used where a `UmcId` is meant.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in the topology graph.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A directed link in the topology graph.
+    LinkId,
+    "link"
+);
+id_type!(
+    /// A CPU core, numbered across the whole socket.
+    CoreId,
+    "core"
+);
+id_type!(
+    /// A compute chiplet (Core Complex Die), numbered across the socket.
+    CcdId,
+    "ccd"
+);
+id_type!(
+    /// A unified memory controller on the I/O die.
+    UmcId,
+    "umc"
+);
+id_type!(
+    /// An off-chip DIMM, one per UMC channel in this model.
+    DimmId,
+    "dimm"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(UmcId(11).to_string(), "umc11");
+        assert_eq!(NodeId(0).to_string(), "node0");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = CcdId::from(7u32);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CoreId(1) < CoreId(2));
+        assert_eq!(DimmId(4), DimmId(4));
+    }
+}

@@ -1,0 +1,227 @@
+//! DIMM positions and NUMA configuration.
+//!
+//! The I/O die is organized in quadrants (Figure 1 of the paper). A DIMM's
+//! position *relative to the requesting compute chiplet* determines how many
+//! NoC switch hops the request traverses (Table 2 distinguishes near /
+//! vertical / horizontal / diagonal). The NPS (node-per-socket) BIOS setting
+//! controls which UMCs a memory region interleaves across, which is how the
+//! paper steers requests to DIMMs at chosen positions.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A quadrant of the I/O die, addressed by (column, row) with columns 0..cols
+/// and rows 0..rows of the platform's quadrant grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Quadrant {
+    /// Horizontal coordinate (grows across the die's long axis).
+    pub col: u8,
+    /// Vertical coordinate.
+    pub row: u8,
+}
+
+impl Quadrant {
+    /// Creates a quadrant coordinate.
+    pub const fn new(col: u8, row: u8) -> Self {
+        Quadrant { col, row }
+    }
+
+    /// Position of `target` relative to `self`.
+    pub fn position_of(self, target: Quadrant) -> DimmPosition {
+        let dx = self.col != target.col;
+        let dy = self.row != target.row;
+        match (dx, dy) {
+            (false, false) => DimmPosition::Near,
+            (false, true) => DimmPosition::Vertical,
+            (true, false) => DimmPosition::Horizontal,
+            (true, true) => DimmPosition::Diagonal,
+        }
+    }
+}
+
+impl fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q({},{})", self.col, self.row)
+    }
+}
+
+/// The position of a DIMM relative to a requesting compute chiplet,
+/// as classified in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DimmPosition {
+    /// Same quadrant as the requester's GMI attach point.
+    Near,
+    /// Same column, different row: one extra vertical NoC hop.
+    Vertical,
+    /// Different column, same row: the die's long axis, two extra hops.
+    Horizontal,
+    /// Different column and row.
+    Diagonal,
+    /// On the other socket: the request additionally crosses the
+    /// inter-socket xGMI fabric (dual-socket platforms only).
+    Remote,
+}
+
+impl DimmPosition {
+    /// The four intra-socket positions, in the order Table 2 lists them.
+    pub const ALL: [DimmPosition; 4] = [
+        DimmPosition::Near,
+        DimmPosition::Vertical,
+        DimmPosition::Horizontal,
+        DimmPosition::Diagonal,
+    ];
+
+    /// All positions including the dual-socket remote case.
+    pub const ALL_WITH_REMOTE: [DimmPosition; 5] = [
+        DimmPosition::Near,
+        DimmPosition::Vertical,
+        DimmPosition::Horizontal,
+        DimmPosition::Diagonal,
+        DimmPosition::Remote,
+    ];
+
+    /// Extra NoC switch hops relative to [`DimmPosition::Near`].
+    ///
+    /// The horizontal crossing spans the die's long axis and costs two hops.
+    /// On platforms whose I/O die provisions a diagonal express path (the
+    /// paper observes diagonal ≈ horizontal latency on the EPYC 9634), the
+    /// diagonal also costs two; otherwise it is the full XY route of three.
+    pub fn extra_hops(self, diagonal_express: bool) -> u32 {
+        match self {
+            DimmPosition::Near => 0,
+            DimmPosition::Vertical => 1,
+            DimmPosition::Horizontal => 2,
+            DimmPosition::Diagonal => {
+                if diagonal_express {
+                    2
+                } else {
+                    3
+                }
+            }
+            // Remote latency is not a hop-count affair; the spec's
+            // remote_dram_latency_ns computes it with the xGMI crossing.
+            DimmPosition::Remote => panic!("Remote position has no intra-socket hop count"),
+        }
+    }
+}
+
+impl fmt::Display for DimmPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DimmPosition::Near => "near",
+            DimmPosition::Vertical => "vertical",
+            DimmPosition::Horizontal => "horizontal",
+            DimmPosition::Diagonal => "diagonal",
+            DimmPosition::Remote => "remote",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node-per-socket (NPS) configuration: how many NUMA nodes the socket is
+/// split into, controlling memory interleave scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NpsMode {
+    /// One NUMA node: interleave across every UMC on the socket.
+    Nps1,
+    /// Two NUMA nodes: interleave across the UMCs of a die half.
+    Nps2,
+    /// Four NUMA nodes: interleave within the local quadrant only.
+    Nps4,
+}
+
+impl NpsMode {
+    /// True when `target` is within the interleave scope of a requester in
+    /// `home`, given a quadrant grid of `cols` columns.
+    ///
+    /// NPS2 splits the socket along the long axis into left and right halves;
+    /// NPS4 restricts to the home quadrant itself.
+    pub fn in_scope(self, home: Quadrant, target: Quadrant, cols: u8) -> bool {
+        match self {
+            NpsMode::Nps1 => true,
+            NpsMode::Nps2 => {
+                let half = cols.div_ceil(2);
+                (home.col < half) == (target.col < half)
+            }
+            NpsMode::Nps4 => home == target,
+        }
+    }
+}
+
+impl fmt::Display for NpsMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NpsMode::Nps1 => "NPS1",
+            NpsMode::Nps2 => "NPS2",
+            NpsMode::Nps4 => "NPS4",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_positions() {
+        let home = Quadrant::new(0, 0);
+        assert_eq!(home.position_of(Quadrant::new(0, 0)), DimmPosition::Near);
+        assert_eq!(home.position_of(Quadrant::new(0, 1)), DimmPosition::Vertical);
+        assert_eq!(
+            home.position_of(Quadrant::new(1, 0)),
+            DimmPosition::Horizontal
+        );
+        assert_eq!(
+            home.position_of(Quadrant::new(1, 1)),
+            DimmPosition::Diagonal
+        );
+    }
+
+    #[test]
+    fn position_is_symmetric() {
+        let a = Quadrant::new(0, 1);
+        let b = Quadrant::new(1, 0);
+        assert_eq!(a.position_of(b), b.position_of(a));
+    }
+
+    #[test]
+    fn extra_hops_ordering() {
+        // Without express: strictly increasing near < vert < horiz < diag.
+        let hops: Vec<u32> = DimmPosition::ALL
+            .iter()
+            .map(|p| p.extra_hops(false))
+            .collect();
+        assert_eq!(hops, vec![0, 1, 2, 3]);
+        // With express routing the diagonal matches the horizontal.
+        assert_eq!(
+            DimmPosition::Diagonal.extra_hops(true),
+            DimmPosition::Horizontal.extra_hops(true)
+        );
+    }
+
+    #[test]
+    fn nps_scopes() {
+        let home = Quadrant::new(0, 0);
+        let same = Quadrant::new(0, 0);
+        let vert = Quadrant::new(0, 1);
+        let horiz = Quadrant::new(1, 0);
+        let diag = Quadrant::new(1, 1);
+        for q in [same, vert, horiz, diag] {
+            assert!(NpsMode::Nps1.in_scope(home, q, 2));
+        }
+        assert!(NpsMode::Nps2.in_scope(home, vert, 2));
+        assert!(!NpsMode::Nps2.in_scope(home, horiz, 2));
+        assert!(!NpsMode::Nps2.in_scope(home, diag, 2));
+        assert!(NpsMode::Nps4.in_scope(home, same, 2));
+        assert!(!NpsMode::Nps4.in_scope(home, vert, 2));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(DimmPosition::Near.to_string(), "near");
+        assert_eq!(NpsMode::Nps4.to_string(), "NPS4");
+        assert_eq!(Quadrant::new(1, 0).to_string(), "q(1,0)");
+    }
+}

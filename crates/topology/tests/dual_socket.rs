@@ -1,0 +1,121 @@
+//! Dual-socket (Dell 7525 testbed: 2× EPYC 7302) topology tests.
+
+use chiplet_topology::{
+    CcdId, CoreId, DimmId, DimmPosition, NpsMode, PlatformSpec, Topology, UmcId,
+};
+
+fn dual() -> Topology {
+    Topology::build(&PlatformSpec::dual_epyc_7302())
+}
+
+#[test]
+fn structural_counts_double() {
+    let t = dual();
+    assert_eq!(t.core_count(), 32);
+    assert_eq!(t.dimm_count(), 16);
+    assert_eq!(t.ccd_total(), 8);
+    assert_eq!(t.ccx_total(), 16);
+    assert_eq!(t.socket_count(), 2);
+}
+
+#[test]
+fn socket_assignment() {
+    let t = dual();
+    assert_eq!(t.socket_of_core(CoreId(0)), 0);
+    assert_eq!(t.socket_of_core(CoreId(15)), 0);
+    assert_eq!(t.socket_of_core(CoreId(16)), 1);
+    assert_eq!(t.socket_of_core(CoreId(31)), 1);
+    assert_eq!(t.socket_of_umc(UmcId(7)), 0);
+    assert_eq!(t.socket_of_umc(UmcId(8)), 1);
+    assert_eq!(t.socket_of_ccd(CcdId(3)), 0);
+    assert_eq!(t.socket_of_ccd(CcdId(4)), 1);
+}
+
+#[test]
+fn cross_socket_position_is_remote() {
+    let t = dual();
+    assert_eq!(t.position_of(CoreId(0), DimmId(8)), DimmPosition::Remote);
+    assert_eq!(t.position_of(CoreId(16), DimmId(0)), DimmPosition::Remote);
+    // Local positions still classify normally.
+    assert_eq!(t.position_of(CoreId(0), DimmId(0)), DimmPosition::Near);
+    assert!(t.dimm_at_position(CoreId(0), DimmPosition::Remote).is_some());
+}
+
+#[test]
+fn remote_route_latency_matches_spec_floor() {
+    let spec = PlatformSpec::dual_epyc_7302();
+    let t = Topology::build(&spec);
+    let remote_base = spec.remote_dram_latency_ns().unwrap();
+    assert_eq!(remote_base, 203.0);
+    // Remote routes land at the spec's floor plus up to three extra switch
+    // hops depending on the remote quadrant.
+    for dimm in 8..16 {
+        let path = t.route_core_to_dimm(CoreId(0), DimmId(dimm));
+        assert!(
+            path.latency_ns >= remote_base - 1e-9
+                && path.latency_ns <= remote_base + 3.0 * spec.noc.shop_latency_ns + 1e-9,
+            "remote route to dimm{dimm}: {} ns",
+            path.latency_ns
+        );
+    }
+    // Remote is always slower than the worst local position.
+    let worst_local = spec.dram_latency_ns(DimmPosition::Diagonal);
+    let best_remote = t.route_core_to_dimm(CoreId(0), DimmId(8)).latency_ns;
+    assert!(best_remote > worst_local + 30.0);
+}
+
+#[test]
+fn remote_routes_cross_exactly_one_xgmi_link() {
+    use chiplet_topology::LinkKind;
+    let t = dual();
+    let path = t.route_core_to_dimm(CoreId(0), DimmId(12));
+    let xgmi_count = path
+        .link_sequence()
+        .iter()
+        .filter(|l| t.link(**l).kind == LinkKind::Xgmi)
+        .count();
+    assert_eq!(xgmi_count, 1);
+    // Local routes never touch it.
+    let local = t.route_core_to_dimm(CoreId(0), DimmId(3));
+    assert!(local
+        .link_sequence()
+        .iter()
+        .all(|l| t.link(*l).kind != LinkKind::Xgmi));
+}
+
+#[test]
+fn numa_scope_never_spans_sockets() {
+    let t = dual();
+    for nps in [NpsMode::Nps1, NpsMode::Nps2, NpsMode::Nps4] {
+        for core in [CoreId(0), CoreId(20)] {
+            let socket = t.socket_of_core(core);
+            for d in t.dimms_in_scope(core, nps) {
+                assert_eq!(t.socket_of_umc(UmcId(d.0)), socket, "{nps} leaked a socket");
+            }
+        }
+    }
+    // NPS1 covers the whole local socket.
+    assert_eq!(t.dimms_in_scope(CoreId(0), NpsMode::Nps1).len(), 8);
+    assert_eq!(t.dimms_in_scope(CoreId(16), NpsMode::Nps1).len(), 8);
+}
+
+#[test]
+fn single_socket_platforms_reject_remote_queries() {
+    let t = Topology::build(&PlatformSpec::epyc_7302());
+    assert!(t.dimm_at_position(CoreId(0), DimmPosition::Remote).is_none());
+    assert!(PlatformSpec::epyc_7302().remote_dram_latency_ns().is_none());
+}
+
+#[test]
+fn descriptor_contains_the_xgmi_link() {
+    use chiplet_topology::descriptor::ChipletNetDescriptor;
+    let t = dual();
+    let desc = ChipletNetDescriptor::from_topology(&t);
+    let xgmi: Vec<_> = desc
+        .links
+        .iter()
+        .filter(|l| matches!(l.kind, chiplet_topology::LinkKind::Xgmi))
+        .collect();
+    assert_eq!(xgmi.len(), 1);
+    assert!(xgmi[0].read_cap_gb_s.unwrap() > 0.0);
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for topology construction and routing.
+
+use chiplet_topology::{
+    CoreId, DimmId, DimmPosition, NpsMode, PlatformSpec, Quadrant, Topology,
+};
+use proptest::prelude::*;
+
+/// A strategy over structurally valid custom platforms.
+fn arb_spec() -> impl Strategy<Value = PlatformSpec> {
+    (1u32..=12, 1u32..=2, 1u32..=8, 1u32..=16, prop::bool::ANY).prop_map(
+        |(ccds, ccx, cores, umcs, express)| {
+            let mut spec = PlatformSpec::epyc_7302();
+            spec.kind = chiplet_topology::PlatformKind::Custom;
+            spec.ccd_count = ccds;
+            spec.ccx_per_ccd = ccx;
+            spec.cores_per_ccx = cores;
+            spec.mem.umc_count = umcs;
+            spec.noc.diagonal_express = express;
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every core can route to every DIMM, and the route's unloaded latency
+    /// equals the spec's closed-form position latency.
+    #[test]
+    fn all_pairs_routable_with_spec_latency(spec in arb_spec()) {
+        let topo = Topology::build(&spec);
+        for core in topo.core_ids() {
+            for dimm in topo.dimm_ids() {
+                let pos = topo.position_of(core, dimm);
+                let path = topo.route_core_to_dimm(core, dimm);
+                let expected = spec.dram_latency_ns(pos);
+                prop_assert!((path.latency_ns - expected).abs() < 1e-9,
+                    "{core}->{dimm} ({pos}): {} vs {}", path.latency_ns, expected);
+                // Route endpoints are what was asked for.
+                prop_assert_eq!(path.source(), topo.core_node(core));
+                prop_assert_eq!(path.destination(), topo.dimm_node(dimm));
+            }
+        }
+    }
+
+    /// Routes are simple paths: no node repeats.
+    #[test]
+    fn routes_are_simple_paths(spec in arb_spec()) {
+        let topo = Topology::build(&spec);
+        let last_core = CoreId(topo.core_count() - 1);
+        let last_dimm = DimmId(topo.dimm_count() - 1);
+        for (core, dimm) in [
+            (CoreId(0), DimmId(0)),
+            (CoreId(0), last_dimm),
+            (last_core, DimmId(0)),
+            (last_core, last_dimm),
+        ] {
+            let path = topo.route_core_to_dimm(core, dimm);
+            let mut seen = std::collections::HashSet::new();
+            for hop in &path.hops {
+                prop_assert!(seen.insert(hop.node), "node repeated on route");
+            }
+        }
+    }
+
+    /// Latency ordering by position: near ≤ vertical ≤ horizontal, and
+    /// diagonal ≥ vertical (diagonal express can tie it with horizontal).
+    #[test]
+    fn position_latency_ordering(spec in arb_spec()) {
+        let near = spec.dram_latency_ns(DimmPosition::Near);
+        let vert = spec.dram_latency_ns(DimmPosition::Vertical);
+        let horiz = spec.dram_latency_ns(DimmPosition::Horizontal);
+        let diag = spec.dram_latency_ns(DimmPosition::Diagonal);
+        prop_assert!(near <= vert);
+        prop_assert!(vert <= horiz);
+        prop_assert!(diag >= vert);
+        prop_assert!(diag >= horiz || spec.noc.diagonal_express);
+    }
+
+    /// NPS scopes nest: NPS4 ⊆ NPS2 ⊆ NPS1.
+    #[test]
+    fn nps_scopes_nest(spec in arb_spec()) {
+        let topo = Topology::build(&spec);
+        for core in topo.core_ids().step_by(3) {
+            let all: std::collections::HashSet<_> =
+                topo.dimms_in_scope(core, NpsMode::Nps1).into_iter().collect();
+            let half: std::collections::HashSet<_> =
+                topo.dimms_in_scope(core, NpsMode::Nps2).into_iter().collect();
+            let quarter: std::collections::HashSet<_> =
+                topo.dimms_in_scope(core, NpsMode::Nps4).into_iter().collect();
+            prop_assert!(quarter.is_subset(&half));
+            prop_assert!(half.is_subset(&all));
+            prop_assert_eq!(all.len() as u32, topo.dimm_count());
+        }
+    }
+
+    /// Quadrant relative position is symmetric and Near iff equal.
+    #[test]
+    fn quadrant_position_props(ac in 0u8..4, ar in 0u8..4, bc in 0u8..4, br in 0u8..4) {
+        let a = Quadrant::new(ac, ar);
+        let b = Quadrant::new(bc, br);
+        prop_assert_eq!(a.position_of(b), b.position_of(a));
+        prop_assert_eq!(a.position_of(b) == DimmPosition::Near, a == b);
+    }
+
+    /// The descriptor JSON round-trips for arbitrary platforms.
+    #[test]
+    fn descriptor_round_trips(spec in arb_spec()) {
+        use chiplet_topology::descriptor::ChipletNetDescriptor;
+        let topo = Topology::build(&spec);
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        let back = ChipletNetDescriptor::from_json(&desc.to_json()).unwrap();
+        prop_assert_eq!(desc, back);
+    }
+}

@@ -1,0 +1,93 @@
+//! Scalable-OS synchronization study (§4 #2): the paper asks whether the
+//! multikernel's "make communication explicit" rule survives chiplet
+//! networking. This example prices the two primitives against the
+//! core-to-core latency ladder:
+//!
+//! * **shared-memory lock**: a contended lock line bounces between the
+//!   holder and the next waiter — one cacheline handoff per critical
+//!   section, plus the handoff of the data it protects (2× c2c);
+//! * **message passing**: a request and a reply slot, written by one side
+//!   and polled by the other — also two one-way transfers, but they
+//!   pipeline with computation and never stall the *other* cores.
+//!
+//! Run with: `cargo run --release --example os_sync`
+
+use server_chiplet_networking::topology::{CoreId, PlatformSpec, Topology};
+
+struct Placement {
+    name: &'static str,
+    a: CoreId,
+    b: CoreId,
+}
+
+fn main() {
+    let topo = Topology::build(&PlatformSpec::dual_epyc_7302());
+    println!(
+        "OS synchronization costs on {} (c2c cacheline handoffs):\n",
+        topo.spec().name
+    );
+
+    let placements = [
+        Placement { name: "same CCX (shared L3)", a: CoreId(0), b: CoreId(1) },
+        Placement { name: "same CCD, other CCX", a: CoreId(0), b: CoreId(2) },
+        Placement { name: "other CCD (horizontal)", a: CoreId(0), b: CoreId(4) },
+        Placement { name: "other CCD (diagonal)", a: CoreId(0), b: CoreId(12) },
+        Placement { name: "other socket (xGMI)", a: CoreId(0), b: CoreId(16) },
+    ];
+
+    println!(
+        "{:<28} {:>10} {:>22} {:>14}",
+        "placement", "c2c ns", "lock/RPC handoff ns", "vs same-CCX"
+    );
+    let base = topo.c2c_latency_ns(CoreId(0), CoreId(1));
+    for p in &placements {
+        let c2c = topo.c2c_latency_ns(p.a, p.b);
+        // Both primitives move two cachelines per interaction (lock line +
+        // data, or request + reply); what differs is *whose* critical path
+        // pays it — every waiter's for the lock, only the caller's for RPC.
+        let handoff = 2.0 * c2c;
+        println!(
+            "{:<28} {:>10.1} {:>22.1} {:>13.1}x",
+            p.name, c2c, handoff, c2c / base
+        );
+    }
+
+    // The multikernel question: at what core count does a single shared
+    // lock lose to per-chiplet message aggregation? A shared lock
+    // serializes all N waiters through handoffs at the *average* c2c
+    // distance; hierarchical messaging pays one local round per core plus
+    // one cross-chiplet round per chiplet.
+    println!("\nContended-barrier model (16 cores, one socket):");
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let avg_c2c: f64 = {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for &a in &cores {
+            for &b in &cores {
+                if a != b {
+                    sum += topo.c2c_latency_ns(a, b);
+                    n += 1;
+                }
+            }
+        }
+        sum / n as f64
+    };
+    let flat_lock = 16.0 * 2.0 * avg_c2c;
+    // Hierarchical: 3 local handoffs per CCX (4 CCX... 7302: 8 CCX of 2) —
+    // local combine within CCX, then CCX leaders combine across the die.
+    let local = topo.c2c_latency_ns(CoreId(0), CoreId(1));
+    let cross = topo.c2c_latency_ns(CoreId(0), CoreId(4));
+    let hierarchical = 2.0 * local + 7.0 * 2.0 * cross / 4.0 + 2.0 * cross;
+    println!("  flat shared lock:          {flat_lock:>8.0} ns per full rotation");
+    println!("  hierarchical message tree: {hierarchical:>8.0} ns per barrier");
+    println!(
+        "\nReading: the chiplet ladder stretches the worst c2c handoff to \
+         ~{:.0} ns ({}x the shared-L3 case). Flat shared-memory primitives \
+         pay that tax on every handoff; topology-aware hierarchies (combine \
+         within a CCX, then across chiplets) — i.e. the multikernel's \
+         explicit communication, re-shaped to the chiplet-net descriptor's \
+         ladder — keep the cross-die hops off the critical path.",
+        topo.c2c_latency_ns(CoreId(0), CoreId(16)),
+        (topo.c2c_latency_ns(CoreId(0), CoreId(16)) / base).round()
+    );
+}

@@ -1,0 +1,91 @@
+//! Sketch-based profiling (§4 #5) and traffic-matrix estimation (§4 #4 /
+//! Implication #2). Runs a skewed multi-flow workload, feeds the
+//! transaction stream through bounded-memory sketches, and reconstructs
+//! the traffic matrix from link counters alone.
+//!
+//! Run with: `cargo run --release --example profiler`
+
+use server_chiplet_networking::net::engine::{Engine, EngineConfig};
+use server_chiplet_networking::net::profiler::ProfileReport;
+use server_chiplet_networking::net::flow::{FlowSpec, Target};
+use server_chiplet_networking::net::matrix::TrafficMatrix;
+use server_chiplet_networking::sim::{Bandwidth, SimTime};
+use server_chiplet_networking::topology::{CcdId, DimmId, PlatformSpec, Topology};
+
+fn main() {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let spec = topo.spec();
+
+    // A skewed workload: CCD0 hammers DIMM 0, the others spread lightly.
+    // The engine's live profiler (one sketch record per transaction) is on.
+    let cfg = EngineConfig::default().with_profile();
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads(
+            "hot",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::dimm(DimmId(0)),
+        )
+        .build(&topo),
+    );
+    for ccd in 1..spec.ccd_count {
+        engine.add_flow(
+            FlowSpec::reads(
+                &format!("bg-ccd{ccd}"),
+                topo.cores_of_ccd(CcdId(ccd)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .offered(Bandwidth::from_gb_per_s(6.0))
+            .build(&topo),
+        );
+    }
+    let result = engine.run(SimTime::from_micros(60));
+
+    // The live profiler observed every completed transaction through its
+    // sketches (Count-Min, SpaceSaving, DDSketch) in bounded memory.
+    let profile: &ProfileReport = result.profile.as_ref().expect("profiling was on");
+    println!(
+        "live profiler: {} transactions distilled into {} bytes of sketches",
+        profile.records, profile.memory_bytes
+    );
+    println!("  top (CCD -> UMC) heavy hitters:");
+    for hh in profile.heavy_hitters.iter().take(3) {
+        println!(
+            "    ccd{} -> umc{}: <= {:.2} MB",
+            hh.src,
+            hh.dest,
+            hh.bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "  global latency quantiles: p50 {:.0} ns, p99 {:.0} ns, p999 {:.0} ns",
+        profile.global_p50_ns, profile.global_p99_ns, profile.global_p999_ns
+    );
+    for f in profile.flows.iter().take(2) {
+        println!(
+            "  {}: p50 {:.0} ns / p999 {:.0} ns over {} samples",
+            f.flow, f.p50_ns, f.p999_ns, f.samples
+        );
+    }
+
+    // Traffic-matrix estimation from link counters alone (gravity model):
+    // an observability layer that only sees per-CCD and per-UMC byte
+    // counts, not flows.
+    let truth = TrafficMatrix::from_cells(
+        spec.ccd_count,
+        spec.mem.umc_count,
+        &result.telemetry.matrix,
+    );
+    let estimate = TrafficMatrix::gravity_estimate(&truth.row_sums(), &truth.col_sums());
+    println!(
+        "\ngravity-model reconstruction from link counters: {:.0}% relative error",
+        estimate.relative_error(&truth) * 100.0
+    );
+    let (ccd, dest, bytes) = truth.hottest().expect("traffic exists");
+    println!(
+        "ground-truth hottest pair: ccd{ccd} -> umc{dest} ({:.2} MB in 58 µs) \
+         — the skew that defeats the gravity prior and motivates the \
+         finer-grained telemetry of the paper's /proc/chiplet-net.",
+        bytes as f64 / 1e6
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: stand up an EPYC 9634, run one memory-bound flow, and read
+//! the chiplet network's telemetry back — latency, achieved bandwidth, and
+//! the bottleneck link.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use server_chiplet_networking::net::engine::{Engine, EngineConfig};
+use server_chiplet_networking::net::flow::{FlowSpec, Target};
+use server_chiplet_networking::sim::SimTime;
+use server_chiplet_networking::topology::{CcdId, PlatformSpec, Topology};
+
+fn main() {
+    // 1. Build the platform from its preset (Table 1 constants).
+    let spec = PlatformSpec::epyc_9634();
+    let topo = Topology::build(&spec);
+    println!(
+        "platform: {} — {} cores / {} CCDs / {} UMCs / {} CXL devices\n",
+        spec.name,
+        topo.core_count(),
+        spec.ccd_count,
+        spec.mem.umc_count,
+        topo.cxl_device_count()
+    );
+
+    // 2. One compute chiplet streams reads across every DIMM.
+    let mut engine = Engine::new(&topo, EngineConfig::default());
+    engine.add_flow(
+        FlowSpec::reads(
+            "ccd0-streaming-reads",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
+    );
+
+    // 3. Run 50 µs of virtual time and inspect the results.
+    let result = engine.run(SimTime::from_micros(50));
+    let flow = &result.flows[0];
+    println!("flow '{}':", flow.name);
+    println!("  achieved bandwidth: {}", flow.achieved);
+    println!("  mean latency:       {:.1} ns", flow.mean_latency_ns());
+    println!("  P999 latency:       {:.1} ns", flow.p999_latency_ns());
+    println!("  transactions:       {} completed", flow.completed);
+
+    // 4. Where is the bottleneck? (Implication #2: identify the throttling
+    //    path segment at runtime.)
+    let bottleneck = result.telemetry.bottleneck().expect("links carried traffic");
+    println!(
+        "\nbottleneck: {:?} at {:.0}% read utilization (mean queueing {:.1} ns)",
+        bottleneck.point,
+        bottleneck.read.utilization * 100.0,
+        bottleneck.read.mean_wait_ns
+    );
+    println!(
+        "\nThe GMI link binds a single chiplet at ~33 GB/s (Table 3's CCD row) \
+         long before the socket NoC or the UMCs run out."
+    );
+}

@@ -1,0 +1,66 @@
+//! Topology explorer: the paper's §4 #1 — a device-tree-like hardware
+//! abstraction for chiplet networks. Dumps the `chiplet-net` descriptor
+//! (the `/sys/firmware/chiplet-net` analog) and walks end-to-end routes,
+//! showing per-position hop counts and latencies.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use server_chiplet_networking::topology::descriptor::ChipletNetDescriptor;
+use server_chiplet_networking::topology::{
+    CoreId, DimmPosition, NpsMode, PlatformSpec, Topology,
+};
+
+fn main() {
+    for spec in [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()] {
+        let topo = Topology::build(&spec);
+        println!("=== {} ===", spec.name);
+
+        // The descriptor: what an OS would read at boot.
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        println!(
+            "descriptor: {} nodes, {} links, {} capacity points (v{})",
+            desc.nodes.len(),
+            desc.links.len(),
+            desc.capacity_point_count(),
+            desc.version
+        );
+
+        // Route walk: core 0 to a DIMM at each position.
+        println!("routes from core0 (1 GiB pointer-chase working set):");
+        for pos in DimmPosition::ALL {
+            let Some(dimm) = topo.dimm_at_position(CoreId(0), pos) else {
+                continue;
+            };
+            let path = topo.route_core_to_dimm(CoreId(0), dimm);
+            println!(
+                "  {pos:<10} -> {dimm}: {} graph hops, {} switch hops, {:.0} ns unloaded",
+                path.link_count(),
+                path.switch_hops,
+                path.latency_ns
+            );
+        }
+        if topo.cxl_device_count() > 0 {
+            let path = topo.route_core_to_cxl(CoreId(0), 0).unwrap();
+            println!(
+                "  {:<10} -> cxl0: {} graph hops, {} switch hops, {:.0} ns unloaded",
+                "cxl",
+                path.link_count(),
+                path.switch_hops,
+                path.latency_ns
+            );
+        }
+
+        // NPS scoping: which DIMMs a core interleaves over.
+        for nps in [NpsMode::Nps1, NpsMode::Nps2, NpsMode::Nps4] {
+            let dimms = topo.dimms_in_scope(CoreId(0), nps);
+            println!("  {nps}: core0 interleaves over {} DIMMs", dimms.len());
+        }
+        println!();
+    }
+
+    // Print a JSON excerpt of the descriptor so the format is visible.
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    let json = ChipletNetDescriptor::from_topology(&topo).to_json();
+    let excerpt: String = json.lines().take(24).collect::<Vec<_>>().join("\n");
+    println!("descriptor JSON (first lines):\n{excerpt}\n  ...");
+}

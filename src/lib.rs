@@ -1,0 +1,55 @@
+//! # server-chiplet-networking
+//!
+//! A comprehensive Rust reproduction of *Server Chiplet Networking*
+//! (HotNets '25): a deterministic, transaction-level simulator of
+//! chiplet-based server SoCs (AMD EPYC 7302 / 9634 presets), the
+//! characterization utility the paper built, and the chiplet networking
+//! stack the paper proposes — flow abstraction, global traffic manager,
+//! BDP monitoring, telemetry, traffic-matrix estimation, and sketch-based
+//! profiling.
+//!
+//! This crate is the workspace facade: it re-exports every member crate
+//! under one roof and hosts the runnable examples and the cross-crate
+//! integration suite.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`sim`] | discrete-event core: time, event queue, RNG, statistics |
+//! | [`topology`] | SoC graph, platform presets, `chiplet-net` descriptor |
+//! | [`noc`] | flit-level I/O-die NoC (mesh/torus, buffered/deflection) |
+//! | [`fabric`] | FIFO bandwidth servers, token limiters, CXL framing |
+//! | [`mem`] | cache hierarchy, access semantics, DRAM/CXL variability |
+//! | [`net`] | the engine + the paper's proposed networking stack |
+//! | [`fluid`] | flow-level engine for second-scale sharing dynamics |
+//! | [`membench`] | the paper's micro-benchmark utility, reimplemented |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use server_chiplet_networking::net::engine::{Engine, EngineConfig};
+//! use server_chiplet_networking::net::flow::{FlowSpec, Target};
+//! use server_chiplet_networking::topology::{CoreId, PlatformSpec, Topology};
+//! use server_chiplet_networking::sim::SimTime;
+//!
+//! let topo = Topology::build(&PlatformSpec::epyc_9634());
+//! let mut engine = Engine::new(&topo, EngineConfig::default());
+//! engine.add_flow(
+//!     FlowSpec::reads("probe", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo),
+//! );
+//! let result = engine.run(SimTime::from_micros(30));
+//! println!("{}", result.telemetry.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use chiplet_fabric as fabric;
+pub use chiplet_fluid as fluid;
+pub use chiplet_mem as mem;
+pub use chiplet_membench as membench;
+pub use chiplet_net as net;
+pub use chiplet_noc as noc;
+pub use chiplet_sim as sim;
+pub use chiplet_topology as topology;

@@ -30,9 +30,13 @@ fn bench_ccd_bandwidth(c: &mut Criterion) {
         b.iter(|| {
             let mut engine = Engine::new(&topo, EngineConfig::deterministic());
             engine.add_flow(
-                FlowSpec::reads("bw", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                    .working_set(ByteSize::from_gib(1))
-                    .build(&topo),
+                FlowSpec::reads(
+                    "bw",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::all_dimms(&topo),
+                )
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
             );
             black_box(engine.run(SimTime::from_micros(20)))
         })
@@ -88,8 +92,12 @@ fn bench_bdp_adaptive(c: &mut Criterion) {
             };
             let mut engine = Engine::new(&topo, cfg);
             engine.add_flow(
-                FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                    .build(&topo),
+                FlowSpec::reads(
+                    "f",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::all_dimms(&topo),
+                )
+                .build(&topo),
             );
             black_box(engine.run(SimTime::from_micros(40)))
         })
@@ -104,8 +112,12 @@ fn bench_profiled_run(c: &mut Criterion) {
             cfg.profile = true;
             let mut engine = Engine::new(&topo, cfg);
             engine.add_flow(
-                FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                    .build(&topo),
+                FlowSpec::reads(
+                    "f",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::all_dimms(&topo),
+                )
+                .build(&topo),
             );
             black_box(engine.run(SimTime::from_micros(20)))
         })

@@ -17,7 +17,10 @@ fn bench_fig5_trace(c: &mut Criterion) {
                 name: "f0".into(),
                 demand: DemandSchedule::piecewise(vec![
                     (SimTime::ZERO, None),
-                    (SimTime::from_secs(2), Some(Bandwidth::from_gb_per_s(cap / 2.0 - 2.0))),
+                    (
+                        SimTime::from_secs(2),
+                        Some(Bandwidth::from_gb_per_s(cap / 2.0 - 2.0)),
+                    ),
                     (SimTime::from_secs(3), None),
                 ]),
                 links: vec![0],

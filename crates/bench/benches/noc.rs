@@ -9,13 +9,23 @@ use chiplet_sim::DetRng;
 
 fn run(config: NocConfig, rate: f64) -> u64 {
     let mut rng = DetRng::seed_from_u64(1);
-    let stats = NocSim::run_synthetic(config, TrafficPattern::UniformRandom, rate, 200, 2000, &mut rng);
+    let stats = NocSim::run_synthetic(
+        config,
+        TrafficPattern::UniformRandom,
+        rate,
+        200,
+        2000,
+        &mut rng,
+    );
     stats.delivered
 }
 
 fn bench_buffered(c: &mut Criterion) {
     let cfg = NocConfig {
-        topology: NocTopology::Mesh { width: 4, height: 2 },
+        topology: NocTopology::Mesh {
+            width: 4,
+            height: 2,
+        },
         routing: Routing::BufferedXY { buffer_depth: 4 },
         packet_len: 1,
     };
@@ -26,7 +36,10 @@ fn bench_buffered(c: &mut Criterion) {
 
 fn bench_deflection(c: &mut Criterion) {
     let cfg = NocConfig {
-        topology: NocTopology::Mesh { width: 4, height: 2 },
+        topology: NocTopology::Mesh {
+            width: 4,
+            height: 2,
+        },
         routing: Routing::Deflection,
         packet_len: 1,
     };
@@ -37,7 +50,10 @@ fn bench_deflection(c: &mut Criterion) {
 
 fn bench_big_torus(c: &mut Criterion) {
     let cfg = NocConfig {
-        topology: NocTopology::Torus { width: 8, height: 8 },
+        topology: NocTopology::Torus {
+            width: 8,
+            height: 8,
+        },
         routing: Routing::BufferedXY { buffer_depth: 4 },
         packet_len: 1,
     };

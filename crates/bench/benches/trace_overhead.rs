@@ -1,0 +1,56 @@
+//! Criterion benchmarks of span-tracing overhead: the same CCD-wide read
+//! run with tracing off, sampled 1-in-64, and tracing every transaction.
+//! The acceptance target is <10% throughput cost at 1-in-64 sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{ByteSize, SimTime};
+use chiplet_topology::{CcdId, PlatformSpec, Topology};
+
+fn run_once(topo: &Topology, sampling: Option<u32>) -> u64 {
+    let mut cfg = EngineConfig::deterministic();
+    cfg.trace_sampling = sampling;
+    let mut engine = Engine::new(topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads(
+            "bw",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(topo),
+        )
+        .working_set(ByteSize::from_gib(1))
+        .build(topo),
+    );
+    engine.run(SimTime::from_micros(20)).flows[0].bytes
+}
+
+fn bench_tracing_off(c: &mut Criterion) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    c.bench_function("trace/ccd_read_20us_tracing_off", |b| {
+        b.iter(|| black_box(run_once(&topo, None)))
+    });
+}
+
+fn bench_tracing_sampled(c: &mut Criterion) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    c.bench_function("trace/ccd_read_20us_sampled_1_in_64", |b| {
+        b.iter(|| black_box(run_once(&topo, Some(64))))
+    });
+}
+
+fn bench_tracing_full(c: &mut Criterion) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    c.bench_function("trace/ccd_read_20us_full", |b| {
+        b.iter(|| black_box(run_once(&topo, Some(1))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tracing_off,
+    bench_tracing_sampled,
+    bench_tracing_full
+);
+criterion_main!(benches);

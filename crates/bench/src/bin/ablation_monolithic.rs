@@ -4,9 +4,9 @@
 //! point of contrast throughout §3.
 
 use chiplet_bench::{f1, TextTable};
+use chiplet_mem::OpKind;
 use chiplet_membench::latency::position_latencies;
 use chiplet_membench::loaded::{loaded_latency_sweep, LinkScenario};
-use chiplet_mem::OpKind;
 use chiplet_net::engine::EngineConfig;
 use chiplet_topology::{CoreId, PlatformSpec, Topology};
 
@@ -43,7 +43,10 @@ fn main() {
             topo,
             LinkScenario::Gmi,
             OpKind::Read,
-            &[30.0 / LinkScenario::Gmi.nominal_cap(topo, OpKind::Read).as_gb_per_s()],
+            &[30.0
+                / LinkScenario::Gmi
+                    .nominal_cap(topo, OpKind::Read)
+                    .as_gb_per_s()],
             &cfg,
         );
         t.row(vec![

@@ -5,8 +5,8 @@
 //! each policy and reports the small/modest flow's achieved share.
 
 use chiplet_bench::{f1, TextTable};
-use chiplet_membench::compete::{competing_flows, CompeteLink};
 use chiplet_mem::OpKind;
+use chiplet_membench::compete::{competing_flows, CompeteLink};
 use chiplet_net::engine::EngineConfig;
 use chiplet_net::traffic::TrafficPolicy;
 use chiplet_topology::{PlatformSpec, Topology};
@@ -50,7 +50,14 @@ fn main() {
         ]);
         for (pname, policy) in &policies {
             let cfg = EngineConfig::default().with_policy(policy.clone());
-            let out = competing_flows(&topo, CompeteLink::Gmi, Some(d0), Some(d1), OpKind::Read, &cfg);
+            let out = competing_flows(
+                &topo,
+                CompeteLink::Gmi,
+                Some(d0),
+                Some(d1),
+                OpKind::Read,
+                &cfg,
+            );
             let satisfied = out.achieved0_gb_s >= d0.min(c) * 0.93;
             t.row(vec![
                 (*pname).to_string(),

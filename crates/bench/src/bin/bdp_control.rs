@@ -34,7 +34,12 @@ fn study(topo: &Topology, label: &str, target: Target) {
     println!("{label}:");
     let mut t = TextTable::new(vec!["policy", "GB/s", "mean ns", "P999 ns"]);
     let (bw, lat, p999) = run(topo, target.clone(), TrafficPolicy::HardwareDefault);
-    t.row(vec!["hardware (full MLP)".to_string(), f1(bw), f1(lat), f1(p999)]);
+    t.row(vec![
+        "hardware (full MLP)".to_string(),
+        f1(bw),
+        f1(lat),
+        f1(p999),
+    ]);
     for factor in [2.0, 1.5, 1.25, 1.10, 1.05] {
         let (bw, lat, p999) = run(
             topo,
@@ -60,8 +65,16 @@ fn study(topo: &Topology, label: &str, target: Target) {
 fn main() {
     println!("BDP-adaptive traffic control: the bandwidth/latency frontier.\n");
     let t9634 = Topology::build(&PlatformSpec::epyc_9634());
-    study(&t9634, "EPYC 9634 — one chiplet to DRAM (GMI-bound)", Target::all_dimms(&t9634));
-    study(&t9634, "EPYC 9634 — one chiplet to CXL (port-bound)", Target::Cxl(0));
+    study(
+        &t9634,
+        "EPYC 9634 — one chiplet to DRAM (GMI-bound)",
+        Target::all_dimms(&t9634),
+    );
+    study(
+        &t9634,
+        "EPYC 9634 — one chiplet to CXL (port-bound)",
+        Target::Cxl(0),
+    );
     println!(
         "Reading: the hardware default keeps the full MLP in flight and \
          pays hundreds of ns of queueing; a runtime-BDP controller walks \

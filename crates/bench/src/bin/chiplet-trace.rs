@@ -1,0 +1,228 @@
+//! `chiplet-trace` — the span-trace inspection utility (§4 #1/#5).
+//!
+//! Runs a named traffic scenario with span-level hop tracing on and prints
+//! the per-hop latency breakdown, or exports the raw spans as Chrome
+//! trace-event JSON (loadable in `chrome://tracing` / ui.perfetto.dev)
+//! and/or the `/proc/chiplet-net` sysfs tree with per-link time series.
+//!
+//! ```text
+//! chiplet-trace [SCENARIO] [--platform 7302|9634] [--sampling N]
+//!               [--horizon US] [--window US] [--chrome FILE]
+//!               [--sysfs DIR] [--seed N]
+//! ```
+//!
+//! Scenarios: `ccd-read` (default), `near-chase`, `two-flows`, `cxl-read`,
+//! `socket-read`.
+
+use std::process::ExitCode;
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_net::export_sysfs;
+use chiplet_net::flow::{FlowSpec, Target};
+use chiplet_sim::{ByteSize, SimDuration, SimTime};
+use chiplet_topology::descriptor::ChipletNetDescriptor;
+use chiplet_topology::{CcdId, CoreId, DimmPosition, PlatformSpec, Topology};
+
+const USAGE: &str = "usage: chiplet-trace [SCENARIO] [--platform 7302|9634] \
+[--sampling N] [--horizon US] [--window US] [--chrome FILE] [--sysfs DIR] [--seed N]
+scenarios: ccd-read (default), near-chase, two-flows, cxl-read, socket-read";
+
+struct Args {
+    scenario: String,
+    platform: String,
+    sampling: u32,
+    horizon_us: u64,
+    window_us: u64,
+    chrome: Option<String>,
+    sysfs: Option<String>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "ccd-read".to_string(),
+        platform: "7302".to_string(),
+        sampling: 1,
+        horizon_us: 40,
+        window_us: 2,
+        chrome: None,
+        sysfs: None,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--platform" => args.platform = value("--platform")?,
+            "--sampling" => {
+                args.sampling = value("--sampling")?
+                    .parse()
+                    .map_err(|e| format!("--sampling: {e}"))?
+            }
+            "--horizon" => {
+                args.horizon_us = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?
+            }
+            "--window" => {
+                args.window_us = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--chrome" => args.chrome = Some(value("--chrome")?),
+            "--sysfs" => args.sysfs = Some(value("--sysfs")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            s if !s.starts_with('-') => args.scenario = s.to_string(),
+            s => return Err(format!("unknown flag {s}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Adds the scenario's flows; errors on a scenario/platform mismatch.
+fn add_flows(engine: &mut Engine, topo: &Topology, scenario: &str) -> Result<(), String> {
+    match scenario {
+        "ccd-read" => {
+            engine.add_flow(
+                FlowSpec::reads(
+                    "ccd0-read",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::all_dimms(topo),
+                )
+                .working_set(ByteSize::from_gib(1))
+                .build(topo),
+            );
+        }
+        "near-chase" => {
+            let dimm = topo
+                .dimm_at_position(CoreId(0), DimmPosition::Near)
+                .ok_or("platform has no near DIMM")?;
+            engine.add_flow(
+                FlowSpec::pointer_chase("near-chase", CoreId(0), Target::dimm(dimm))
+                    .working_set(ByteSize::from_gib(1))
+                    .build(topo),
+            );
+        }
+        "two-flows" => {
+            engine.add_flow(
+                FlowSpec::reads(
+                    "ccx0-read",
+                    topo.cores_of_ccx(0).collect(),
+                    Target::all_dimms(topo),
+                )
+                .working_set(ByteSize::from_gib(1))
+                .build(topo),
+            );
+            engine.add_flow(
+                FlowSpec::reads(
+                    "ccx1-write",
+                    topo.cores_of_ccx(1).collect(),
+                    Target::all_dimms(topo),
+                )
+                .op(OpKind::WriteNonTemporal)
+                .working_set(ByteSize::from_gib(1))
+                .build(topo),
+            );
+        }
+        "cxl-read" => {
+            if topo.spec().cxl.is_none() {
+                return Err("cxl-read needs a CXL platform (use --platform 9634)".into());
+            }
+            engine.add_flow(
+                FlowSpec::reads(
+                    "cxl-read",
+                    topo.cores_of_ccd(CcdId(0)).collect(),
+                    Target::Cxl(0),
+                )
+                .working_set(ByteSize::from_gib(1))
+                .build(topo),
+            );
+        }
+        "socket-read" => {
+            engine.add_flow(
+                FlowSpec::reads(
+                    "socket-read",
+                    topo.core_ids().collect(),
+                    Target::all_dimms(topo),
+                )
+                .working_set(ByteSize::from_gib(1))
+                .build(topo),
+            );
+        }
+        s => return Err(format!("unknown scenario {s}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let spec = match args.platform.as_str() {
+        "7302" => PlatformSpec::epyc_7302(),
+        "9634" => PlatformSpec::epyc_9634(),
+        p => return Err(format!("unknown platform {p} (7302 or 9634)")),
+    };
+    let topo = Topology::build(&spec);
+    let cfg = EngineConfig::default()
+        .with_seed(args.seed)
+        .with_trace_sampling(args.sampling)
+        .with_trace(SimDuration::from_micros(args.window_us.max(1)));
+    let mut engine = Engine::new(&topo, cfg);
+    add_flows(&mut engine, &topo, &args.scenario)?;
+    let result = engine.run(SimTime::from_micros(args.horizon_us.max(5)));
+    let trace = result.trace.as_ref().expect("tracing was on");
+
+    println!(
+        "scenario {} on {} — horizon {} µs, sampling 1-in-{}\n",
+        args.scenario,
+        topo.spec().name,
+        args.horizon_us.max(5),
+        args.sampling.max(1),
+    );
+    for f in &result.flows {
+        println!(
+            "flow {:<12} achieved {:>8.2} GB/s  mean {:>8.2} ns  p999 {:>8.2} ns",
+            f.name,
+            f.achieved.as_gb_per_s(),
+            f.mean_latency_ns(),
+            f.p999_latency_ns(),
+        );
+    }
+    println!("\n{}", trace.breakdown_table());
+
+    if let Some(b) = result.telemetry.bottleneck() {
+        println!(
+            "bottleneck: {:?} (util read {:.2} write {:.2})",
+            b.point, b.read.utilization, b.write.utilization
+        );
+    }
+
+    if let Some(path) = &args.chrome {
+        let names: Vec<String> = result.flows.iter().map(|f| f.name.clone()).collect();
+        std::fs::write(path, trace.to_chrome_trace(&names))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Chrome trace JSON to {path} (load in ui.perfetto.dev)");
+    }
+    if let Some(dir) = &args.sysfs {
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        export_sysfs(&desc, &result.telemetry, std::path::Path::new(dir))
+            .map_err(|e| format!("exporting {dir}: {e}"))?;
+        println!("exported sysfs/procfs tree under {dir}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,8 +10,8 @@
 //! latency.
 
 use chiplet_bench::{f1, TextTable};
-use chiplet_membench::loaded::{default_fractions, loaded_latency_sweep, LinkScenario};
 use chiplet_mem::OpKind;
+use chiplet_membench::loaded::{default_fractions, loaded_latency_sweep, LinkScenario};
 use chiplet_net::engine::EngineConfig;
 use chiplet_topology::{PlatformSpec, Topology};
 
@@ -19,7 +19,11 @@ fn panel(topo: &Topology, scenario: LinkScenario, label: &str) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     if !scenario.supported(topo) {
-        let _ = writeln!(out, "[{label}] {scenario} on {}: not supported\n", topo.spec().name);
+        let _ = writeln!(
+            out,
+            "[{label}] {scenario} on {}: not supported\n",
+            topo.spec().name
+        );
         return out;
     }
     let _ = writeln!(
@@ -31,12 +35,7 @@ fn panel(topo: &Topology, scenario: LinkScenario, label: &str) -> String {
     let fractions = default_fractions();
     for op in [OpKind::Read, OpKind::WriteNonTemporal] {
         let pts = loaded_latency_sweep(topo, scenario, op, &fractions, &cfg);
-        let mut t = TextTable::new(vec![
-            "offered GB/s",
-            "achieved GB/s",
-            "avg ns",
-            "P999 ns",
-        ]);
+        let mut t = TextTable::new(vec!["offered GB/s", "achieved GB/s", "avg ns", "P999 ns"]);
         for p in &pts {
             t.row(vec![
                 f1(p.offered_gb_s),

@@ -3,8 +3,8 @@
 //! all three link classes.
 
 use chiplet_bench::{f1, TextTable};
-use chiplet_membench::compete::{competing_flows, figure4_cases, CompeteLink};
 use chiplet_mem::OpKind;
+use chiplet_membench::compete::{competing_flows, figure4_cases, CompeteLink};
 use chiplet_net::engine::EngineConfig;
 use chiplet_topology::{PlatformSpec, Topology};
 

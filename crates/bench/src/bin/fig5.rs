@@ -17,9 +17,15 @@ fn fig5_scenario(link: FluidLink) -> (FluidSim, f64) {
         name: "flow0 (throttled)".into(),
         demand: DemandSchedule::piecewise(vec![
             (SimTime::ZERO, None),
-            (SimTime::from_secs(2), Some(Bandwidth::from_gb_per_s(half - 2.0))),
+            (
+                SimTime::from_secs(2),
+                Some(Bandwidth::from_gb_per_s(half - 2.0)),
+            ),
             (SimTime::from_secs(3), None),
-            (SimTime::from_secs(4), Some(Bandwidth::from_gb_per_s(half - 2.0))),
+            (
+                SimTime::from_secs(4),
+                Some(Bandwidth::from_gb_per_s(half - 2.0)),
+            ),
             (SimTime::from_secs(5), None),
         ]),
         links: vec![0],

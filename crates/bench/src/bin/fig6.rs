@@ -4,8 +4,8 @@
 //! bandwidth for every X-Y combination (R-R, R-W, W-R, W-W).
 
 use chiplet_bench::{f1, TextTable};
-use chiplet_membench::interference::{interference_sweep, InterferenceDomain};
 use chiplet_mem::OpKind;
+use chiplet_membench::interference::{interference_sweep, InterferenceDomain};
 use chiplet_net::engine::EngineConfig;
 use chiplet_topology::{PlatformSpec, Topology};
 

@@ -90,12 +90,8 @@ fn main() {
         .build(&topo),
     );
     engine.add_flow(
-        FlowSpec::nic_dma_write(
-            "nic-rx",
-            0,
-            Target::Dimms((6..12).map(DimmId).collect()),
-        )
-        .build(&topo),
+        FlowSpec::nic_dma_write("nic-rx", 0, Target::Dimms((6..12).map(DimmId).collect()))
+            .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(60));
     println!(

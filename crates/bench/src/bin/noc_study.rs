@@ -10,11 +10,26 @@ use chiplet_sim::DetRng;
 fn main() {
     println!("NoC design-space study: 4x2 I/O-die fabric candidates.\n");
     let topologies = [
-        ("mesh 4x2", NocTopology::Mesh { width: 4, height: 2 }),
-        ("torus 4x2", NocTopology::Torus { width: 4, height: 2 }),
+        (
+            "mesh 4x2",
+            NocTopology::Mesh {
+                width: 4,
+                height: 2,
+            },
+        ),
+        (
+            "torus 4x2",
+            NocTopology::Torus {
+                width: 4,
+                height: 2,
+            },
+        ),
     ];
     let routings = [
-        ("buffered XY (4-deep)", Routing::BufferedXY { buffer_depth: 4 }),
+        (
+            "buffered XY (4-deep)",
+            Routing::BufferedXY { buffer_depth: 4 },
+        ),
         ("bufferless deflection", Routing::Deflection),
     ];
     let patterns = [
@@ -38,7 +53,11 @@ fn main() {
                 for &rate in &rates {
                     let mut rng = DetRng::seed_from_u64(7);
                     let stats = NocSim::run_synthetic(
-                        NocConfig { topology: topo, routing, packet_len: 1 },
+                        NocConfig {
+                            topology: topo,
+                            routing,
+                            packet_len: 1,
+                        },
                         pattern,
                         rate,
                         500,
@@ -76,7 +95,10 @@ fn main() {
         let mut rng = DetRng::seed_from_u64(7);
         let stats = NocSim::run_synthetic(
             NocConfig {
-                topology: NocTopology::Mesh { width: 4, height: 2 },
+                topology: NocTopology::Mesh {
+                    width: 4,
+                    height: 2,
+                },
                 routing: Routing::BufferedXY { buffer_depth: 4 },
                 packet_len: len,
             },

@@ -13,20 +13,28 @@ fn main() {
     let spec = PlatformSpec::dual_epyc_7302();
     let topo = Topology::build(&spec);
     let cfg = EngineConfig::deterministic();
-    println!("NUMA study: {} ({} cores, {} DIMMs)\n", spec.name, topo.core_count(), topo.dimm_count());
+    println!(
+        "NUMA study: {} ({} cores, {} DIMMs)\n",
+        spec.name,
+        topo.core_count(),
+        topo.dimm_count()
+    );
 
     // 1. The full latency ladder including the remote socket.
     println!("Pointer-chase latency ladder from core0:");
     let mut t = TextTable::new(vec!["position", "latency ns", "vs near"]);
     let near = {
-        let d = topo.dimm_at_position(CoreId(0), DimmPosition::Near).unwrap();
+        let d = topo
+            .dimm_at_position(CoreId(0), DimmPosition::Near)
+            .unwrap();
         pointer_chase_latency_ns(&topo, CoreId(0), d, ByteSize::from_gib(1), cfg.clone())
     };
     for pos in DimmPosition::ALL_WITH_REMOTE {
         let Some(dimm) = topo.dimm_at_position(CoreId(0), pos) else {
             continue;
         };
-        let lat = pointer_chase_latency_ns(&topo, CoreId(0), dimm, ByteSize::from_gib(1), cfg.clone());
+        let lat =
+            pointer_chase_latency_ns(&topo, CoreId(0), dimm, ByteSize::from_gib(1), cfg.clone());
         t.row(vec![
             pos.to_string(),
             f1(lat),
@@ -47,10 +55,14 @@ fn main() {
         let n = dimms.len();
         let mut engine = Engine::new(&topo, cfg.clone());
         engine.add_flow(
-            FlowSpec::reads("nps", topo.cores_of_ccd(CcdId(0)).collect(), Target::Dimms(dimms))
-                .offered(chiplet_sim::Bandwidth::from_gb_per_s(20.0))
-                .working_set(ByteSize::from_gib(1))
-                .build(&topo),
+            FlowSpec::reads(
+                "nps",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::Dimms(dimms),
+            )
+            .offered(chiplet_sim::Bandwidth::from_gb_per_s(20.0))
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
         );
         let r = engine.run(SimTime::from_micros(40));
         t.row(vec![

@@ -11,9 +11,8 @@ fn main() {
         specs[0].name.clone(),
         specs[1].name.clone(),
     ]);
-    let col = |f: &dyn Fn(&PlatformSpec) -> String| -> Vec<String> {
-        specs.iter().map(f).collect()
-    };
+    let col =
+        |f: &dyn Fn(&PlatformSpec) -> String| -> Vec<String> { specs.iter().map(f).collect() };
     let mut row = |label: &str, f: &dyn Fn(&PlatformSpec) -> String| {
         let mut cells = vec![label.to_string()];
         cells.extend(col(f));
@@ -42,7 +41,8 @@ fn main() {
     });
     row("UMC # (per CPU)", &|s| s.mem.umc_count.to_string());
     row("CXL modules", &|s| {
-        s.cxl.as_ref()
+        s.cxl
+            .as_ref()
             .map_or("N/A".to_string(), |c| c.device_count.to_string())
     });
 

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use chiplet_fabric::{Dir, DirectionalChannel, SlotLimiter};
 use chiplet_mem::{AccessOutcome, CacheHierarchy, DramServiceModel, Pattern};
-use chiplet_sim::stats::LatencyHistogram;
+use chiplet_sim::stats::{BandwidthTrace, GaugeTrace, LatencyHistogram, SpanCollector};
 use chiplet_sim::{Bandwidth, ByteSize, DetRng, EventQueue, SimDuration, SimTime};
 use chiplet_topology::{CoreId, DimmId, PlatformKind, Topology};
 
@@ -35,10 +35,17 @@ use crate::flow::{FlowId, FlowSpec, Target};
 use crate::telemetry::{
     CapacityPoint, DirStats, FlowTelemetry, LinkTelemetry, MatrixCell, TelemetryReport,
 };
+use crate::trace::{HopClass, TraceReport};
 use crate::traffic::{FlowDemand, ResourceKey, TrafficPolicy};
 use plan::{StagePlan, StageRef};
 
 const LINE: u64 = 64;
+
+/// Label for the trace-sampling RNG stream derived from the seed.
+const TRACE_RNG_LABEL: u64 = 0x0074_7261_6365; // "trace"
+
+/// Completed-span cap: bounds trace memory regardless of run length.
+const SPAN_COLLECTOR_CAP: usize = 1 << 20;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -65,8 +72,18 @@ pub struct EngineConfig {
     /// on the result.
     pub profile: bool,
     /// Record a per-flow bandwidth time series with this sampling window
-    /// (the time-series half of §4 #5's telemetry).
+    /// (the time-series half of §4 #5's telemetry). Also enables the
+    /// per-capacity-point bandwidth and queue-backlog series on
+    /// [`LinkTelemetry`].
     pub trace_window: Option<SimDuration>,
+    /// Span-level hop tracing: sample 1 in N transactions (`Some(1)` =
+    /// every transaction) and record timestamped hop events at every
+    /// capacity point they cross. The sampling draw comes from an RNG
+    /// stream derived from the seed but independent of the simulation's —
+    /// enabling tracing never perturbs results, and the same seed yields
+    /// the same sample set. The result carries a
+    /// [`crate::trace::TraceReport`].
+    pub trace_sampling: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +97,7 @@ impl Default for EngineConfig {
             budget_headroom: 1.3,
             profile: false,
             trace_window: None,
+            trace_sampling: None,
         }
     }
 }
@@ -118,6 +136,13 @@ impl EngineConfig {
         self.trace_window = Some(window);
         self
     }
+
+    /// Enables span-level hop tracing, sampling 1 in `n` transactions
+    /// (builder style). `n` is clamped to at least 1.
+    pub fn with_trace_sampling(mut self, n: u32) -> Self {
+        self.trace_sampling = Some(n.max(1));
+        self
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +169,9 @@ struct Txn {
     /// RFO reads and writebacks).
     dir_write: bool,
     live: bool,
+    /// Open span handle when this transaction is trace-sampled
+    /// (`u32::MAX` = not sampled).
+    span: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -197,6 +225,8 @@ pub struct RunResult {
     pub window: SimDuration,
     /// The sketch profiler's output, when [`EngineConfig::profile`] was set.
     pub profile: Option<crate::profiler::ProfileReport>,
+    /// Sampled span traces, when [`EngineConfig::trace_sampling`] was set.
+    pub trace: Option<TraceReport>,
 }
 
 impl RunResult {
@@ -230,6 +260,32 @@ pub struct Engine<'t> {
     warmup_ns: f64,
     cache: CacheHierarchy,
     profiler: Option<crate::profiler::Profiler>,
+    /// Span collector for 1-in-N hop tracing (`trace_sampling`).
+    spans: Option<SpanCollector>,
+    /// Sampling RNG: derived from the seed, independent of `rng`, so
+    /// enabling tracing never perturbs simulation results.
+    trace_rng: DetRng,
+    /// Per-capacity-point bandwidth/backlog series (`trace_window`),
+    /// indexed link-id first, then sockets, then CXL ports.
+    point_traces: Option<Vec<PointSeries>>,
+}
+
+/// Windowed time series for one capacity point.
+struct PointSeries {
+    read: BandwidthTrace,
+    write: BandwidthTrace,
+    /// Backlog (ns of queued service) observed at each admission.
+    depth: GaugeTrace,
+}
+
+impl PointSeries {
+    fn new(window: SimDuration) -> Self {
+        PointSeries {
+            read: BandwidthTrace::new(window),
+            write: BandwidthTrace::new(window),
+            depth: GaugeTrace::new(window),
+        }
+    }
 }
 
 impl<'t> Engine<'t> {
@@ -247,7 +303,7 @@ impl<'t> Engine<'t> {
                 }
             })
             .collect();
-        let noc = (0..spec.socket_count)
+        let noc: Vec<DirectionalChannel> = (0..spec.socket_count)
             .map(|_| DirectionalChannel::new(Some(spec.caps.noc_read), Some(spec.caps.noc_write)))
             .collect();
         let cxl_ports = match &spec.cxl {
@@ -280,7 +336,9 @@ impl<'t> Engine<'t> {
                 spec.caps.gmi_read,
                 spec.cores_per_ccd() * spec.mlp.core_read_outstanding,
             );
-            (0..topo.ccd_total()).map(|_| SlotLimiter::new(tokens)).collect()
+            (0..topo.ccd_total())
+                .map(|_| SlotLimiter::new(tokens))
+                .collect()
         });
 
         let dram_model = cfg.dram.unwrap_or(match spec.kind {
@@ -291,9 +349,15 @@ impl<'t> Engine<'t> {
         let cxl_model = cfg.cxl.unwrap_or(DramServiceModel::cxl());
         let rng = DetRng::seed_from_u64(cfg.seed);
         let cache = CacheHierarchy::from_spec(&spec.cache);
-        let profiler = cfg
-            .profile
-            .then(crate::profiler::Profiler::new);
+        let profiler = cfg.profile.then(crate::profiler::Profiler::new);
+        let trace_rng = rng.derive(TRACE_RNG_LABEL);
+        let spans = cfg
+            .trace_sampling
+            .map(|_| SpanCollector::new(SPAN_COLLECTOR_CAP));
+        let n_points = topo.links().len() + noc.len() + cxl_ports.len();
+        let point_traces = cfg
+            .trace_window
+            .map(|w| (0..n_points).map(|_| PointSeries::new(w)).collect());
 
         Engine {
             topo,
@@ -333,6 +397,9 @@ impl<'t> Engine<'t> {
             warmup_ns: 0.0,
             cache,
             profiler,
+            spans,
+            trace_rng,
+            point_traces,
         }
     }
 
@@ -451,7 +518,10 @@ impl<'t> Engine<'t> {
             adaptive_rate: None,
             win_lat_sum_ns: 0.0,
             win_lat_n: 0,
-            trace: self.cfg.trace_window.map(chiplet_sim::stats::BandwidthTrace::new),
+            trace: self
+                .cfg
+                .trace_window
+                .map(chiplet_sim::stats::BandwidthTrace::new),
             issued: 0,
             completed: 0,
             bytes: 0,
@@ -474,8 +544,10 @@ impl<'t> Engine<'t> {
         self.horizon_ns = horizon.as_nanos() as f64;
         self.warmup_ns = self.cfg.warmup.as_nanos() as f64;
 
-        self.queue
-            .push(SimTime::from_nanos(self.cfg.warmup.as_nanos()), Event::ResetStats);
+        self.queue.push(
+            SimTime::from_nanos(self.cfg.warmup.as_nanos()),
+            Event::ResetStats,
+        );
 
         // BDP-adaptive control: periodic ticks across the whole run.
         if let TrafficPolicy::BdpAdaptive { interval_ns, .. } = self.cfg.policy {
@@ -492,12 +564,7 @@ impl<'t> Engine<'t> {
             let mut boundaries: Vec<u64> = self
                 .flows
                 .iter()
-                .flat_map(|f| {
-                    [
-                        f.spec.start.as_nanos(),
-                        f.spec.stop_or(horizon).as_nanos(),
-                    ]
-                })
+                .flat_map(|f| [f.spec.start.as_nanos(), f.spec.stop_or(horizon).as_nanos()])
                 .filter(|&t| t < horizon.as_nanos())
                 .collect();
             boundaries.sort_unstable();
@@ -510,8 +577,8 @@ impl<'t> Engine<'t> {
         // Kick off issue loops (analytic cache-resident flows excluded).
         for fi in 0..self.flows.len() {
             // DMA flows always hit the fabric regardless of working set.
-            let fabric = self.flows[fi].outcome.is_fabric_bound()
-                || self.flows[fi].spec.nic.is_some();
+            let fabric =
+                self.flows[fi].outcome.is_fabric_bound() || self.flows[fi].spec.nic.is_some();
             if fabric {
                 let start = self.flows[fi].spec.start.min(horizon);
                 let issuers: Vec<u32> = if let Some(nic) = self.flows[fi].spec.nic {
@@ -649,7 +716,24 @@ impl<'t> Engine<'t> {
             limiter_phase: 0,
             dir_write: is_write,
             live: true,
+            span: u32::MAX,
         });
+
+        // Trace-sampling decision: one draw per issue from the derived
+        // stream, in event order — deterministic for a given seed.
+        if let Some(n) = self.cfg.trace_sampling {
+            let sampled = n <= 1 || self.trace_rng.next_below(n as u64) == 0;
+            if sampled {
+                if let Some(h) = self
+                    .spans
+                    .as_mut()
+                    .expect("collector exists when sampling is on")
+                    .start(fi, core, now_ns)
+                {
+                    self.txns[txn as usize].span = h;
+                }
+            }
+        }
 
         // Pacing for the next issue. The gap advances the *fractional*
         // schedule, not the rounded event time: sub-ns gaps (a DMA engine
@@ -657,9 +741,7 @@ impl<'t> Engine<'t> {
         // per transaction and undershoot the configured rate. A stale
         // schedule (after a long slot stall) catches up at most 1 ns.
         let next = if gap > 0.0 {
-            let base = self.cores[core as usize]
-                .next_allowed_ns
-                .max(now_ns - 1.0);
+            let base = self.cores[core as usize].next_allowed_ns.max(now_ns - 1.0);
             base + self.rng.exponential(gap)
         } else {
             now_ns
@@ -709,8 +791,20 @@ impl<'t> Engine<'t> {
                 _ => {
                     // Both limiters held: limiter queueing is part of the
                     // transaction's wait, then the stage walk begins.
-                    let t = &mut self.txns[txn as usize];
-                    t.waits_ns += now_ns - t.issue_ns;
+                    let (span, issue_ns) = {
+                        let t = &mut self.txns[txn as usize];
+                        t.waits_ns += now_ns - t.issue_ns;
+                        (t.span, t.issue_ns)
+                    };
+                    if span != u32::MAX {
+                        self.spans.as_mut().expect("span open ⇒ collector").hop(
+                            span,
+                            HopClass::TrafficCtrl.code(),
+                            issue_ns,
+                            now_ns,
+                            now_ns,
+                        );
+                    }
                     self.schedule_at(now_ns, now_ns, Event::Stage { txn });
                     return;
                 }
@@ -763,6 +857,42 @@ impl<'t> Engine<'t> {
             let t = &mut self.txns[txn as usize];
             t.waits_ns += adm.wait_ns;
             t.extra_ns += extra;
+        }
+        // Per-point time series: bytes admitted plus the backlog this
+        // admission left behind (wait + service, ns of queued work).
+        if let Some(series) = self.point_traces.as_mut() {
+            let idx = match point {
+                StageRef::Link(l) => l as usize,
+                StageRef::SocketNoc(sk) => self.channels.len() + sk as usize,
+                StageRef::CxlPort(c) => self.channels.len() + self.noc.len() + c as usize,
+            };
+            let s = &mut series[idx];
+            let at = SimTime::from_nanos(now_ns as u64);
+            match dir {
+                Dir::Read => s.read.record(at, ByteSize::from_bytes(bytes)),
+                Dir::Write => s.write.record(at, ByteSize::from_bytes(bytes)),
+            }
+            s.depth.record(at, adm.wait_ns + adm.service_ns);
+        }
+        // Hop record: the wait is queueing behind earlier admissions; the
+        // latency-contributing service here is the device variability
+        // (serialization is part of the unloaded propagation segment).
+        let span = self.txns[txn as usize].span;
+        if span != u32::MAX {
+            let label = match point {
+                StageRef::Link(l) => {
+                    HopClass::from_link_kind(self.topo.links()[l as usize].kind).code()
+                }
+                StageRef::SocketNoc(_) => HopClass::SocketNoc.code(),
+                StageRef::CxlPort(_) => HopClass::CxlPort.code(),
+            };
+            self.spans.as_mut().expect("span open ⇒ collector").hop(
+                span,
+                label,
+                now_ns,
+                now_ns + adm.wait_ns,
+                now_ns + adm.wait_ns + extra,
+            );
         }
         if (stage_idx as usize) + 1 < n_stages {
             self.txns[txn as usize].stage += 1;
@@ -831,8 +961,7 @@ impl<'t> Engine<'t> {
                 // Temporal-write flows: only the writeback carries the
                 // application's payload; the RFO read is coherence
                 // overhead (it still loads the fabric above).
-                let counts_payload =
-                    op != chiplet_mem::OpKind::WriteTemporal || t.dir_write;
+                let counts_payload = op != chiplet_mem::OpKind::WriteTemporal || t.dir_write;
                 let f = &mut self.flows[flow as usize];
                 f.completed += 1;
                 if counts_payload {
@@ -860,6 +989,26 @@ impl<'t> Engine<'t> {
                 if let Some(p) = self.profiler.as_mut() {
                     p.observe(FlowId(flow), matrix_src, matrix_dest, LINE, lat);
                 }
+            }
+        }
+        // Seal the span (all sampled transactions, windowed or not): the
+        // residual propagation hop carries the unloaded route latency, so
+        // the hops tile the charged end-to-end latency exactly.
+        {
+            let t = &self.txns[txn as usize];
+            if t.span != u32::MAX {
+                let span = t.span;
+                let unloaded_ns = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns;
+                let lat = unloaded_ns + t.waits_ns + t.extra_ns;
+                let spans = self.spans.as_mut().expect("span open ⇒ collector");
+                spans.hop(
+                    span,
+                    HopClass::Propagation.code(),
+                    now_ns - unloaded_ns,
+                    now_ns - unloaded_ns,
+                    now_ns,
+                );
+                spans.finish(span, now_ns, lat);
             }
         }
         self.free_txn(txn);
@@ -930,10 +1079,7 @@ impl<'t> Engine<'t> {
                     .collect();
                 resources.sort_by_key(|&(k, _)| k);
                 FlowDemand {
-                    demand: f
-                        .spec
-                        .offered
-                        .map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
+                    demand: f.spec.offered.map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
                     weight: 1.0,
                     resources,
                 }
@@ -964,8 +1110,7 @@ impl<'t> Engine<'t> {
                 };
                 f.adaptive_rate = Some(next);
                 let per_issuer = next / f.spec.issuer_count() as f64;
-                f.gap_mean_ns =
-                    gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)));
+                f.gap_mean_ns = gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)));
             }
             return;
         }
@@ -973,8 +1118,7 @@ impl<'t> Engine<'t> {
         if let Some(rates) = self.cfg.policy.allocate(&demands, &capacities) {
             for (k, &i) in active.iter().enumerate() {
                 let issuers = self.flows[i].spec.issuer_count() as f64;
-                let per_issuer =
-                    Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
+                let per_issuer = Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
                 self.flows[i].gap_mean_ns = gap_from_rate(Some(per_issuer));
             }
         }
@@ -1019,14 +1163,14 @@ impl<'t> Engine<'t> {
             .map(|(i, f)| {
                 // Cache-resident core flows are accounted analytically; DMA
                 // flows always run on the fabric.
-                if let (AccessOutcome::CacheHit { latency_ns, .. }, None) =
-                    (f.outcome, f.spec.nic)
+                if let (AccessOutcome::CacheHit { latency_ns, .. }, None) = (f.outcome, f.spec.nic)
                 {
                     // Cache-resident: accounted analytically. One line per
                     // hit latency per core, or the offered rate if lower.
                     let per_core = Bandwidth::from_gb_per_s(LINE as f64 / latency_ns);
-                    let hw =
-                        Bandwidth::from_gb_per_s(per_core.as_gb_per_s() * f.spec.cores.len() as f64);
+                    let hw = Bandwidth::from_gb_per_s(
+                        per_core.as_gb_per_s() * f.spec.cores.len() as f64,
+                    );
                     let achieved = f.spec.offered.map_or(hw, |o| o.min(hw));
                     let mut latency = LatencyHistogram::new();
                     latency.record(SimDuration::from_nanos_f64(latency_ns));
@@ -1062,32 +1206,64 @@ impl<'t> Engine<'t> {
             })
             .collect();
 
+        // Per-point series, finished at the horizon; indexed links first,
+        // then sockets, then CXL ports (matching the recording side).
+        type FinishedSeries = (
+            Vec<chiplet_sim::stats::TracePoint>,
+            Vec<chiplet_sim::stats::TracePoint>,
+            Vec<chiplet_sim::stats::GaugePoint>,
+        );
+        let mut series: Option<Vec<FinishedSeries>> = self.point_traces.map(|traces| {
+            traces
+                .into_iter()
+                .map(|s| {
+                    (
+                        s.read.finish(horizon),
+                        s.write.finish(horizon),
+                        s.depth.finish(horizon),
+                    )
+                })
+                .collect()
+        });
+        let mut attach = |lt: &mut LinkTelemetry, idx: usize| {
+            if let Some(series) = series.as_mut() {
+                let (r, w, d) = std::mem::take(&mut series[idx]);
+                lt.read_trace = r;
+                lt.write_trace = w;
+                lt.depth_trace = d;
+            }
+        };
+
+        let n_links = self.channels.len();
+        let n_socks = self.noc.len();
         let mut links = Vec::new();
         for (i, ch) in self.channels.iter().enumerate() {
             let Some(ch) = ch else { continue };
             let kind = self.topo.links()[i].kind;
-            links.push(link_telemetry(
+            let mut lt = link_telemetry(
                 CapacityPoint::Link {
                     link: i as u32,
                     kind,
                 },
                 ch,
                 window_ns,
-            ));
+            );
+            attach(&mut lt, i);
+            links.push(lt);
         }
         for (sk, ch) in self.noc.iter().enumerate() {
-            links.push(link_telemetry(
+            let mut lt = link_telemetry(
                 CapacityPoint::SocketNoc { socket: sk as u32 },
                 ch,
                 window_ns,
-            ));
+            );
+            attach(&mut lt, n_links + sk);
+            links.push(lt);
         }
         for (c, ch) in self.cxl_ports.iter().enumerate() {
-            links.push(link_telemetry(
-                CapacityPoint::CxlPort { ccd: c as u32 },
-                ch,
-                window_ns,
-            ));
+            let mut lt = link_telemetry(CapacityPoint::CxlPort { ccd: c as u32 }, ch, window_ns);
+            attach(&mut lt, n_links + n_socks + c);
+            links.push(lt);
         }
 
         let mut matrix: Vec<MatrixCell> = self
@@ -1097,9 +1273,17 @@ impl<'t> Engine<'t> {
             .collect();
         matrix.sort_by_key(|c| (c.ccd, c.dest));
 
-        let profile = self.profiler.as_ref().map(crate::profiler::Profiler::report);
+        let profile = self
+            .profiler
+            .as_ref()
+            .map(crate::profiler::Profiler::report);
+        let trace = self.spans.map(|c| {
+            let (spans, dropped) = c.into_parts();
+            TraceReport::from_spans(self.cfg.trace_sampling.unwrap_or(1), spans, dropped)
+        });
         RunResult {
             profile,
+            trace,
             telemetry: TelemetryReport {
                 platform: self.topo.spec().name.clone(),
                 window,
@@ -1155,6 +1339,9 @@ fn link_telemetry(point: CapacityPoint, ch: &DirectionalChannel, window_ns: f64)
         point,
         read: dir_stats(Dir::Read),
         write: dir_stats(Dir::Write),
+        read_trace: Vec::new(),
+        write_trace: Vec::new(),
+        depth_trace: Vec::new(),
     }
 }
 

@@ -288,7 +288,9 @@ mod tests {
     #[test]
     fn plans_differ_by_destination_quadrant() {
         let topo = Topology::build(&PlatformSpec::epyc_7302());
-        let near = topo.dimm_at_position(CoreId(0), DimmPosition::Near).unwrap();
+        let near = topo
+            .dimm_at_position(CoreId(0), DimmPosition::Near)
+            .unwrap();
         let diag = topo
             .dimm_at_position(CoreId(0), DimmPosition::Diagonal)
             .unwrap();

@@ -45,7 +45,9 @@ fn max_bandwidth(topo: &Topology, scope: &str, op: OpKind) -> f64 {
 #[test]
 fn table2_pointer_chase_near_dimm() {
     for (topo, expected) in [(topo_7302(), 124.0), (topo_9634(), 141.0)] {
-        let dimm = topo.dimm_at_position(CoreId(0), DimmPosition::Near).unwrap();
+        let dimm = topo
+            .dimm_at_position(CoreId(0), DimmPosition::Near)
+            .unwrap();
         let lat = pointer_chase_latency_ns(
             &topo,
             CoreId(0),
@@ -65,7 +67,12 @@ fn table2_pointer_chase_near_dimm() {
 fn table2_position_ordering_holds_under_chase() {
     let topo = topo_7302();
     let mut last = 0.0;
-    for pos in [DimmPosition::Near, DimmPosition::Vertical, DimmPosition::Horizontal, DimmPosition::Diagonal] {
+    for pos in [
+        DimmPosition::Near,
+        DimmPosition::Vertical,
+        DimmPosition::Horizontal,
+        DimmPosition::Diagonal,
+    ] {
         let dimm = topo.dimm_at_position(CoreId(0), pos).unwrap();
         let lat = pointer_chase_latency_ns(
             &topo,
@@ -157,7 +164,10 @@ fn table3_cxl_bandwidth_9634() {
     assert!(within(core_r, 5.4, 0.12), "cxl core read {core_r}");
     let core_w = run(vec![CoreId(0)], OpKind::WriteNonTemporal);
     assert!(within(core_w, 2.8, 0.15), "cxl core write {core_w}");
-    let ccd_r = run(topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), OpKind::Read);
+    let ccd_r = run(
+        topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+        OpKind::Read,
+    );
     assert!(within(ccd_r, 24.3, 0.12), "cxl ccd read {ccd_r}");
 }
 
@@ -203,13 +213,20 @@ fn latency_rises_with_offered_load() {
     let run_at = |gb: f64| {
         let mut engine = Engine::new(&topo, EngineConfig::deterministic());
         engine.add_flow(
-            FlowSpec::reads("load", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
-                .offered(Bandwidth::from_gb_per_s(gb))
-                .working_set(ByteSize::from_gib(1))
-                .build(&topo),
+            FlowSpec::reads(
+                "load",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .offered(Bandwidth::from_gb_per_s(gb))
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
         );
         let r = engine.run(SimTime::from_micros(60));
-        (r.flows[0].achieved.as_gb_per_s(), r.flows[0].mean_latency_ns())
+        (
+            r.flows[0].achieved.as_gb_per_s(),
+            r.flows[0].mean_latency_ns(),
+        )
     };
     let (bw_lo, lat_lo) = run_at(5.0);
     let (bw_hi, lat_hi) = run_at(31.0);
@@ -290,8 +307,16 @@ fn under_subscription_gives_everyone_their_demand() {
             .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(60));
-    assert!(within(r.flow("a").unwrap().achieved.as_gb_per_s(), 10.0, 0.08));
-    assert!(within(r.flow("b").unwrap().achieved.as_gb_per_s(), 14.0, 0.08));
+    assert!(within(
+        r.flow("a").unwrap().achieved.as_gb_per_s(),
+        10.0,
+        0.08
+    ));
+    assert!(within(
+        r.flow("b").unwrap().achieved.as_gb_per_s(),
+        14.0,
+        0.08
+    ));
 }
 
 #[test]
@@ -329,8 +354,12 @@ fn determinism_same_seed_same_result() {
         let cfg = EngineConfig::default().with_seed(seed);
         let mut engine = Engine::new(&topo, cfg);
         engine.add_flow(
-            FlowSpec::reads("r", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
-                .build(&topo),
+            FlowSpec::reads(
+                "r",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
         );
         let r = engine.run(SimTime::from_micros(20));
         (
@@ -348,8 +377,12 @@ fn telemetry_identifies_gmi_bottleneck() {
     let topo = topo_7302();
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::reads("r", topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::reads(
+            "r",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(40));
     let b = r.telemetry.bottleneck().unwrap();
@@ -371,9 +404,7 @@ fn telemetry_identifies_gmi_bottleneck() {
 fn traffic_matrix_recorded() {
     let topo = topo_7302();
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
-    engine.add_flow(
-        FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo),
-    );
+    engine.add_flow(FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&topo)).build(&topo));
     let r = engine.run(SimTime::from_micros(20));
     // Core 0 is on CCD 0; traffic spreads across all 8 UMCs.
     assert_eq!(r.telemetry.matrix.len(), 8);
@@ -419,7 +450,10 @@ fn cache_resident_flow_is_analytic() {
     assert!(r.flows[0].analytic);
     assert_eq!(r.flows[0].issued, 0);
     // No fabric traffic at all.
-    assert_eq!(r.telemetry.links.iter().map(|l| l.read.bytes).sum::<u64>(), 0);
+    assert_eq!(
+        r.telemetry.links.iter().map(|l| l.read.bytes).sum::<u64>(),
+        0
+    );
 }
 
 #[test]
@@ -489,13 +523,262 @@ fn flow_stops_at_its_stop_time() {
             .stop(SimTime::from_micros(10))
             .build(&topo),
     );
-    engine.add_flow(
-        FlowSpec::reads("long", vec![CoreId(4)], Target::all_dimms(&topo)).build(&topo),
-    );
+    engine
+        .add_flow(FlowSpec::reads("long", vec![CoreId(4)], Target::all_dimms(&topo)).build(&topo));
     let r = engine.run(SimTime::from_micros(40));
     let short = r.flow("short").unwrap();
     let long = r.flow("long").unwrap();
     // The short flow only issued for ~8 µs of the 38 µs window.
     assert!(short.bytes < long.bytes / 2);
     assert!(short.bytes > 0);
+}
+
+#[test]
+fn spans_tile_end_to_end_latency() {
+    // Acceptance: per-transaction hop spans tile the charged end-to-end
+    // latency within 1 ns, even under load (queueing + device variability).
+    let topo = topo_9634();
+    let cfg = EngineConfig::default().with_trace_sampling(1);
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads(
+            "r",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(20));
+    let trace = r.trace.expect("sampling was on");
+    assert!(trace.spans.len() > 100, "only {} spans", trace.spans.len());
+    for span in &trace.spans {
+        assert!(
+            (span.hop_sum_ns() - span.e2e_ns).abs() < 1.0,
+            "span {} hops sum {} vs e2e {}",
+            span.seq,
+            span.hop_sum_ns(),
+            span.e2e_ns
+        );
+        // Limiter queueing first, propagation last.
+        assert_eq!(
+            span.hops.first().unwrap().label,
+            HopClass::TrafficCtrl.code()
+        );
+        assert_eq!(
+            span.hops.last().unwrap().label,
+            HopClass::Propagation.code()
+        );
+    }
+}
+
+#[test]
+fn unloaded_hop_means_match_table2_on_light_load() {
+    // Acceptance: under a single unloaded pointer chase, the observed mean
+    // end-to-end span — and its propagation hop — match the configured
+    // Table 2 latency within 5%.
+    for (spec, _expected) in [
+        (PlatformSpec::epyc_7302(), 124.0),
+        (PlatformSpec::epyc_9634(), 141.0),
+    ] {
+        let topo = Topology::build(&spec);
+        let dimm = topo
+            .dimm_at_position(CoreId(0), DimmPosition::Near)
+            .unwrap();
+        let table2 = spec.dram_latency_ns(DimmPosition::Near);
+        let cfg = EngineConfig::deterministic().with_trace_sampling(1);
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::pointer_chase("chase", CoreId(0), Target::dimm(dimm))
+                .working_set(ByteSize::from_gib(1))
+                .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(30));
+        let trace = r.trace.expect("sampling was on");
+        assert!(!trace.spans.is_empty());
+        assert!(
+            within(trace.mean_e2e_ns(), table2, 0.05),
+            "{}: span mean {} vs Table 2 {}",
+            spec.name,
+            trace.mean_e2e_ns(),
+            table2
+        );
+        let breakdown = trace.breakdown();
+        let prop = breakdown
+            .iter()
+            .find(|b| b.class == HopClass::Propagation)
+            .expect("propagation hop present");
+        assert!(
+            within(prop.mean_total_ns, table2, 0.05),
+            "{}: propagation mean {} vs Table 2 {}",
+            spec.name,
+            prop.mean_total_ns,
+            table2
+        );
+        // Unloaded: queueing waits are negligible at every hop.
+        for b in &breakdown {
+            assert!(
+                b.mean_wait_ns < 0.05 * table2,
+                "{}: {} mean wait {}",
+                spec.name,
+                b.class.name(),
+                b.mean_wait_ns
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_sampling_never_perturbs_results() {
+    // Acceptance: trace_sampling: None leaves results identical to any
+    // sampled run with the same seed — the sampler draws from a derived
+    // RNG stream, never the simulation's.
+    let topo = topo_9634();
+    let run = |sampling: Option<u32>| {
+        let mut cfg = EngineConfig::default().with_seed(11);
+        cfg.trace_sampling = sampling;
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads(
+                "r",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(20));
+        (
+            r.flows[0].bytes,
+            r.flows[0].completed,
+            r.flows[0].latency.quantile(0.999),
+        )
+    };
+    let baseline = run(None);
+    assert_eq!(baseline, run(Some(1)));
+    assert_eq!(baseline, run(Some(64)));
+    assert_ne!(baseline.0, 0);
+}
+
+#[test]
+fn trace_json_is_bit_reproducible() {
+    // Acceptance: same seed + same trace_sampling ⇒ byte-identical
+    // Chrome trace JSON.
+    let topo = topo_7302();
+    let run = || {
+        let cfg = EngineConfig::default().with_seed(3).with_trace_sampling(8);
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads(
+                "a",
+                topo.cores_of_ccx(0).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        engine.add_flow(
+            FlowSpec::reads(
+                "b",
+                topo.cores_of_ccx(1).collect(),
+                Target::all_dimms(&topo),
+            )
+            .op(OpKind::WriteNonTemporal)
+            .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(20));
+        let names: Vec<String> = r.flows.iter().map(|f| f.name.clone()).collect();
+        let trace = r.trace.expect("sampling was on");
+        (trace.spans.len(), trace.to_chrome_trace(&names))
+    };
+    let (n1, json1) = run();
+    let (n2, json2) = run();
+    assert!(n1 > 0);
+    assert_eq!(n1, n2);
+    assert_eq!(json1, json2);
+    // And the export is valid JSON with the trace-event envelope.
+    let doc: serde_json::Value = serde_json::from_str(&json1).unwrap();
+    assert!(doc.get("traceEvents").is_some());
+}
+
+#[test]
+fn sampling_rate_thins_the_span_set() {
+    let topo = topo_9634();
+    let run = |n: u32| {
+        let cfg = EngineConfig::default().with_seed(5).with_trace_sampling(n);
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads(
+                "r",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        let r = engine.run(SimTime::from_micros(20));
+        (r.flows[0].issued, r.trace.unwrap().spans.len() as f64)
+    };
+    let (issued, full) = run(1);
+    let (_, sampled) = run(64);
+    assert!(full > 0.0 && sampled > 0.0);
+    // Full sampling spans every completed transaction (issued bounds it).
+    assert!(full <= issued as f64);
+    // 1-in-64: between 1/3 and 3x the expected thinning.
+    let ratio = sampled / full;
+    assert!(
+        ratio > 1.0 / (64.0 * 3.0) && ratio < 3.0 / 64.0,
+        "thinning ratio {ratio}"
+    );
+}
+
+#[test]
+fn link_time_series_cover_the_run() {
+    let topo = topo_7302();
+    let window = SimDuration::from_micros(2);
+    let cfg = EngineConfig::deterministic().with_trace(window);
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads(
+            "r",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
+    );
+    let horizon = SimTime::from_micros(20);
+    let r = engine.run(horizon);
+    // The GMI link that carried the flow has a full series: windows are
+    // half-open [start, start+window), stamped at the window start,
+    // beginning at t = 0.
+    let gmi = r
+        .telemetry
+        .links
+        .iter()
+        .find(|l| {
+            matches!(
+                l.point,
+                CapacityPoint::Link {
+                    kind: chiplet_topology::LinkKind::Gmi,
+                    ..
+                }
+            ) && !l.read_trace.is_empty()
+        })
+        .expect("a GMI link carries the flow");
+    let n_windows = (horizon.as_nanos() / window.as_nanos()) as usize;
+    assert_eq!(gmi.read_trace.len(), n_windows);
+    assert_eq!(gmi.read_trace[0].at, SimTime::ZERO);
+    assert_eq!(gmi.read_trace[1].at, SimTime::from_nanos(window.as_nanos()));
+    assert!(gmi.read_trace[5].bandwidth.as_gb_per_s() > 1.0);
+    // Queue-backlog gauge rides along and sees contention.
+    assert_eq!(gmi.depth_trace.len(), n_windows);
+    assert!(gmi.depth_trace[5].max > 0.0);
+    // An idle link's series exists but stays flat at zero.
+    let idle = r
+        .telemetry
+        .links
+        .iter()
+        .find(|l| l.read.bytes == 0 && !l.read_trace.is_empty());
+    if let Some(idle) = idle {
+        assert!(idle
+            .read_trace
+            .iter()
+            .all(|p| p.bandwidth == Bandwidth::ZERO));
+    }
 }

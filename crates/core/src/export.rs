@@ -12,7 +12,9 @@
 //! <root>/sys/firmware/chiplet-net/platform        one-line platform name
 //! <root>/sys/firmware/chiplet-net/descriptor.json the full structural doc
 //! <root>/sys/firmware/chiplet-net/summary         human-readable counts
-//! <root>/proc/chiplet-net/links/<id>              per-capacity-point counters
+//! <root>/proc/chiplet-net/links/<id>/stats        per-capacity-point counters
+//! <root>/proc/chiplet-net/links/<id>/trace        windowed time series (when
+//!                                                 the run recorded traces)
 //! <root>/proc/chiplet-net/flows/<name>            per-flow statistics
 //! <root>/proc/chiplet-net/matrix                  src dest bytes triples
 //! ```
@@ -63,6 +65,8 @@ pub fn export_sysfs(
             CapacityPoint::SocketNoc { socket } => format!("noc-socket{socket}"),
             CapacityPoint::CxlPort { ccd } => format!("cxl-port-ccd{ccd}"),
         };
+        let dir = links_dir.join(name);
+        fs::create_dir_all(&dir)?;
         let body = format!(
             "read_bytes: {}\nread_admissions: {}\nread_utilization: {:.4}\n\
              read_mean_wait_ns: {:.2}\nread_max_wait_ns: {:.2}\n\
@@ -79,7 +83,51 @@ pub fn export_sysfs(
             link.write.mean_wait_ns,
             link.write.max_wait_ns,
         );
-        fs::write(links_dir.join(name), body)?;
+        fs::write(dir.join("stats"), body)?;
+        // Windowed per-point series, one line per window; present when the
+        // run was configured with a trace window.
+        if !link.read_trace.is_empty()
+            || !link.write_trace.is_empty()
+            || !link.depth_trace.is_empty()
+        {
+            let n = link
+                .read_trace
+                .len()
+                .max(link.write_trace.len())
+                .max(link.depth_trace.len());
+            let mut trace =
+                String::from("# at_ns read_gb_s write_gb_s depth_mean_ns depth_max_ns\n");
+            for i in 0..n {
+                let at = link
+                    .read_trace
+                    .get(i)
+                    .map(|p| p.at)
+                    .or_else(|| link.write_trace.get(i).map(|p| p.at))
+                    .or_else(|| link.depth_trace.get(i).map(|p| p.at))
+                    .expect("n bounded by a nonempty series");
+                let r = link
+                    .read_trace
+                    .get(i)
+                    .map_or(0.0, |p| p.bandwidth.as_gb_per_s());
+                let w = link
+                    .write_trace
+                    .get(i)
+                    .map_or(0.0, |p| p.bandwidth.as_gb_per_s());
+                let (dm, dx) = link
+                    .depth_trace
+                    .get(i)
+                    .map_or((0.0, 0.0), |p| (p.mean, p.max));
+                trace.push_str(&format!(
+                    "{} {:.6} {:.6} {:.3} {:.3}\n",
+                    at.as_nanos(),
+                    r,
+                    w,
+                    dm,
+                    dx,
+                ));
+            }
+            fs::write(dir.join("trace"), trace)?;
+        }
     }
 
     let flows_dir = proc.join("flows");
@@ -88,7 +136,13 @@ pub fn export_sysfs(
         let safe: String = flow
             .name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let body = format!(
             "id: {}\nissued: {}\ncompleted: {}\nbytes: {}\nachieved_gb_s: {:.3}\n\
@@ -122,10 +176,8 @@ mod tests {
     use chiplet_topology::{CcdId, PlatformSpec, Topology};
 
     fn unique_root(tag: &str) -> std::path::PathBuf {
-        let root = std::env::temp_dir().join(format!(
-            "chiplet-net-test-{tag}-{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("chiplet-net-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         root
     }
@@ -135,8 +187,12 @@ mod tests {
         let topo = Topology::build(&PlatformSpec::epyc_7302());
         let mut engine = Engine::new(&topo, EngineConfig::deterministic());
         engine.add_flow(
-            FlowSpec::reads("probe", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                .build(&topo),
+            FlowSpec::reads(
+                "probe",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
         );
         let result = engine.run(SimTime::from_micros(15));
         let desc = ChipletNetDescriptor::from_topology(&topo);
@@ -144,8 +200,7 @@ mod tests {
         let root = unique_root("tree");
         export_sysfs(&desc, &result.telemetry, &root).unwrap();
 
-        let platform =
-            fs::read_to_string(root.join("sys/firmware/chiplet-net/platform")).unwrap();
+        let platform = fs::read_to_string(root.join("sys/firmware/chiplet-net/platform")).unwrap();
         assert!(platform.contains("7302"));
         let summary = fs::read_to_string(root.join("sys/firmware/chiplet-net/summary")).unwrap();
         assert!(summary.contains("compute: 4 CCD x 2 CCX x 2 cores"));
@@ -154,14 +209,93 @@ mod tests {
             fs::read_to_string(root.join("sys/firmware/chiplet-net/descriptor.json")).unwrap();
         let back = ChipletNetDescriptor::from_json(&json).unwrap();
         assert_eq!(back, desc);
-        // One file per capacity point, one per flow, plus the matrix.
-        let links = fs::read_dir(root.join("proc/chiplet-net/links")).unwrap().count();
+        // One directory per capacity point, one file per flow, plus the
+        // matrix.
+        let links = fs::read_dir(root.join("proc/chiplet-net/links"))
+            .unwrap()
+            .count();
         assert_eq!(links, result.telemetry.links.len());
-        let flow =
-            fs::read_to_string(root.join("proc/chiplet-net/flows/probe")).unwrap();
+        let flow = fs::read_to_string(root.join("proc/chiplet-net/flows/probe")).unwrap();
         assert!(flow.contains("achieved_gb_s"));
         let matrix = fs::read_to_string(root.join("proc/chiplet-net/matrix")).unwrap();
         assert!(matrix.lines().count() > 1);
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn exported_tree_round_trips() {
+        // Write the tree, re-read every file, and check the counters
+        // against the in-memory report — including the per-link trace
+        // series recorded by `trace_window`.
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let cfg =
+            EngineConfig::deterministic().with_trace(chiplet_sim::SimDuration::from_micros(2));
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads(
+                "probe",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        let result = engine.run(SimTime::from_micros(20));
+        let desc = ChipletNetDescriptor::from_topology(&topo);
+        let root = unique_root("roundtrip");
+        export_sysfs(&desc, &result.telemetry, &root).unwrap();
+
+        // Descriptor round-trips.
+        let json =
+            fs::read_to_string(root.join("sys/firmware/chiplet-net/descriptor.json")).unwrap();
+        assert_eq!(ChipletNetDescriptor::from_json(&json).unwrap(), desc);
+
+        let parse_field = |body: &str, key: &str| -> f64 {
+            body.lines()
+                .find_map(|l| l.strip_prefix(&format!("{key}: ")))
+                .unwrap_or_else(|| panic!("field {key} present"))
+                .parse()
+                .unwrap()
+        };
+
+        let links_dir = root.join("proc/chiplet-net/links");
+        for link in &result.telemetry.links {
+            let name = match link.point {
+                CapacityPoint::Link { link, kind } => format!("link{link}-{kind:?}"),
+                CapacityPoint::SocketNoc { socket } => format!("noc-socket{socket}"),
+                CapacityPoint::CxlPort { ccd } => format!("cxl-port-ccd{ccd}"),
+            };
+            let stats = fs::read_to_string(links_dir.join(&name).join("stats")).unwrap();
+            assert_eq!(parse_field(&stats, "read_bytes") as u64, link.read.bytes);
+            assert_eq!(
+                parse_field(&stats, "read_admissions") as u64,
+                link.read.admissions
+            );
+            assert_eq!(parse_field(&stats, "write_bytes") as u64, link.write.bytes);
+            assert!((parse_field(&stats, "read_utilization") - link.read.utilization).abs() < 1e-3);
+            // Tracing was on: every capacity point has a series file with
+            // one line per window plus the header.
+            let trace = fs::read_to_string(links_dir.join(&name).join("trace")).unwrap();
+            let data: Vec<&str> = trace.lines().filter(|l| !l.starts_with('#')).collect();
+            assert_eq!(data.len(), link.read_trace.len());
+            // First window is stamped at t = 0 and its bandwidth matches.
+            let first: Vec<f64> = data[0]
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            assert_eq!(first[0], 0.0);
+            assert!((first[1] - link.read_trace[0].bandwidth.as_gb_per_s()).abs() < 1e-3);
+            assert!((first[4] - link.depth_trace[0].max).abs() < 1e-2);
+        }
+
+        // Per-flow counters round-trip.
+        for flow in &result.telemetry.flows {
+            let body =
+                fs::read_to_string(root.join("proc/chiplet-net/flows").join(&flow.name)).unwrap();
+            assert_eq!(parse_field(&body, "completed") as u64, flow.completed);
+            assert_eq!(parse_field(&body, "bytes") as u64, flow.bytes);
+            assert!((parse_field(&body, "mean_latency_ns") - flow.mean_latency_ns()).abs() < 0.5);
+        }
 
         let _ = fs::remove_dir_all(&root);
     }

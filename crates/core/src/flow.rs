@@ -255,7 +255,11 @@ impl FlowBuilder {
             }
         }
         if let Some(stop) = spec.stop {
-            assert!(stop >= spec.start, "flow '{}' stops before start", spec.name);
+            assert!(
+                stop >= spec.start,
+                "flow '{}' stops before start",
+                spec.name
+            );
         }
         spec
     }
@@ -304,7 +308,10 @@ mod tests {
         let f = FlowSpec::reads("r", vec![CoreId(0)], Target::all_dimms(&t))
             .stop(SimTime::from_micros(100))
             .build(&t);
-        assert_eq!(f.stop_or(SimTime::from_micros(50)), SimTime::from_micros(50));
+        assert_eq!(
+            f.stop_or(SimTime::from_micros(50)),
+            SimTime::from_micros(50)
+        );
         assert_eq!(
             f.stop_or(SimTime::from_micros(200)),
             SimTime::from_micros(100)

@@ -19,6 +19,10 @@
 //!   queueing dynamics.
 //! * [`telemetry`] — per-link and per-flow runtime statistics: the
 //!   `/proc/chiplet-net` analog of the paper's §4 #1.
+//! * [`trace`] — span-level hop tracing (§4 #5): sampled transactions
+//!   record timestamped events at every capacity point they cross; the
+//!   report breaks latency down by hop class and exports Chrome
+//!   trace-event JSON for Perfetto.
 //! * [`traffic`] — the **global software traffic manager**: pluggable
 //!   policies (hardware default sender-driven, max-min fair, weighted fair,
 //!   static rate caps) enforced by pacing flows at the source.
@@ -63,6 +67,7 @@ pub mod matrix;
 pub mod profiler;
 pub mod sketch;
 pub mod telemetry;
+pub mod trace;
 pub mod traffic;
 
 pub use bdp::BdpMonitor;
@@ -72,4 +77,5 @@ pub use flow::{FlowId, FlowSpec, Target};
 pub use matrix::TrafficMatrix;
 pub use profiler::{ProfileReport, Profiler};
 pub use telemetry::TelemetryReport;
+pub use trace::{HopClass, TraceReport};
 pub use traffic::TrafficPolicy;

@@ -50,7 +50,10 @@ impl TrafficMatrix {
 
     /// Adds bytes to a cell.
     pub fn add(&mut self, row: u32, col: u32, bytes: u64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of range"
+        );
         self.bytes[row as usize * self.cols as usize + col as usize] += bytes;
     }
 
@@ -171,7 +174,10 @@ mod tests {
         truth.add(1, 1, 100);
         let est = TrafficMatrix::gravity_estimate(&truth.row_sums(), &truth.col_sums());
         let err = est.relative_error(&truth);
-        assert!(err > 0.5, "gravity should err on anti-diagonal traffic: {err}");
+        assert!(
+            err > 0.5,
+            "gravity should err on anti-diagonal traffic: {err}"
+        );
         // But marginals are preserved.
         assert_eq!(est.row_sums(), truth.row_sums());
         assert_eq!(est.col_sums(), truth.col_sums());

@@ -176,7 +176,13 @@ mod tests {
         let mut p = Profiler::new();
         for i in 0..10_000u64 {
             let flow = FlowId((i % 2) as u32);
-            p.observe(flow, (i % 4) as u32, (i % 8) as u32, 64, 100.0 + (i % 50) as f64);
+            p.observe(
+                flow,
+                (i % 4) as u32,
+                (i % 8) as u32,
+                64,
+                100.0 + (i % 50) as f64,
+            );
         }
         let r = p.report();
         assert_eq!(r.records, 10_000);
@@ -205,7 +211,13 @@ mod tests {
     fn memory_is_bounded() {
         let mut p = Profiler::new();
         for i in 0..200_000u64 {
-            p.observe(FlowId(0), (i % 12) as u32, (i % 12) as u32, 64, (i % 1000) as f64);
+            p.observe(
+                FlowId(0),
+                (i % 12) as u32,
+                (i % 12) as u32,
+                64,
+                (i % 1000) as f64,
+            );
         }
         let r = p.report();
         assert!(r.memory_bytes < 512 * 1024, "{} bytes", r.memory_bytes);

@@ -281,7 +281,11 @@ mod tests {
             *truth.entry(key).or_insert(0) += count;
         }
         for (k, &t) in &truth {
-            assert!(cm.estimate(k) >= t, "key {k}: est {} < true {t}", cm.estimate(k));
+            assert!(
+                cm.estimate(k) >= t,
+                "key {k}: est {} < true {t}",
+                cm.estimate(k)
+            );
         }
     }
 

@@ -51,6 +51,18 @@ pub struct LinkTelemetry {
     pub read: DirStats,
     /// Write-direction statistics.
     pub write: DirStats,
+    /// Windowed read-direction bandwidth series, when the run recorded
+    /// traces (`EngineConfig::trace_window`). Windows are half-open
+    /// `[start, start + window)` and stamped at the window start.
+    #[serde(default)]
+    pub read_trace: Vec<chiplet_sim::stats::TracePoint>,
+    /// Windowed write-direction bandwidth series (same semantics).
+    #[serde(default)]
+    pub write_trace: Vec<chiplet_sim::stats::TracePoint>,
+    /// Windowed queue-backlog gauge: ns of queued service observed at each
+    /// admission, mean/max per window.
+    #[serde(default)]
+    pub depth_trace: Vec<chiplet_sim::stats::GaugePoint>,
 }
 
 /// Identity of a contention point in the report.
@@ -73,6 +85,18 @@ pub enum CapacityPoint {
         /// The compute chiplet.
         ccd: u32,
     },
+}
+
+impl CapacityPoint {
+    /// A total order over capacity points: links by id, then socket NoCs,
+    /// then CXL ports. Used to break telemetry ties deterministically.
+    pub fn sort_key(&self) -> (u8, u32) {
+        match *self {
+            CapacityPoint::Link { link, .. } => (0, link),
+            CapacityPoint::SocketNoc { socket } => (1, socket),
+            CapacityPoint::CxlPort { ccd } => (2, ccd),
+        }
+    }
 }
 
 /// Per-flow results.
@@ -105,14 +129,21 @@ pub struct FlowTelemetry {
 }
 
 impl FlowTelemetry {
-    /// Mean latency, ns (NaN when no samples). Analytic flows report their
+    /// Mean latency, ns (0 when no samples, consistent with
+    /// [`FlowTelemetry::p999_latency_ns`]). Analytic flows report their
     /// exact cache-hit latency.
     pub fn mean_latency_ns(&self) -> f64 {
-        self.analytic_latency_ns
-            .unwrap_or_else(|| self.latency.mean_ns_f64())
+        self.analytic_latency_ns.unwrap_or_else(|| {
+            if self.latency.is_empty() {
+                0.0
+            } else {
+                self.latency.mean_ns_f64()
+            }
+        })
     }
 
-    /// P999 latency, ns (0 when no samples).
+    /// P999 latency, ns (0 when no samples, consistent with
+    /// [`FlowTelemetry::mean_latency_ns`]).
     pub fn p999_latency_ns(&self) -> f64 {
         self.latency
             .p999()
@@ -156,12 +187,17 @@ impl TelemetryReport {
 
     /// The busiest capacity point by utilization in either direction —
     /// "identifying the bandwidth throttling path segment at runtime"
-    /// (Implication #2).
+    /// (Implication #2). Ties break deterministically toward the lowest
+    /// [`CapacityPoint::sort_key`] (lowest link id first).
     pub fn bottleneck(&self) -> Option<&LinkTelemetry> {
         self.links.iter().max_by(|a, b| {
             let ua = a.read.utilization.max(a.write.utilization);
             let ub = b.read.utilization.max(b.write.utilization);
-            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            // `max_by` keeps the last maximal element, so on equal
+            // utilization rank the lower sort key as the greater one.
+            ua.partial_cmp(&ub)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.point.sort_key().cmp(&a.point.sort_key()))
         })
     }
 
@@ -176,8 +212,12 @@ mod tests {
     use super::*;
 
     fn link(kind: LinkKind, ur: f64, uw: f64) -> LinkTelemetry {
+        link_with_id(0, kind, ur, uw)
+    }
+
+    fn link_with_id(id: u32, kind: LinkKind, ur: f64, uw: f64) -> LinkTelemetry {
         LinkTelemetry {
-            point: CapacityPoint::Link { link: 0, kind },
+            point: CapacityPoint::Link { link: id, kind },
             read: DirStats {
                 utilization: ur,
                 ..Default::default()
@@ -186,6 +226,9 @@ mod tests {
                 utilization: uw,
                 ..Default::default()
             },
+            read_trace: Vec::new(),
+            write_trace: Vec::new(),
+            depth_trace: Vec::new(),
         }
     }
 
@@ -210,6 +253,76 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn bottleneck_ties_break_to_lowest_point() {
+        // Three links at identical utilization: the lowest link id wins,
+        // whatever order they appear in.
+        let mut links = vec![
+            link_with_id(7, LinkKind::Gmi, 0.5, 0.1),
+            link_with_id(2, LinkKind::Gmi, 0.1, 0.5),
+            link_with_id(4, LinkKind::Gmi, 0.5, 0.5),
+        ];
+        for _ in 0..3 {
+            links.rotate_left(1);
+            let report = TelemetryReport {
+                platform: "test".into(),
+                window: SimDuration::from_micros(10),
+                links: links.clone(),
+                flows: vec![],
+                matrix: vec![],
+            };
+            let b = report.bottleneck().unwrap();
+            assert_eq!(
+                b.point,
+                CapacityPoint::Link {
+                    link: 2,
+                    kind: LinkKind::Gmi
+                }
+            );
+        }
+        // Links order before socket NoCs at equal utilization.
+        let report = TelemetryReport {
+            platform: "test".into(),
+            window: SimDuration::from_micros(10),
+            links: vec![
+                LinkTelemetry {
+                    point: CapacityPoint::SocketNoc { socket: 0 },
+                    ..link_with_id(0, LinkKind::Gmi, 0.5, 0.5)
+                },
+                link_with_id(3, LinkKind::Gmi, 0.5, 0.5),
+            ],
+            flows: vec![],
+            matrix: vec![],
+        };
+        assert_eq!(
+            report.bottleneck().unwrap().point,
+            CapacityPoint::Link {
+                link: 3,
+                kind: LinkKind::Gmi
+            }
+        );
+    }
+
+    #[test]
+    fn empty_flow_latency_sentinels_are_consistent() {
+        let flow = FlowTelemetry {
+            id: FlowId(0),
+            name: "idle".into(),
+            issued: 0,
+            completed: 0,
+            bytes: 0,
+            achieved: Bandwidth::ZERO,
+            latency: LatencyHistogram::new(),
+            analytic: false,
+            analytic_latency_ns: None,
+            trace: Vec::new(),
+        };
+        // Both accessors report the same finite sentinel on no samples.
+        assert_eq!(flow.mean_latency_ns(), 0.0);
+        assert_eq!(flow.p999_latency_ns(), 0.0);
+        assert!(flow.mean_latency_ns().is_finite());
     }
 
     #[test]

@@ -77,10 +77,7 @@ pub enum TrafficPolicy {
 /// Returns per-flow rates in the same order as `flows`.
 ///
 /// Capacities and demands are in bytes/s (any consistent unit works).
-pub fn weighted_allocate(
-    flows: &[FlowDemand],
-    capacities: &HashMap<ResourceKey, f64>,
-) -> Vec<f64> {
+pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey, f64>) -> Vec<f64> {
     let n = flows.len();
     let mut rate = vec![0.0f64; n];
     let mut frozen = vec![false; n];
@@ -157,11 +154,10 @@ pub fn weighted_allocate(
                 continue;
             }
             let met = f.demand.is_finite() && rate[i] >= f.demand - 1e-9;
-            let stuck = f.resources.iter().any(|&(r, _)| {
-                remaining
-                    .get(&r)
-                    .is_some_and(|rem| *rem <= 1e-9)
-            });
+            let stuck = f
+                .resources
+                .iter()
+                .any(|&(r, _)| remaining.get(&r).is_some_and(|rem| *rem <= 1e-9));
             if met || stuck {
                 frozen[i] = true;
             }
@@ -174,10 +170,7 @@ pub fn weighted_allocate(
 }
 
 /// Plain max-min (all weights 1).
-pub fn max_min_allocate(
-    flows: &[FlowDemand],
-    capacities: &HashMap<ResourceKey, f64>,
-) -> Vec<f64> {
+pub fn max_min_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey, f64>) -> Vec<f64> {
     weighted_allocate(flows, capacities)
 }
 

@@ -13,9 +13,13 @@ fn run(policy: TrafficPolicy) -> (f64, f64, f64) {
     cfg.policy = policy;
     let mut engine = Engine::new(&topo, cfg);
     engine.add_flow(
-        FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .working_set(ByteSize::from_gib(1))
-            .build(&topo),
+        FlowSpec::reads(
+            "f",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .working_set(ByteSize::from_gib(1))
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(120));
     let f = &r.flows[0];
@@ -76,9 +80,13 @@ fn adaptive_respects_an_offered_demand_ceiling() {
     };
     let mut engine = Engine::new(&topo, cfg);
     engine.add_flow(
-        FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .offered(chiplet_sim::Bandwidth::from_gb_per_s(10.0))
-            .build(&topo),
+        FlowSpec::reads(
+            "f",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .offered(chiplet_sim::Bandwidth::from_gb_per_s(10.0))
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(120));
     let bw = r.flows[0].achieved.as_gb_per_s();

@@ -24,9 +24,7 @@ fn rx_dma_reaches_line_rate() {
     // observation.
     let topo = topo_with_nic();
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
-    engine.add_flow(
-        FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo)).build(&topo),
-    );
+    engine.add_flow(FlowSpec::nic_dma_write("rx", 0, Target::all_dimms(&topo)).build(&topo));
     let r = engine.run(SimTime::from_micros(40));
     let bw = r.flows[0].achieved.as_gb_per_s();
     assert!(

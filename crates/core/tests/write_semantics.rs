@@ -11,10 +11,14 @@ fn write_bw(op: OpKind, ws: ByteSize) -> (f64, bool) {
     let topo = Topology::build(&PlatformSpec::epyc_7302());
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::writes("w", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .op(op)
-            .working_set(ws)
-            .build(&topo),
+        FlowSpec::writes(
+            "w",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .op(op)
+        .working_set(ws)
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(60));
     (r.flows[0].achieved.as_gb_per_s(), r.flows[0].analytic)
@@ -40,7 +44,10 @@ fn streaming_temporal_writes_pay_the_rfo_tax() {
         temporal < nt * 0.85,
         "temporal {temporal} should trail NT {nt} (RFO overhead)"
     );
-    assert!(temporal > 3.0, "temporal writes still make progress: {temporal}");
+    assert!(
+        temporal > 3.0,
+        "temporal writes still make progress: {temporal}"
+    );
 }
 
 #[test]
@@ -51,10 +58,14 @@ fn rfo_loads_both_link_directions() {
     let run = |op: OpKind| {
         let mut engine = Engine::new(&topo, EngineConfig::deterministic());
         engine.add_flow(
-            FlowSpec::writes("w", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                .op(op)
-                .working_set(ByteSize::from_gib(1))
-                .build(&topo),
+            FlowSpec::writes(
+                "w",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .op(op)
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
         );
         let r = engine.run(SimTime::from_micros(40));
         let gmi = r

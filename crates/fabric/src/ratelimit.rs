@@ -53,9 +53,8 @@ impl TokenBucket {
 
     fn refill(&mut self, now_ns: f64) {
         if now_ns > self.last_refill_ns {
-            self.tokens =
-                (self.tokens + (now_ns - self.last_refill_ns) * self.bytes_per_ns)
-                    .min(self.burst_bytes);
+            self.tokens = (self.tokens + (now_ns - self.last_refill_ns) * self.bytes_per_ns)
+                .min(self.burst_bytes);
             self.last_refill_ns = now_ns;
         }
     }

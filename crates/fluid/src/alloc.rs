@@ -224,8 +224,11 @@ mod tests {
 
     #[test]
     fn multi_link_takes_tightest_bottleneck() {
-        let rates =
-            proportional_allocate(&[f64::INFINITY, 50.0], &[vec![0, 1], vec![1]], &[10.0, 100.0]);
+        let rates = proportional_allocate(
+            &[f64::INFINITY, 50.0],
+            &[vec![0, 1], vec![1]],
+            &[10.0, 100.0],
+        );
         assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
         assert!((rates[1] - 50.0).abs() < 1e-6);
     }

@@ -168,10 +168,17 @@ impl FluidSim {
         sample: SimDuration,
         seed: u64,
     ) -> Vec<Vec<TracePoint>> {
-        assert!(!dt.is_zero() && !sample.is_zero(), "dt and sample must be positive");
+        assert!(
+            !dt.is_zero() && !sample.is_zero(),
+            "dt and sample must be positive"
+        );
         let n = self.flows.len();
         let mut rng = DetRng::seed_from_u64(seed);
-        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity.as_gb_per_s()).collect();
+        let caps: Vec<f64> = self
+            .links
+            .iter()
+            .map(|l| l.capacity.as_gb_per_s())
+            .collect();
         let flow_links: Vec<Vec<usize>> = self.flows.iter().map(|f| f.links.clone()).collect();
 
         // Per-flow achieved rate (GB/s) and AR(1) noise state.
@@ -204,11 +211,7 @@ impl FluidSim {
             let demands: Vec<f64> = self
                 .flows
                 .iter()
-                .map(|f| {
-                    f.demand
-                        .at(t)
-                        .map_or(f64::INFINITY, |b| b.as_gb_per_s())
-                })
+                .map(|f| f.demand.at(t).map_or(f64::INFINITY, |b| b.as_gb_per_s()))
                 .collect();
             let equilibrium = proportional_allocate(&demands, &flow_links, &caps);
 
@@ -244,8 +247,7 @@ impl FluidSim {
                     let harvested = (rate[i] - equal_share[i]).max(0.0);
                     if harvested > 1e-9 {
                         let eps = rng.next_f64() * 2.0 - 1.0;
-                        noise[i] = inst.correlation * noise[i]
-                            + (1.0 - inst.correlation) * eps;
+                        noise[i] = inst.correlation * noise[i] + (1.0 - inst.correlation) * eps;
                         observed[i] = (rate[i] + harvested * inst.amplitude * noise[i]).max(0.0);
                     } else {
                         noise[i] = 0.0;
@@ -413,9 +415,7 @@ mod tests {
             // Flow 1's variance during the second throttle window.
             let vals: Vec<f64> = traces[1]
                 .iter()
-                .filter(|p| {
-                    p.at >= SimTime::from_millis(4300) && p.at < SimTime::from_millis(4900)
-                })
+                .filter(|p| p.at >= SimTime::from_millis(4300) && p.at < SimTime::from_millis(4900))
                 .map(|p| p.bandwidth.as_gb_per_s())
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;

@@ -99,11 +99,7 @@ impl AccessOutcome {
     /// Reads and temporal writes are served by the innermost level that
     /// holds the working set. Non-temporal writes bypass the hierarchy
     /// unconditionally.
-    pub fn resolve(
-        cache: &CacheHierarchy,
-        op: OpKind,
-        working_set: ByteSize,
-    ) -> AccessOutcome {
+    pub fn resolve(cache: &CacheHierarchy, op: OpKind, working_set: ByteSize) -> AccessOutcome {
         if op == OpKind::WriteNonTemporal {
             return AccessOutcome::FabricBound;
         }

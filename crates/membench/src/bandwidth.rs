@@ -114,8 +114,14 @@ mod tests {
     fn cxl_slower_than_dram_on_9634() {
         let topo = Topology::build(&PlatformSpec::epyc_9634());
         let cfg = EngineConfig::deterministic();
-        let dram =
-            max_bandwidth(&topo, CoreScope::Core, Destination::Dimms, OpKind::Read, &cfg).unwrap();
+        let dram = max_bandwidth(
+            &topo,
+            CoreScope::Core,
+            Destination::Dimms,
+            OpKind::Read,
+            &cfg,
+        )
+        .unwrap();
         let cxl =
             max_bandwidth(&topo, CoreScope::Core, Destination::Cxl, OpKind::Read, &cfg).unwrap();
         assert!(cxl.as_gb_per_s() < dram.as_gb_per_s() * 0.5);

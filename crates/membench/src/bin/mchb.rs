@@ -23,7 +23,9 @@ use chiplet_mem::OpKind;
 use chiplet_membench::bandwidth::{table3_column, Destination};
 use chiplet_membench::compete::{competing_flows, CompeteLink};
 use chiplet_membench::interference::{interference_sweep, InterferenceDomain};
-use chiplet_membench::latency::{chase_sweep, cxl_latency, default_working_sets, position_latencies};
+use chiplet_membench::latency::{
+    chase_sweep, cxl_latency, default_working_sets, position_latencies,
+};
 use chiplet_membench::loaded::{default_fractions, loaded_latency_sweep, LinkScenario};
 use chiplet_net::engine::EngineConfig;
 use chiplet_topology::descriptor::ChipletNetDescriptor;
@@ -202,7 +204,10 @@ fn cmd_loaded(args: &Args) -> Result<(), String> {
     }
     let op = op_of(args.get("op"))?;
     println!("{} — {scenario}, op {op}:", spec.name);
-    println!("{:>12} {:>13} {:>9} {:>9}", "offered GB/s", "achieved GB/s", "avg ns", "P999 ns");
+    println!(
+        "{:>12} {:>13} {:>9} {:>9}",
+        "offered GB/s", "achieved GB/s", "avg ns", "P999 ns"
+    );
     for p in loaded_latency_sweep(&topo, scenario, op, &default_fractions(), &cfg) {
         println!(
             "{:>12.1} {:>13.1} {:>9.1} {:>9.1}",
@@ -226,8 +231,14 @@ fn cmd_compete(args: &Args) -> Result<(), String> {
         return Err(format!("{link} unsupported on {}", spec.name));
     }
     let op = op_of(args.get("op"))?;
-    let d0 = args.get("d0").map(|v| v.parse().map_err(|_| "--d0: bad number".to_string())).transpose()?;
-    let d1 = args.get("d1").map(|v| v.parse().map_err(|_| "--d1: bad number".to_string())).transpose()?;
+    let d0 = args
+        .get("d0")
+        .map(|v| v.parse().map_err(|_| "--d0: bad number".to_string()))
+        .transpose()?;
+    let d1 = args
+        .get("d1")
+        .map(|v| v.parse().map_err(|_| "--d1: bad number".to_string()))
+        .transpose()?;
     let out = competing_flows(&topo, link, d0, d1, op, &cfg);
     println!(
         "{} — {link} (capacity ~{:.1} GB/s):",
@@ -265,15 +276,24 @@ fn cmd_interfere(args: &Args) -> Result<(), String> {
     let fg = op_of(args.get("fg"))?;
     let bg = op_of(args.get("bg"))?;
     let loads = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, f64::INFINITY];
-    println!("{} — {domain}: frontend {fg} vs background {bg}:", spec.name);
-    println!("{:>11} {:>12} {:>11}", "bg offered", "bg achieved", "X achieved");
+    println!(
+        "{} — {domain}: frontend {fg} vs background {bg}:",
+        spec.name
+    );
+    println!(
+        "{:>11} {:>12} {:>11}",
+        "bg offered", "bg achieved", "X achieved"
+    );
     for p in interference_sweep(&topo, domain, fg, bg, &loads, &cfg) {
         let off = if p.bg_offered_gb_s.is_finite() {
             format!("{:.1}", p.bg_offered_gb_s)
         } else {
             "max".to_string()
         };
-        println!("{off:>11} {:>12.1} {:>11.1}", p.bg_achieved_gb_s, p.fg_achieved_gb_s);
+        println!(
+            "{off:>11} {:>12.1} {:>11.1}",
+            p.bg_achieved_gb_s, p.fg_achieved_gb_s
+        );
     }
     Ok(())
 }
@@ -285,9 +305,14 @@ fn cmd_topo(args: &Args) -> Result<(), String> {
     if args.flag("json") {
         println!("{}", desc.to_json());
     } else {
-        println!("{}: {} — {} nodes, {} links, {} capacity points", spec.name,
-            desc.microarchitecture, desc.nodes.len(), desc.links.len(),
-            desc.capacity_point_count());
+        println!(
+            "{}: {} — {} nodes, {} links, {} capacity points",
+            spec.name,
+            desc.microarchitecture,
+            desc.nodes.len(),
+            desc.links.len(),
+            desc.capacity_point_count()
+        );
         println!(
             "cores {}, CCDs {}, UMCs {}, CXL {}, NICs {}, sockets {}",
             topo.core_count(),
@@ -330,7 +355,6 @@ fn main() -> ExitCode {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -73,9 +73,7 @@ impl InterferenceDomain {
     /// Platform support check.
     pub fn supported(self, topo: &Topology) -> bool {
         match self {
-            InterferenceDomain::PLink => {
-                topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2
-            }
+            InterferenceDomain::PLink => topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2,
             InterferenceDomain::IfInterCc => topo.spec().ccd_count >= 2,
             InterferenceDomain::IfIntraCc => topo.spec().cores_per_ccx >= 2,
             InterferenceDomain::Gmi => topo.spec().cores_per_ccd() >= 2,

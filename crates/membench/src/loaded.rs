@@ -134,7 +134,10 @@ pub fn loaded_latency_sweep(
     fractions: &[f64],
     cfg: &EngineConfig,
 ) -> Vec<LoadPoint> {
-    assert!(scenario.supported(topo), "{scenario} unsupported on platform");
+    assert!(
+        scenario.supported(topo),
+        "{scenario} unsupported on platform"
+    );
     let cap = scenario.nominal_cap(topo, op).as_gb_per_s();
     fractions
         .iter()

@@ -451,8 +451,7 @@ impl NocSim {
             let mut port_used = [false; 4];
             for f in flits {
                 let want = self.xy_port(r, f.dst);
-                let assigned = if want < 4 && !port_used[want] && self.neighbor(r, want).is_some()
-                {
+                let assigned = if want < 4 && !port_used[want] && self.neighbor(r, want).is_some() {
                     want
                 } else {
                     // Deflect: first free on-grid port. `want == LOCAL` only

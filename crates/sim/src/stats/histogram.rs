@@ -241,7 +241,12 @@ mod tests {
         // Uniform 1..=100_000: any quantile must be within ~7% of exact.
         let values: Vec<u64> = (1..=100_000).collect();
         let h = h_from(&values);
-        for &(q, exact) in &[(0.5, 50_000u64), (0.9, 90_000), (0.99, 99_000), (0.999, 99_900)] {
+        for &(q, exact) in &[
+            (0.5, 50_000u64),
+            (0.9, 90_000),
+            (0.99, 99_000),
+            (0.999, 99_900),
+        ] {
             let got = h.quantile(q).unwrap().as_nanos() as f64;
             let rel = (got - exact as f64) / exact as f64;
             assert!(
@@ -299,7 +304,19 @@ mod tests {
 
     #[test]
     fn upper_edge_brackets_value() {
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            123_456,
+            u32::MAX as u64,
+        ] {
             let idx = LatencyHistogram::index_of(v);
             let hi = LatencyHistogram::upper_of(idx);
             assert!(hi >= v, "upper edge {hi} below value {v}");

@@ -6,9 +6,11 @@
 //! transaction completions.
 
 mod histogram;
+mod spans;
 mod summary;
 mod timeseries;
 
 pub use histogram::LatencyHistogram;
+pub use spans::{HopEvent, SpanCollector, TxnSpan};
 pub use summary::Summary;
-pub use timeseries::{BandwidthTrace, TracePoint};
+pub use timeseries::{BandwidthTrace, GaugePoint, GaugeTrace, TracePoint};

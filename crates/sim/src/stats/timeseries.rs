@@ -53,9 +53,8 @@ impl BandwidthTrace {
 
     fn flush_until(&mut self, at: SimTime) {
         while at >= self.current_start + self.window {
-            let bw = Bandwidth::from_bytes_per_s(
-                self.current_bytes as f64 / self.window.as_secs_f64(),
-            );
+            let bw =
+                Bandwidth::from_bytes_per_s(self.current_bytes as f64 / self.window.as_secs_f64());
             self.points.push(TracePoint {
                 at: self.current_start,
                 bandwidth: bw,
@@ -79,6 +78,98 @@ impl BandwidthTrace {
 
     /// Windows finished so far (not including the in-progress one).
     pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+}
+
+/// One point of a gauge trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugePoint {
+    /// Start of the window.
+    pub at: SimTime,
+    /// Mean of the sampled values during the window (0 when none).
+    pub mean: f64,
+    /// Largest sampled value during the window (0 when none).
+    pub max: f64,
+}
+
+/// Accumulates instantaneous gauge samples (queue depth, outstanding
+/// transactions) into the same fixed-width, half-open windows
+/// `[start, start + window)` that [`BandwidthTrace`] uses, stamped at the
+/// window start.
+///
+/// Samples must arrive in nondecreasing time order; a sample closes any
+/// windows that ended before it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaugeTrace {
+    window: SimDuration,
+    current_start: SimTime,
+    current_sum: f64,
+    current_max: f64,
+    current_count: u64,
+    points: Vec<GaugePoint>,
+}
+
+impl GaugeTrace {
+    /// Creates a trace with the given sampling window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "trace window must be positive");
+        GaugeTrace {
+            window,
+            current_start: SimTime::ZERO,
+            current_sum: 0.0,
+            current_max: 0.0,
+            current_count: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// The sampling window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    fn flush_until(&mut self, at: SimTime) {
+        while at >= self.current_start + self.window {
+            let mean = if self.current_count == 0 {
+                0.0
+            } else {
+                self.current_sum / self.current_count as f64
+            };
+            self.points.push(GaugePoint {
+                at: self.current_start,
+                mean,
+                max: self.current_max,
+            });
+            self.current_start += self.window;
+            self.current_sum = 0.0;
+            self.current_max = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Records one gauge sample taken at instant `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.flush_until(at);
+        self.current_sum += value;
+        if value > self.current_max {
+            self.current_max = value;
+        }
+        self.current_count += 1;
+    }
+
+    /// Closes all windows up to `end` and returns the finished series.
+    pub fn finish(mut self, end: SimTime) -> Vec<GaugePoint> {
+        self.flush_until(end);
+        self.points
+    }
+
+    /// Windows finished so far (not including the in-progress one).
+    pub fn points(&self) -> &[GaugePoint] {
         &self.points
     }
 }
@@ -130,5 +221,28 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = BandwidthTrace::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gauge_windows_report_mean_and_max() {
+        let mut g = GaugeTrace::new(SimDuration::from_micros(1));
+        g.record(SimTime::from_nanos(100), 2.0);
+        g.record(SimTime::from_nanos(200), 4.0);
+        // Window [1µs, 2µs) has no samples.
+        g.record(SimTime::from_nanos(2100), 7.0);
+        let pts = g.finish(SimTime::from_micros(3));
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].mean - 3.0).abs() < 1e-12);
+        assert_eq!(pts[0].max, 4.0);
+        assert_eq!(pts[0].at, SimTime::ZERO);
+        assert_eq!(pts[1].mean, 0.0);
+        assert_eq!(pts[1].max, 0.0);
+        assert_eq!(pts[2].max, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn gauge_zero_window_rejected() {
+        let _ = GaugeTrace::new(SimDuration::ZERO);
     }
 }

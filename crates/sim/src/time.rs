@@ -240,10 +240,7 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_nanos(1_000_000_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_nanos(1_000_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(
-            SimDuration::from_secs(2),
-            SimDuration::from_millis(2_000)
-        );
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
     }
 
     #[test]

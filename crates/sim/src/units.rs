@@ -207,10 +207,16 @@ mod tests {
     fn service_time_for_cacheline() {
         // 64 B at 64 GB/s is exactly 1 ns.
         let bw = Bandwidth::from_gb_per_s(64.0);
-        assert_eq!(bw.service_time(ByteSize::CACHELINE), SimDuration::from_nanos(1));
+        assert_eq!(
+            bw.service_time(ByteSize::CACHELINE),
+            SimDuration::from_nanos(1)
+        );
         // 64 B at 32 GB/s is 2 ns.
         let bw = Bandwidth::from_gb_per_s(32.0);
-        assert_eq!(bw.service_time(ByteSize::CACHELINE), SimDuration::from_nanos(2));
+        assert_eq!(
+            bw.service_time(ByteSize::CACHELINE),
+            SimDuration::from_nanos(2)
+        );
     }
 
     #[test]

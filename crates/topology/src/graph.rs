@@ -630,11 +630,17 @@ impl Builder {
         for y in 0..self.grid_h {
             for x in 0..self.grid_w {
                 if x + 1 < self.grid_w {
-                    let (a, b) = (self.switch_at(socket, x, y), self.switch_at(socket, x + 1, y));
+                    let (a, b) = (
+                        self.switch_at(socket, x, y),
+                        self.switch_at(socket, x + 1, y),
+                    );
                     self.add_link(LinkKind::NocMesh, a, b, 0.0, None, None);
                 }
                 if y + 1 < self.grid_h {
-                    let (a, b) = (self.switch_at(socket, x, y), self.switch_at(socket, x, y + 1));
+                    let (a, b) = (
+                        self.switch_at(socket, x, y),
+                        self.switch_at(socket, x, y + 1),
+                    );
                     self.add_link(LinkKind::NocMesh, a, b, 0.0, None, None);
                 }
             }
@@ -648,11 +654,15 @@ impl Builder {
                         if oy == y {
                             continue;
                         }
-                        let (a, b) =
-                            (self.switch_at(socket, x, y), self.switch_at(socket, x - 1, oy));
+                        let (a, b) = (
+                            self.switch_at(socket, x, y),
+                            self.switch_at(socket, x - 1, oy),
+                        );
                         self.add_link(LinkKind::NocMesh, a, b, 0.0, None, None);
-                        let (a, b) =
-                            (self.switch_at(socket, x, y), self.switch_at(socket, x + 1, oy));
+                        let (a, b) = (
+                            self.switch_at(socket, x, y),
+                            self.switch_at(socket, x + 1, oy),
+                        );
                         self.add_link(LinkKind::NocMesh, a, b, 0.0, None, None);
                     }
                 }
@@ -1040,7 +1050,10 @@ mod tests {
         let t = Topology::build(&PlatformSpec::dual_epyc_7302());
         let cross_ccd = t.c2c_latency_ns(CoreId(0), CoreId(12));
         let cross_socket = t.c2c_latency_ns(CoreId(0), CoreId(16));
-        assert!(cross_socket > cross_ccd + 50.0, "{cross_socket} vs {cross_ccd}");
+        assert!(
+            cross_socket > cross_ccd + 50.0,
+            "{cross_socket} vs {cross_ccd}"
+        );
         assert!((180.0..=300.0).contains(&cross_socket), "{cross_socket}");
     }
 

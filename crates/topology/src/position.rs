@@ -168,7 +168,10 @@ mod tests {
     fn relative_positions() {
         let home = Quadrant::new(0, 0);
         assert_eq!(home.position_of(Quadrant::new(0, 0)), DimmPosition::Near);
-        assert_eq!(home.position_of(Quadrant::new(0, 1)), DimmPosition::Vertical);
+        assert_eq!(
+            home.position_of(Quadrant::new(0, 1)),
+            DimmPosition::Vertical
+        );
         assert_eq!(
             home.position_of(Quadrant::new(1, 0)),
             DimmPosition::Horizontal

@@ -630,8 +630,7 @@ mod tests {
         let mono = PlatformSpec::monolithic_baseline();
         let chiplet = PlatformSpec::epyc_7302();
         assert!(
-            mono.dram_latency_ns(DimmPosition::Near)
-                < chiplet.dram_latency_ns(DimmPosition::Near)
+            mono.dram_latency_ns(DimmPosition::Near) < chiplet.dram_latency_ns(DimmPosition::Near)
         );
         // Uniform memory access: all positions identical.
         let near = mono.dram_latency_ns(DimmPosition::Near);

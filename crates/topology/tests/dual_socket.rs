@@ -38,7 +38,9 @@ fn cross_socket_position_is_remote() {
     assert_eq!(t.position_of(CoreId(16), DimmId(0)), DimmPosition::Remote);
     // Local positions still classify normally.
     assert_eq!(t.position_of(CoreId(0), DimmId(0)), DimmPosition::Near);
-    assert!(t.dimm_at_position(CoreId(0), DimmPosition::Remote).is_some());
+    assert!(t
+        .dimm_at_position(CoreId(0), DimmPosition::Remote)
+        .is_some());
 }
 
 #[test]
@@ -102,7 +104,9 @@ fn numa_scope_never_spans_sockets() {
 #[test]
 fn single_socket_platforms_reject_remote_queries() {
     let t = Topology::build(&PlatformSpec::epyc_7302());
-    assert!(t.dimm_at_position(CoreId(0), DimmPosition::Remote).is_none());
+    assert!(t
+        .dimm_at_position(CoreId(0), DimmPosition::Remote)
+        .is_none());
     assert!(PlatformSpec::epyc_7302().remote_dram_latency_ns().is_none());
 }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for topology construction and routing.
 
-use chiplet_topology::{
-    CoreId, DimmId, DimmPosition, NpsMode, PlatformSpec, Quadrant, Topology,
-};
+use chiplet_topology::{CoreId, DimmId, DimmPosition, NpsMode, PlatformSpec, Quadrant, Topology};
 use proptest::prelude::*;
 
 /// A strategy over structurally valid custom platforms.

@@ -28,9 +28,7 @@ fn run_split(topo: &Topology, cxl_fraction: f64) -> (f64, f64, Option<f64>) {
         );
     }
     if !cxl_set.is_empty() {
-        engine.add_flow(
-            FlowSpec::reads("cxl-tier", cxl_set.to_vec(), Target::Cxl(0)).build(topo),
-        );
+        engine.add_flow(FlowSpec::reads("cxl-tier", cxl_set.to_vec(), Target::Cxl(0)).build(topo));
     }
     let r = engine.run(SimTime::from_micros(60));
     let total: f64 = r.flows.iter().map(|f| f.achieved.as_gb_per_s()).sum();

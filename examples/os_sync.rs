@@ -28,11 +28,31 @@ fn main() {
     );
 
     let placements = [
-        Placement { name: "same CCX (shared L3)", a: CoreId(0), b: CoreId(1) },
-        Placement { name: "same CCD, other CCX", a: CoreId(0), b: CoreId(2) },
-        Placement { name: "other CCD (horizontal)", a: CoreId(0), b: CoreId(4) },
-        Placement { name: "other CCD (diagonal)", a: CoreId(0), b: CoreId(12) },
-        Placement { name: "other socket (xGMI)", a: CoreId(0), b: CoreId(16) },
+        Placement {
+            name: "same CCX (shared L3)",
+            a: CoreId(0),
+            b: CoreId(1),
+        },
+        Placement {
+            name: "same CCD, other CCX",
+            a: CoreId(0),
+            b: CoreId(2),
+        },
+        Placement {
+            name: "other CCD (horizontal)",
+            a: CoreId(0),
+            b: CoreId(4),
+        },
+        Placement {
+            name: "other CCD (diagonal)",
+            a: CoreId(0),
+            b: CoreId(12),
+        },
+        Placement {
+            name: "other socket (xGMI)",
+            a: CoreId(0),
+            b: CoreId(16),
+        },
     ];
 
     println!(
@@ -48,7 +68,10 @@ fn main() {
         let handoff = 2.0 * c2c;
         println!(
             "{:<28} {:>10.1} {:>22.1} {:>13.1}x",
-            p.name, c2c, handoff, c2c / base
+            p.name,
+            c2c,
+            handoff,
+            c2c / base
         );
     }
 

@@ -6,9 +6,9 @@
 //! Run with: `cargo run --release --example profiler`
 
 use server_chiplet_networking::net::engine::{Engine, EngineConfig};
-use server_chiplet_networking::net::profiler::ProfileReport;
 use server_chiplet_networking::net::flow::{FlowSpec, Target};
 use server_chiplet_networking::net::matrix::TrafficMatrix;
+use server_chiplet_networking::net::profiler::ProfileReport;
 use server_chiplet_networking::sim::{Bandwidth, SimTime};
 use server_chiplet_networking::topology::{CcdId, DimmId, PlatformSpec, Topology};
 
@@ -71,11 +71,8 @@ fn main() {
     // Traffic-matrix estimation from link counters alone (gravity model):
     // an observability layer that only sees per-CCD and per-UMC byte
     // counts, not flows.
-    let truth = TrafficMatrix::from_cells(
-        spec.ccd_count,
-        spec.mem.umc_count,
-        &result.telemetry.matrix,
-    );
+    let truth =
+        TrafficMatrix::from_cells(spec.ccd_count, spec.mem.umc_count, &result.telemetry.matrix);
     let estimate = TrafficMatrix::gravity_estimate(&truth.row_sums(), &truth.col_sums());
     println!(
         "\ngravity-model reconstruction from link counters: {:.0}% relative error",

@@ -44,7 +44,10 @@ fn main() {
 
     // 4. Where is the bottleneck? (Implication #2: identify the throttling
     //    path segment at runtime.)
-    let bottleneck = result.telemetry.bottleneck().expect("links carried traffic");
+    let bottleneck = result
+        .telemetry
+        .bottleneck()
+        .expect("links carried traffic");
     println!(
         "\nbottleneck: {:?} at {:.0}% read utilization (mean queueing {:.1} ns)",
         bottleneck.point,

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example topology_explorer`
 
 use server_chiplet_networking::topology::descriptor::ChipletNetDescriptor;
-use server_chiplet_networking::topology::{
-    CoreId, DimmPosition, NpsMode, PlatformSpec, Topology,
-};
+use server_chiplet_networking::topology::{CoreId, DimmPosition, NpsMode, PlatformSpec, Topology};
 
 fn main() {
     for spec in [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()] {

@@ -71,7 +71,11 @@ fn table3_dimm_column_7302() {
     ];
     for (row, (scope, r, w)) in rows.iter().zip(paper) {
         assert_eq!(row.scope, scope);
-        assert!(within(row.read_gb_s, r, 0.10), "{scope} read {}", row.read_gb_s);
+        assert!(
+            within(row.read_gb_s, r, 0.10),
+            "{scope} read {}",
+            row.read_gb_s
+        );
         assert!(
             within(row.write_gb_s, w, 0.15),
             "{scope} write {}",
@@ -93,7 +97,11 @@ fn table3_dimm_column_9634() {
         (CoreScope::Cpu, 366.2, 270.6),
     ];
     for (row, (scope, r, w)) in rows.iter().zip(paper) {
-        assert!(within(row.read_gb_s, r, 0.10), "{scope} read {}", row.read_gb_s);
+        assert!(
+            within(row.read_gb_s, r, 0.10),
+            "{scope} read {}",
+            row.read_gb_s
+        );
         assert!(
             within(row.write_gb_s, w, 0.15),
             "{scope} write {}",

@@ -1,15 +1,11 @@
 //! Shape assertions for Figures 3–6: the qualitative claims of §3.4 and
 //! §3.5 hold end-to-end.
 
-use server_chiplet_networking::fluid::{
-    DemandSchedule, FluidFlowSpec, FluidLink, FluidSim,
-};
-use server_chiplet_networking::membench::compete::{competing_flows, CompeteLink};
-use server_chiplet_networking::membench::interference::{
-    interference_sweep, InterferenceDomain,
-};
-use server_chiplet_networking::membench::loaded::{loaded_latency_sweep, LinkScenario};
+use server_chiplet_networking::fluid::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim};
 use server_chiplet_networking::mem::OpKind;
+use server_chiplet_networking::membench::compete::{competing_flows, CompeteLink};
+use server_chiplet_networking::membench::interference::{interference_sweep, InterferenceDomain};
+use server_chiplet_networking::membench::loaded::{loaded_latency_sweep, LinkScenario};
 use server_chiplet_networking::net::engine::EngineConfig;
 use server_chiplet_networking::sim::{Bandwidth, SimDuration, SimTime};
 use server_chiplet_networking::topology::{PlatformSpec, Topology};
@@ -27,13 +23,29 @@ fn fig3_gmi_knee_and_tail_7302() {
         &EngineConfig::default(),
     );
     let (low, high) = (&pts[0], &pts[1]);
-    assert!((130.0..160.0).contains(&low.mean_ns), "low avg {}", low.mean_ns);
-    assert!((380.0..620.0).contains(&low.p999_ns), "low tail {}", low.p999_ns);
+    assert!(
+        (130.0..160.0).contains(&low.mean_ns),
+        "low avg {}",
+        low.mean_ns
+    );
+    assert!(
+        (380.0..620.0).contains(&low.p999_ns),
+        "low tail {}",
+        low.p999_ns
+    );
     // The knee: mean and tail both rise toward saturation. The magnitude is
     // gentler than the paper's 172.5/800 ns (see EXPERIMENTS.md: the
     // closed-loop in-flight budget bounds queue depth).
-    assert!(high.mean_ns > low.mean_ns + 8.0, "knee missing: {}", high.mean_ns);
-    assert!(high.p999_ns > low.p999_ns + 10.0, "tail rise missing: {}", high.p999_ns);
+    assert!(
+        high.mean_ns > low.mean_ns + 8.0,
+        "knee missing: {}",
+        high.mean_ns
+    );
+    assert!(
+        high.p999_ns > low.p999_ns + 10.0,
+        "tail rise missing: {}",
+        high.p999_ns
+    );
 }
 
 #[test]
@@ -67,20 +79,54 @@ fn fig4_all_four_cases_on_gmi_9634() {
     let c = CompeteLink::Gmi.capacity_gb_s(&topo);
 
     // Case 1: under-subscription — both satisfied.
-    let out = competing_flows(&topo, CompeteLink::Gmi, Some(0.3 * c), Some(0.4 * c), OpKind::Read, &cfg);
-    assert!(out.achieved0_gb_s > 0.27 * c && out.achieved1_gb_s > 0.36 * c, "{out:?}");
+    let out = competing_flows(
+        &topo,
+        CompeteLink::Gmi,
+        Some(0.3 * c),
+        Some(0.4 * c),
+        OpKind::Read,
+        &cfg,
+    );
+    assert!(
+        out.achieved0_gb_s > 0.27 * c && out.achieved1_gb_s > 0.36 * c,
+        "{out:?}"
+    );
 
     // Case 3: equal demands — equal split.
-    let out = competing_flows(&topo, CompeteLink::Gmi, Some(0.75 * c), Some(0.75 * c), OpKind::Read, &cfg);
-    assert!((out.achieved0_gb_s / out.achieved1_gb_s - 1.0).abs() < 0.15, "{out:?}");
+    let out = competing_flows(
+        &topo,
+        CompeteLink::Gmi,
+        Some(0.75 * c),
+        Some(0.75 * c),
+        OpKind::Read,
+        &cfg,
+    );
+    assert!(
+        (out.achieved0_gb_s / out.achieved1_gb_s - 1.0).abs() < 0.15,
+        "{out:?}"
+    );
 
     // Case 4: both above equal share — the aggressive flow takes more.
-    let out = competing_flows(&topo, CompeteLink::Gmi, Some(0.95 * c), Some(0.6 * c), OpKind::Read, &cfg);
+    let out = competing_flows(
+        &topo,
+        CompeteLink::Gmi,
+        Some(0.95 * c),
+        Some(0.6 * c),
+        OpKind::Read,
+        &cfg,
+    );
     assert!(out.achieved0_gb_s > c / 2.0, "{out:?}");
     assert!(out.achieved0_gb_s > out.achieved1_gb_s * 1.15, "{out:?}");
 
     // Case 2: one small — the big flow exceeds its equal share.
-    let out = competing_flows(&topo, CompeteLink::Gmi, Some(0.25 * c), Some(0.9 * c), OpKind::Read, &cfg);
+    let out = competing_flows(
+        &topo,
+        CompeteLink::Gmi,
+        Some(0.25 * c),
+        Some(0.9 * c),
+        OpKind::Read,
+        &cfg,
+    );
     assert!(out.achieved1_gb_s > c / 2.0, "{out:?}");
 }
 
@@ -93,7 +139,10 @@ fn fig5_harvest_timescales() {
             name: "f0".into(),
             demand: DemandSchedule::piecewise(vec![
                 (SimTime::ZERO, None),
-                (SimTime::from_secs(2), Some(Bandwidth::from_gb_per_s(cap / 2.0 - 2.0))),
+                (
+                    SimTime::from_secs(2),
+                    Some(Bandwidth::from_gb_per_s(cap / 2.0 - 2.0)),
+                ),
                 (SimTime::from_secs(3), None),
             ]),
             links: vec![0],
@@ -121,7 +170,10 @@ fn fig5_harvest_timescales() {
     let t_plink = run(FluidLink::plink_9634());
     // Paper: ~100 ms on the IF, ~500 ms on the P-Link.
     assert!((40..=220).contains(&t_if), "IF harvest {t_if} ms");
-    assert!((300..=900).contains(&t_plink), "P-Link harvest {t_plink} ms");
+    assert!(
+        (300..=900).contains(&t_plink),
+        "P-Link harvest {t_plink} ms"
+    );
     assert!(t_plink > t_if * 2, "ordering: {t_plink} vs {t_if}");
 }
 

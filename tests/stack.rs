@@ -29,14 +29,22 @@ fn telemetry_serializes_and_identifies_bottleneck() {
     let topo = Topology::build(&PlatformSpec::epyc_7302());
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::reads("load", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::reads(
+            "load",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     let result = engine.run(SimTime::from_micros(30));
     let json = result.telemetry.to_json();
     assert!(json.contains("Gmi"));
     let b = result.telemetry.bottleneck().unwrap();
-    assert!(b.read.utilization > 0.85, "bottleneck util {}", b.read.utilization);
+    assert!(
+        b.read.utilization > 0.85,
+        "bottleneck util {}",
+        b.read.utilization
+    );
 }
 
 #[test]
@@ -46,13 +54,21 @@ fn full_run_is_deterministic_per_seed() {
         let cfg = EngineConfig::default().with_seed(seed);
         let mut engine = Engine::new(&topo, cfg);
         engine.add_flow(
-            FlowSpec::reads("a", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-                .offered(Bandwidth::from_gb_per_s(20.0))
-                .build(&topo),
+            FlowSpec::reads(
+                "a",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .offered(Bandwidth::from_gb_per_s(20.0))
+            .build(&topo),
         );
         engine.add_flow(
-            FlowSpec::writes("b", topo.cores_of_ccd(CcdId(1)).collect(), Target::all_dimms(&topo))
-                .build(&topo),
+            FlowSpec::writes(
+                "b",
+                topo.cores_of_ccd(CcdId(1)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
         );
         let r = engine.run(SimTime::from_micros(25));
         r.telemetry.to_json()
@@ -92,11 +108,17 @@ fn traffic_manager_changes_real_outcomes() {
         caps_gb_s: vec![f64::INFINITY, 15.0],
     });
     // Max-min restores the small flow to (nearly) its demand.
-    assert!(s_mm >= s_hw - 0.2, "max-min should not hurt: {s_mm} vs {s_hw}");
+    assert!(
+        s_mm >= s_hw - 0.2,
+        "max-min should not hurt: {s_mm} vs {s_hw}"
+    );
     assert!(s_mm > 9.0, "max-min protects the small flow: {s_mm}");
     // Rate limiting actually caps the big flow.
     assert!(b_rl < 16.0, "rate cap violated: {b_rl}");
-    assert!(b_hw > 18.0, "hardware default lets the big flow run: {b_hw}");
+    assert!(
+        b_hw > 18.0,
+        "hardware default lets the big flow run: {b_hw}"
+    );
 }
 
 #[test]
@@ -106,8 +128,12 @@ fn bdp_monitor_matches_engine_observations() {
     let topo = Topology::build(&PlatformSpec::epyc_7302());
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::reads("probe", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::reads(
+            "probe",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(40));
     let f = &r.flows[0];
@@ -152,8 +178,12 @@ fn sketch_profile_of_engine_traffic_is_conservative() {
     let topo = Topology::build(&PlatformSpec::epyc_7302());
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::reads("x", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::reads(
+            "x",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     let r = engine.run(SimTime::from_micros(20));
     let mut cm = CountMinSketch::with_error(0.01, 0.01);
@@ -175,12 +205,20 @@ fn writes_and_reads_coexist_on_separate_directions() {
     let topo = Topology::build(&PlatformSpec::epyc_9634());
     let mut engine = Engine::new(&topo, EngineConfig::deterministic());
     engine.add_flow(
-        FlowSpec::reads("r", topo.cores_of_ccd(CcdId(0)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::reads(
+            "r",
+            topo.cores_of_ccd(CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     engine.add_flow(
-        FlowSpec::writes("w", topo.cores_of_ccd(CcdId(1)).collect(), Target::all_dimms(&topo))
-            .build(&topo),
+        FlowSpec::writes(
+            "w",
+            topo.cores_of_ccd(CcdId(1)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .build(&topo),
     );
     let result = engine.run(SimTime::from_micros(30));
     let r = result.flow("r").unwrap().achieved.as_gb_per_s();
@@ -203,7 +241,11 @@ fn op_kind_consistency_cross_crate() {
                     .build(&topo),
             );
             let r = engine.run(SimTime::from_micros(15));
-            assert!(r.flows[0].achieved.as_gb_per_s() > 1.0, "{op} on {}", spec.name);
+            assert!(
+                r.flows[0].achieved.as_gb_per_s() > 1.0,
+                "{op} on {}",
+                spec.name
+            );
         }
     }
 }

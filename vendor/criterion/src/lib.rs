@@ -1,0 +1,167 @@
+//! Offline stand-in for the slice of `criterion` 0.5 this workspace uses:
+//! `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology is deliberately simple: a short warm-up, then timed batches
+//! until a wall-clock budget is exhausted; the report prints min / mean /
+//! max ns per iteration. Invoking the binary with `--test` (as `cargo test`
+//! does for `harness = false` bench targets) runs each body once and skips
+//! measurement, so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Filled in by [`Bencher::iter`]: (iterations, total elapsed).
+    samples: Vec<(u64, Duration)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Warm up, then measure batches until the budget is spent.
+    Measure { warmup: Duration, budget: Duration },
+    /// One iteration, no timing (`--test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine`, storing samples for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { warmup, budget } => {
+                // Warm-up: also estimates a batch size targeting ~10ms/batch.
+                let start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while start.elapsed() < warmup {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+                let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+                let all = Instant::now();
+                while all.elapsed() < budget {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples.push((batch, t0.elapsed()));
+                }
+            }
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure {
+                    warmup: Duration::from_millis(100),
+                    budget: Duration::from_millis(400),
+                }
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.mode == Mode::Smoke {
+            println!("{id}: ok (smoke)");
+            return self;
+        }
+        let (mut iters, mut total) = (0u64, Duration::ZERO);
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for &(n, d) in &b.samples {
+            iters += n;
+            total += d;
+            let per = d.as_secs_f64() * 1e9 / n as f64;
+            lo = lo.min(per);
+            hi = hi.max(per);
+        }
+        if iters == 0 {
+            println!("{id}: no samples");
+        } else {
+            let mean = total.as_secs_f64() * 1e9 / iters as f64;
+            println!(
+                "{id}: [{:.1} ns {:.1} ns {:.1} ns] ({} iterations)",
+                lo, mean, hi, iters
+            );
+        }
+        self
+    }
+}
+
+/// Mirror of criterion's `criterion_group!`: defines a function that runs
+/// each target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            samples: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: Mode::Measure {
+                warmup: Duration::from_millis(1),
+                budget: Duration::from_millis(5),
+            },
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(!b.samples.is_empty());
+    }
+}

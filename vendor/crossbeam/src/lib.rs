@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from real crossbeam, acceptable for this workspace's call
+//! sites: the spawn closure receives `()` instead of a scope reference
+//! (callers all write `move |_| ...`), and the outer `scope` never returns
+//! `Err` — panics surface through each handle's `join()` instead.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is a placeholder
+        /// for crossbeam's nested-scope handle, which this stub doesn't
+        /// support (no call site uses it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,605 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset, written against `proc_macro` directly (no syn/quote — the build
+//! environment is fully offline).
+//!
+//! The generated code follows upstream serde's data-model conventions:
+//! named structs as maps (fields in declaration order), newtype structs
+//! transparently as their inner value, tuple structs as sequences, unit
+//! structs as null, and enums externally tagged (`"Variant"` for unit
+//! variants, `{"Variant": payload}` otherwise). Supported attributes:
+//! `#[serde(default)]` on named fields. Generic parameters get a
+//! `T: ::serde::Serialize` / `T: ::serde::Deserialize` bound per type param.
+//!
+//! Parsing only needs item/field *names* — field types never have to be
+//! understood because the generated code dispatches through the traits and
+//! lets inference resolve them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// --------------------------------------------------------------------------
+// item model
+
+struct Input {
+    name: String,
+    /// Raw generic parameter list with bounds, e.g. `<T: Clone>` ("" if none).
+    generics_decl: String,
+    /// Generic arguments by name, e.g. `<T>` ("" if none).
+    generics_args: String,
+    /// Type parameter names (for trait bounds in the where clause).
+    type_params: Vec<String>,
+    /// Raw `where` clause predicates from the item, without the keyword.
+    where_raw: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// --------------------------------------------------------------------------
+// parsing
+
+/// Skips leading attributes; returns whether any was `#[serde(... default ...)]`.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i < toks.len() {
+        let is_hash = matches!(&toks[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        // Outer attribute: `#` `[ ... ]`. (Inner `#![...]` never appears on
+        // fields or variants.)
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if matches!(&t, TokenTree::Ident(a) if a.to_string() == "default") {
+                            default = true;
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past one type (or any token run) up to a top-level `,`, tracking
+/// `<`/`>` nesting. The comma is consumed. Handles `->` inside fn types.
+fn skip_past_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    while *i < toks.len() {
+        let mut dash = false;
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                '-' => dash = true,
+                _ => {}
+            }
+        }
+        prev_dash = dash;
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde derive: expected field name, got {:?}",
+                toks[i].to_string()
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        // `:`
+        i += 1;
+        skip_past_type(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(group_tokens: Vec<TokenTree>) -> usize {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_past_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let toks = group_tokens;
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde derive: expected variant name, got {:?}",
+                toks[i].to_string()
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream().into_iter().collect());
+                i += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream().into_iter().collect());
+                i += 1;
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to (and past) the separating comma; tolerates discriminants.
+        skip_past_type(&toks, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let is_enum = match &toks[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!(
+            "serde derive supports structs and enums, got {:?}",
+            other.to_string()
+        ),
+    };
+    i += 1;
+
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde derive: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+
+    // Generic parameter list.
+    let mut generics_decl = String::new();
+    let mut generics_args = String::new();
+    let mut type_params = Vec::new();
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1;
+        let mut inner: Vec<TokenTree> = Vec::new();
+        while depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            inner.push(toks[i].clone());
+            i += 1;
+        }
+        // Split params at top-level commas to pull out their names.
+        let mut arg_names: Vec<String> = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            // One parameter starts here.
+            match &inner[j] {
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // Lifetime parameter: `'a` (+ optional bounds).
+                    if let Some(TokenTree::Ident(lt)) = inner.get(j + 1) {
+                        arg_names.push(format!("'{lt}"));
+                    }
+                    j += 2;
+                }
+                TokenTree::Ident(id) if id.to_string() == "const" => {
+                    if let Some(TokenTree::Ident(n)) = inner.get(j + 1) {
+                        arg_names.push(n.to_string());
+                    }
+                    j += 2;
+                }
+                TokenTree::Ident(id) => {
+                    let n = id.to_string();
+                    arg_names.push(n.clone());
+                    type_params.push(n);
+                    j += 1;
+                }
+                _ => {
+                    j += 1;
+                    continue;
+                }
+            }
+            skip_past_type(&inner, &mut j);
+        }
+        let decl: TokenStream = inner.into_iter().collect();
+        generics_decl = format!("<{}>", decl);
+        generics_args = format!("<{}>", arg_names.join(", "));
+    }
+
+    // Optional where clause, then the body.
+    let mut where_raw = String::new();
+    let kind = loop {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                i += 1;
+                let mut preds: Vec<TokenTree> = Vec::new();
+                while i < toks.len() {
+                    match &toks[i] {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                        TokenTree::Punct(p) if p.as_char() == ';' => break,
+                        t => {
+                            preds.push(t.clone());
+                            i += 1;
+                        }
+                    }
+                }
+                let ts: TokenStream = preds.into_iter().collect();
+                where_raw = ts.to_string();
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                break if is_enum {
+                    Kind::Enum(parse_variants(body))
+                } else {
+                    Kind::Struct(Fields::Named(parse_named_fields(body)))
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream().into_iter().collect());
+                i += 1;
+                // Tuple structs may carry `where` between `)` and `;`.
+                continue_tuple(&toks, &mut i, &mut where_raw);
+                break Kind::Struct(Fields::Tuple(n));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                break Kind::Struct(Fields::Unit);
+            }
+            other => panic!("serde derive: unexpected token {:?}", other.to_string()),
+        }
+    };
+
+    Input {
+        name,
+        generics_decl,
+        generics_args,
+        type_params,
+        where_raw,
+        kind,
+    }
+}
+
+fn continue_tuple(toks: &[TokenTree], i: &mut usize, where_raw: &mut String) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        *i += 1;
+        let mut preds: Vec<TokenTree> = Vec::new();
+        while *i < toks.len() {
+            if matches!(&toks[*i], TokenTree::Punct(p) if p.as_char() == ';') {
+                break;
+            }
+            preds.push(toks[*i].clone());
+            *i += 1;
+        }
+        let ts: TokenStream = preds.into_iter().collect();
+        *where_raw = ts.to_string();
+    }
+}
+
+// --------------------------------------------------------------------------
+// codegen
+
+/// `impl<...> ::serde::Trait for Name<...> where ...` — bounds each type
+/// parameter by the trait being derived.
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let mut preds: Vec<String> = Vec::new();
+    if !input.where_raw.is_empty() {
+        preds.push(input.where_raw.clone());
+    }
+    for p in &input.type_params {
+        preds.push(format!("{p}: ::serde::{trait_name}"));
+    }
+    let where_clause = if preds.is_empty() {
+        String::new()
+    } else {
+        format!(" where {}", preds.join(", "))
+    };
+    format!(
+        "impl{} ::serde::{} for {}{}{}",
+        input.generics_decl, trait_name, input.name, input.generics_args, where_clause
+    )
+}
+
+fn named_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&{1}{0}))",
+                f.name, access_prefix
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+/// `match` arm body deserializing named fields into `ctor { ... }` from a
+/// map slice named `__m`.
+fn named_from_map(ctor: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let absent = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::Deserialize::missing(\"{}\")?", f.name)
+            };
+            format!(
+                "{0}: match ::serde::__map_get(__m, \"{0}\") {{ \
+                   ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                   ::std::option::Option::None => {1}, \
+                 }}",
+                f.name, absent
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({} {{ {} }})",
+        ctor,
+        inits.join(", ")
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => named_to_map(fields, "self."),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        impl_header(input, "Serialize"),
+        body
+    )
+}
+
+fn tuple_from_seq(ctor: &str, n: usize, seq_expr: &str, what: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+        .collect();
+    format!(
+        "{{ let __s = match ({seq_expr}).as_seq() {{ \
+             ::std::option::Option::Some(__s) => __s, \
+             ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"expected sequence for {what}\")), \
+           }}; \
+           if __s.len() != {n} {{ \
+             return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {what}\")); \
+           }} \
+           ::std::result::Result::Ok({ctor}({items})) }}",
+        items = items.join(", ")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => format!(
+            "let __m = match v.as_map() {{ \
+               ::std::option::Option::Some(__m) => __m, \
+               ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for struct {name}\")), \
+             }}; \
+             {}",
+            named_from_map(name, fields)
+        ),
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => tuple_from_seq(name, *n, "v", name),
+        Kind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        // Accept `{"Unit": null}` too.
+                        Fields::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "\"{vn}\" => {},",
+                            tuple_from_seq(&format!("{name}::{vn}"), *n, "__payload", &format!("{name}::{vn}"))
+                        ),
+                        Fields::Named(fields) => format!(
+                            "\"{vn}\" => {{ \
+                               let __m = match __payload.as_map() {{ \
+                                 ::std::option::Option::Some(__m) => __m, \
+                                 ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for variant {name}::{vn}\")), \
+                               }}; \
+                               {} \
+                             }},",
+                            named_from_map(&format!("{name}::{vn}"), fields)
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))), \
+                   }}, \
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__k, __payload) = &__entries[0]; \
+                     match __k.as_str() {{ \
+                       {} \
+                       __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` of {name}\", __other))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum {name}\")), \
+                 }}",
+                unit_arms.join(" "),
+                payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {} }} }}",
+        impl_header(input, "Deserialize"),
+        body
+    )
+}
+
+// --------------------------------------------------------------------------
+// entry points
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

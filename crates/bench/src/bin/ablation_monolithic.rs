@@ -1,70 +1,9 @@
-//! Ablation B: the chiplet tax. Re-runs the Table 2 latency probe and the
-//! Figure 3 loaded-latency sweep on the monolithic baseline (same cores and
-//! memory as the 7302, no chiplet partitioning) — the paper's implicit
-//! point of contrast throughout §3.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_mem::OpKind;
-use chiplet_membench::latency::position_latencies;
-use chiplet_membench::loaded::{loaded_latency_sweep, LinkScenario};
-use chiplet_net::engine::EngineConfig;
-use chiplet_topology::{CoreId, PlatformSpec, Topology};
+//! Regenerates Ablation B (the chiplet tax) via the scenario registry
+//! (`ablation_monolithic`).
 
 fn main() {
-    println!("Ablation B: chiplet (EPYC 7302) vs monolithic baseline.\n");
-    let chiplet = Topology::build(&PlatformSpec::epyc_7302());
-    let mono = Topology::build(&PlatformSpec::monolithic_baseline());
-    let cfg = EngineConfig::deterministic();
-
-    // Latency: every DIMM position. The monolithic die has a single
-    // uniform "position", so every chiplet row compares against it.
-    let mut t = TextTable::new(vec!["DIMM position", "chiplet ns", "monolithic ns", "tax"]);
-    let ch = position_latencies(&chiplet, CoreId(0), &cfg);
-    let mono_uniform = position_latencies(&mono, CoreId(0), &cfg)[0].1;
-    for (pos, c) in &ch {
-        t.row(vec![
-            pos.to_string(),
-            f1(*c),
-            f1(mono_uniform),
-            format!("+{}%", f1((c / mono_uniform - 1.0) * 100.0)),
-        ]);
-    }
-    println!("Unloaded memory latency:");
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-
-    // Loaded latency at the chiplet's GMI choke point vs the same cores on
-    // the crossbar.
-    println!("\nLoaded latency, 4 cores streaming reads (offered = 30 GB/s):");
-    let mut t = TextTable::new(vec!["platform", "achieved GB/s", "avg ns", "P999 ns"]);
-    for (name, topo) in [("chiplet", &chiplet), ("monolithic", &mono)] {
-        let pts = loaded_latency_sweep(
-            topo,
-            LinkScenario::Gmi,
-            OpKind::Read,
-            &[30.0
-                / LinkScenario::Gmi
-                    .nominal_cap(topo, OpKind::Read)
-                    .as_gb_per_s()],
-            &cfg,
-        );
-        t.row(vec![
-            name.to_string(),
-            f1(pts[0].achieved_gb_s),
-            f1(pts[0].mean_ns),
-            f1(pts[0].p999_ns),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-
-    println!(
-        "\nReading: the chiplet platform pays extra switch hops at every \
-         position (and the position spread itself — the monolithic die is \
-         uniform), plus GMI queueing under load that the over-provisioned \
-         crossbar never sees. This is the latency/bandwidth cost chiplets \
-         trade for yield and modularity (§2.1)."
+    print!(
+        "{}",
+        chiplet_bench::scenarios::render_named("ablation_monolithic")
     );
 }

@@ -1,84 +1,6 @@
-//! BDP-adaptive traffic control study (Implication #3): "Dynamic
-//! monitoring end-to-end runtime BDP and using it for traffic control
-//! becomes vital in server chiplet networking."
-//!
-//! Sweeps the controller's latency target and prints the
-//! bandwidth/latency frontier against the hardware default, on both the
-//! GMI (one chiplet) and the CXL P-Link.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_net::engine::{Engine, EngineConfig};
-use chiplet_net::flow::{FlowSpec, Target};
-use chiplet_net::traffic::TrafficPolicy;
-use chiplet_sim::{ByteSize, SimTime};
-use chiplet_topology::{CcdId, PlatformSpec, Topology};
-
-fn run(topo: &Topology, target: Target, policy: TrafficPolicy) -> (f64, f64, f64) {
-    let cfg = EngineConfig::default().with_policy(policy);
-    let mut engine = Engine::new(topo, cfg);
-    engine.add_flow(
-        FlowSpec::reads("f", topo.cores_of_ccd(CcdId(0)).collect(), target)
-            .working_set(ByteSize::from_gib(1))
-            .build(topo),
-    );
-    let r = engine.run(SimTime::from_micros(150));
-    let f = &r.flows[0];
-    (
-        f.achieved.as_gb_per_s(),
-        f.mean_latency_ns(),
-        f.p999_latency_ns(),
-    )
-}
-
-fn study(topo: &Topology, label: &str, target: Target) {
-    println!("{label}:");
-    let mut t = TextTable::new(vec!["policy", "GB/s", "mean ns", "P999 ns"]);
-    let (bw, lat, p999) = run(topo, target.clone(), TrafficPolicy::HardwareDefault);
-    t.row(vec![
-        "hardware (full MLP)".to_string(),
-        f1(bw),
-        f1(lat),
-        f1(p999),
-    ]);
-    for factor in [2.0, 1.5, 1.25, 1.10, 1.05] {
-        let (bw, lat, p999) = run(
-            topo,
-            target.clone(),
-            TrafficPolicy::BdpAdaptive {
-                latency_factor: factor,
-                interval_ns: 2_000,
-            },
-        );
-        t.row(vec![
-            format!("BDP-adaptive ×{factor:.2}"),
-            f1(bw),
-            f1(lat),
-            f1(p999),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!();
-}
+//! Regenerates the BDP-adaptive traffic-control study via the scenario
+//! registry (`bdp_control`).
 
 fn main() {
-    println!("BDP-adaptive traffic control: the bandwidth/latency frontier.\n");
-    let t9634 = Topology::build(&PlatformSpec::epyc_9634());
-    study(
-        &t9634,
-        "EPYC 9634 — one chiplet to DRAM (GMI-bound)",
-        Target::all_dimms(&t9634),
-    );
-    study(
-        &t9634,
-        "EPYC 9634 — one chiplet to CXL (port-bound)",
-        Target::Cxl(0),
-    );
-    println!(
-        "Reading: the hardware default keeps the full MLP in flight and \
-         pays hundreds of ns of queueing; a runtime-BDP controller walks \
-         the frontier — a few percent of bandwidth buys 1.5–2× lower mean \
-         latency and tighter tails, without hardware support."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("bdp_control"));
 }

@@ -1,0 +1,135 @@
+//! `chiplet-scenario` — the declarative experiment runner.
+//!
+//! ```text
+//! chiplet-scenario list
+//! chiplet-scenario show <name>
+//! chiplet-scenario run <name|file.json> [--json]
+//! ```
+//!
+//! `list` prints the registry of the paper's built-in scenarios; `run`
+//! executes a built-in by name or any [`ScenarioSpec`] JSON file on its
+//! configured backend and prints the report (`--json` emits the structured
+//! [`ScenarioReport`] instead); `show` prints a built-in declarative spec
+//! as JSON — a starting point for custom scenario files.
+//!
+//! [`ScenarioSpec`]: chiplet_net::scenario::ScenarioSpec
+//! [`ScenarioReport`]: chiplet_net::scenario::ScenarioReport
+
+use std::process::ExitCode;
+
+use chiplet_bench::scenarios::{paper_registry, render_report};
+use chiplet_bench::TextTable;
+use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec};
+
+const USAGE: &str = "usage: chiplet-scenario <COMMAND>
+commands:
+  list                     print the built-in scenario registry
+  show <name>              print a built-in declarative spec as JSON
+  run <name|file.json>     run a built-in or a ScenarioSpec JSON file
+      [--json]             print the structured report instead of text";
+
+fn list() {
+    let reg = paper_registry();
+    let mut t = TextTable::new(vec!["name", "kind", "summary"]);
+    for e in reg.entries() {
+        let kind = match (e.build)() {
+            ScenarioKind::Spec(_) => "spec",
+            ScenarioKind::Study(_) => "study",
+        };
+        t.row(vec![
+            e.name.to_string(),
+            kind.to_string(),
+            e.summary.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn show(name: &str) -> Result<(), String> {
+    let reg = paper_registry();
+    let entry = reg
+        .get(name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (try `chiplet-scenario list`)"))?;
+    match (entry.build)() {
+        ScenarioKind::Spec(spec) => {
+            println!("{}", spec.to_json());
+            Ok(())
+        }
+        ScenarioKind::Study(_) => Err(format!(
+            "'{name}' is a composite study (it renders its own text); \
+             only declarative spec entries have a JSON form"
+        )),
+    }
+}
+
+fn run(target: &str, json: bool) -> Result<(), String> {
+    // A JSON file takes priority; anything else is a registry name.
+    if target.ends_with(".json") || std::path::Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let spec = ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?;
+        let report = spec.run().map_err(|e| e.to_string())?;
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", render_report(&report));
+        }
+        return Ok(());
+    }
+    let reg = paper_registry();
+    let outcome = reg
+        .run(target)
+        .ok_or_else(|| format!("unknown scenario '{target}' (try `chiplet-scenario list`)"))?
+        .map_err(|e| e.to_string())?;
+    match outcome {
+        ScenarioRun::Text(text) => {
+            if json {
+                return Err(format!(
+                    "'{target}' is a composite study rendering text; --json \
+                     applies to declarative spec scenarios"
+                ));
+            }
+            print!("{text}");
+        }
+        ScenarioRun::Report(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", render_report(&report));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dispatch() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut json = false;
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            s if s.starts_with('-') => return Err(format!("unknown flag {s}\n{USAGE}")),
+            s => positional.push(s),
+        }
+    }
+    match positional.as_slice() {
+        ["list"] => {
+            list();
+            Ok(())
+        }
+        ["show", name] => show(name),
+        ["run", target] => run(target, json),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match dispatch() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,20 +12,24 @@
 //! ```
 //!
 //! Scenarios: `ccd-read` (default), `near-chase`, `two-flows`, `cxl-read`,
-//! `socket-read`.
+//! `socket-read`. Each is compiled to a declarative
+//! [`ScenarioSpec`](chiplet_net::scenario::ScenarioSpec) and executed
+//! through the event backend (`--spec` prints the JSON instead of running).
 
 use std::process::ExitCode;
 
-use chiplet_mem::OpKind;
-use chiplet_net::engine::{Engine, EngineConfig};
+use chiplet_mem::{OpKind, Pattern};
 use chiplet_net::export_sysfs;
-use chiplet_net::flow::{FlowSpec, Target};
-use chiplet_sim::{ByteSize, SimDuration, SimTime};
+use chiplet_net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, EngineOptions, EventEngineBackend, ScenarioFlow,
+    ScenarioSpec, TargetSpec, TopologyChoice,
+};
+use chiplet_sim::{SimDuration, SimTime};
 use chiplet_topology::descriptor::ChipletNetDescriptor;
-use chiplet_topology::{CcdId, CoreId, DimmPosition, PlatformSpec, Topology};
+use chiplet_topology::{CoreId, DimmPosition, PlatformSpec, Topology};
 
 const USAGE: &str = "usage: chiplet-trace [SCENARIO] [--platform 7302|9634] \
-[--sampling N] [--horizon US] [--window US] [--chrome FILE] [--sysfs DIR] [--seed N]
+[--sampling N] [--horizon US] [--window US] [--chrome FILE] [--sysfs DIR] [--seed N] [--spec]
 scenarios: ccd-read (default), near-chase, two-flows, cxl-read, socket-read";
 
 struct Args {
@@ -37,6 +41,7 @@ struct Args {
     chrome: Option<String>,
     sysfs: Option<String>,
     seed: u64,
+    print_spec: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         chrome: None,
         sysfs: None,
         seed: 42,
+        print_spec: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--spec" => args.print_spec = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             s if !s.starts_with('-') => args.scenario = s.to_string(),
             s => return Err(format!("unknown flag {s}\n{USAGE}")),
@@ -85,96 +92,96 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Adds the scenario's flows; errors on a scenario/platform mismatch.
-fn add_flows(engine: &mut Engine, topo: &Topology, scenario: &str) -> Result<(), String> {
-    match scenario {
-        "ccd-read" => {
-            engine.add_flow(
-                FlowSpec::reads(
-                    "ccd0-read",
-                    topo.cores_of_ccd(CcdId(0)).collect(),
-                    Target::all_dimms(topo),
-                )
-                .working_set(ByteSize::from_gib(1))
-                .build(topo),
-            );
-        }
+fn flow(name: &str, cores: CoreSelect, target: TargetSpec) -> ScenarioFlow {
+    ScenarioFlow {
+        name: name.to_string(),
+        demand: None,
+        engine: Some(EngineFlow {
+            cores,
+            nic: None,
+            target,
+            op: None,
+            pattern: None,
+            working_set: None,
+            start: None,
+            stop: None,
+        }),
+        links: Vec::new(),
+    }
+}
+
+/// The scenario's flows; errors on a scenario/platform mismatch.
+fn flows(
+    platform: &PlatformSpec,
+    topo: &Topology,
+    scenario: &str,
+) -> Result<Vec<ScenarioFlow>, String> {
+    Ok(match scenario {
+        "ccd-read" => vec![flow("ccd0-read", CoreSelect::Ccd(0), TargetSpec::AllDimms)],
         "near-chase" => {
             let dimm = topo
                 .dimm_at_position(CoreId(0), DimmPosition::Near)
                 .ok_or("platform has no near DIMM")?;
-            engine.add_flow(
-                FlowSpec::pointer_chase("near-chase", CoreId(0), Target::dimm(dimm))
-                    .working_set(ByteSize::from_gib(1))
-                    .build(topo),
+            let mut f = flow(
+                "near-chase",
+                CoreSelect::Cores(vec![0]),
+                TargetSpec::Dimms(vec![dimm.0]),
             );
+            f.engine.as_mut().expect("engine mapping set").pattern = Some(Pattern::PointerChase);
+            f.engine.as_mut().expect("engine mapping set").op = Some(OpKind::Read);
+            vec![f]
         }
         "two-flows" => {
-            engine.add_flow(
-                FlowSpec::reads(
-                    "ccx0-read",
-                    topo.cores_of_ccx(0).collect(),
-                    Target::all_dimms(topo),
-                )
-                .working_set(ByteSize::from_gib(1))
-                .build(topo),
-            );
-            engine.add_flow(
-                FlowSpec::reads(
-                    "ccx1-write",
-                    topo.cores_of_ccx(1).collect(),
-                    Target::all_dimms(topo),
-                )
-                .op(OpKind::WriteNonTemporal)
-                .working_set(ByteSize::from_gib(1))
-                .build(topo),
-            );
+            let mut w = flow("ccx1-write", CoreSelect::Ccx(1), TargetSpec::AllDimms);
+            w.engine.as_mut().expect("engine mapping set").op = Some(OpKind::WriteNonTemporal);
+            vec![
+                flow("ccx0-read", CoreSelect::Ccx(0), TargetSpec::AllDimms),
+                w,
+            ]
         }
         "cxl-read" => {
-            if topo.spec().cxl.is_none() {
+            if platform.cxl.is_none() {
                 return Err("cxl-read needs a CXL platform (use --platform 9634)".into());
             }
-            engine.add_flow(
-                FlowSpec::reads(
-                    "cxl-read",
-                    topo.cores_of_ccd(CcdId(0)).collect(),
-                    Target::Cxl(0),
-                )
-                .working_set(ByteSize::from_gib(1))
-                .build(topo),
-            );
+            vec![flow("cxl-read", CoreSelect::Ccd(0), TargetSpec::Cxl(0))]
         }
-        "socket-read" => {
-            engine.add_flow(
-                FlowSpec::reads(
-                    "socket-read",
-                    topo.core_ids().collect(),
-                    Target::all_dimms(topo),
-                )
-                .working_set(ByteSize::from_gib(1))
-                .build(topo),
-            );
-        }
+        "socket-read" => vec![flow("socket-read", CoreSelect::All, TargetSpec::AllDimms)],
         s => return Err(format!("unknown scenario {s}\n{USAGE}")),
-    }
-    Ok(())
+    })
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let spec = match args.platform.as_str() {
-        "7302" => PlatformSpec::epyc_7302(),
-        "9634" => PlatformSpec::epyc_9634(),
+    let platform_name = match args.platform.as_str() {
+        "7302" => "epyc_7302",
+        "9634" => "epyc_9634",
         p => return Err(format!("unknown platform {p} (7302 or 9634)")),
     };
-    let topo = Topology::build(&spec);
-    let cfg = EngineConfig::default()
-        .with_seed(args.seed)
-        .with_trace_sampling(args.sampling)
-        .with_trace(SimDuration::from_micros(args.window_us.max(1)));
-    let mut engine = Engine::new(&topo, cfg);
-    add_flows(&mut engine, &topo, &args.scenario)?;
-    let result = engine.run(SimTime::from_micros(args.horizon_us.max(5)));
+    let topology = TopologyChoice::Named(platform_name.to_string());
+    let platform = topology.platform().map_err(|e| e.to_string())?;
+    let topo = Topology::build(&platform);
+    let spec = ScenarioSpec {
+        name: format!("chiplet-trace {}", args.scenario),
+        description: "Span-trace inspection run".to_string(),
+        topology,
+        backend: BackendKind::Event,
+        seed: Some(args.seed),
+        horizon: SimTime::from_micros(args.horizon_us.max(5)),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            warmup: None,
+            deterministic_memory: false,
+            trace_window: Some(SimDuration::from_micros(args.window_us.max(1))),
+            trace_sampling: Some(args.sampling.max(1)),
+        }),
+        fluid: None,
+        flows: flows(&platform, &topo, &args.scenario)?,
+    };
+    if args.print_spec {
+        println!("{}", spec.to_json());
+        return Ok(());
+    }
+    let (result, topo) = EventEngineBackend::run_raw(&spec).map_err(|e| e.to_string())?;
     let trace = result.trace.as_ref().expect("tracing was on");
 
     println!(

@@ -1,92 +1,5 @@
-//! Regenerates Figure 3: average and P999 latency versus offered load on
-//! the Infinity Fabric, GMI, and P-Link/CXL of both processors.
-//!
-//! Panels (as in the paper):
-//!   (a) 7302 IF intra-CC   (b) 9634 IF intra-CC   (c) 7302 IF inter-CC
-//!   (d) 7302 GMI           (e) 9634 GMI           (f) 9634 P-Link/CXL
-//!
-//! Each panel prints one series per operation (sequential read,
-//! non-temporal write): offered load, achieved bandwidth, mean and P999
-//! latency.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_mem::OpKind;
-use chiplet_membench::loaded::{default_fractions, loaded_latency_sweep, LinkScenario};
-use chiplet_net::engine::EngineConfig;
-use chiplet_topology::{PlatformSpec, Topology};
-
-fn panel(topo: &Topology, scenario: LinkScenario, label: &str) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    if !scenario.supported(topo) {
-        let _ = writeln!(
-            out,
-            "[{label}] {scenario} on {}: not supported\n",
-            topo.spec().name
-        );
-        return out;
-    }
-    let _ = writeln!(
-        out,
-        "[{label}] {} — {scenario}: latency vs offered load",
-        topo.spec().name
-    );
-    let cfg = EngineConfig::default();
-    let fractions = default_fractions();
-    for op in [OpKind::Read, OpKind::WriteNonTemporal] {
-        let pts = loaded_latency_sweep(topo, scenario, op, &fractions, &cfg);
-        let mut t = TextTable::new(vec!["offered GB/s", "achieved GB/s", "avg ns", "P999 ns"]);
-        for p in &pts {
-            t.row(vec![
-                f1(p.offered_gb_s),
-                f1(p.achieved_gb_s),
-                f1(p.mean_ns),
-                f1(p.p999_ns),
-            ]);
-        }
-        let _ = writeln!(out, "  op = {op}");
-        for line in t.render().lines() {
-            let _ = writeln!(out, "    {line}");
-        }
-    }
-    out
-}
+//! Regenerates Figure 3 via the scenario registry (`fig3`).
 
 fn main() {
-    let t7302 = Topology::build(&PlatformSpec::epyc_7302());
-    let t9634 = Topology::build(&PlatformSpec::epyc_9634());
-
-    println!("Figure 3: interconnect latency under load.\n");
-    // Panels are independent deterministic simulations: run them on scoped
-    // threads and print in figure order.
-    let jobs: Vec<(&Topology, LinkScenario, &str)> = vec![
-        (&t7302, LinkScenario::IfIntraCc, "a"),
-        (&t9634, LinkScenario::IfIntraCc, "b"),
-        (&t7302, LinkScenario::IfInterCc, "c"),
-        (&t7302, LinkScenario::Gmi, "d"),
-        (&t9634, LinkScenario::Gmi, "e"),
-        (&t9634, LinkScenario::PlinkCxl, "f"),
-    ];
-    let outputs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(topo, scenario, label)| scope.spawn(move |_| panel(topo, scenario, label)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("panel thread"))
-            .collect::<Vec<String>>()
-    })
-    .expect("panel scope");
-    for out in outputs {
-        println!("{out}");
-    }
-
-    println!(
-        "Paper reference points: 7302 GMI reads rise 123.7/470 ns -> \
-         172.5/800 ns (avg/P999) toward saturation; 9634 GMI reads \
-         143.7/380 -> 249.5/810 ns; 7302 IF stays flat; 9634 IF sees ~2x \
-         at max bandwidth; 9634 P-Link sees 1.7/1.4x (read) and 2.1/1.6x \
-         (write) increases."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("fig3"));
 }

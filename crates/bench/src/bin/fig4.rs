@@ -1,74 +1,5 @@
-//! Regenerates Figure 4: bandwidth partitioning of two competing flows at a
-//! shared link, for the paper's four demand cases, on both processors and
-//! all three link classes.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_mem::OpKind;
-use chiplet_membench::compete::{competing_flows, figure4_cases, CompeteLink};
-use chiplet_net::engine::EngineConfig;
-use chiplet_topology::{PlatformSpec, Topology};
-
-fn panel(topo: &Topology, link: CompeteLink) {
-    if !link.supported(topo) {
-        println!("{} — {link}: not supported\n", topo.spec().name);
-        return;
-    }
-    let c = link.capacity_gb_s(topo);
-    println!(
-        "{} — {link} (shared capacity ~{} GB/s, equal share {}):",
-        topo.spec().name,
-        f1(c),
-        f1(c / 2.0)
-    );
-    let cfg = EngineConfig::default();
-    let mut t = TextTable::new(vec![
-        "case",
-        "req0",
-        "req1",
-        "achieved0",
-        "achieved1",
-        "verdict",
-    ]);
-    for (name, d0, d1) in figure4_cases(c) {
-        let out = competing_flows(topo, link, Some(d0), Some(d1), OpKind::Read, &cfg);
-        let equal_share = c / 2.0;
-        let verdict = if d0 + d1 <= c {
-            "both satisfied"
-        } else if (out.achieved0_gb_s - out.achieved1_gb_s).abs() < 0.03 * c {
-            "equal split"
-        } else if out.achieved0_gb_s > equal_share && out.achieved0_gb_s > out.achieved1_gb_s {
-            "aggressive flow0 wins"
-        } else if out.achieved1_gb_s > equal_share {
-            "aggressive flow1 wins"
-        } else {
-            "shared below equal"
-        };
-        t.row(vec![
-            name.to_string(),
-            f1(d0),
-            f1(d1),
-            f1(out.achieved0_gb_s),
-            f1(out.achieved1_gb_s),
-            verdict.to_string(),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!();
-}
+//! Regenerates Figure 4 via the scenario registry (`fig4`).
 
 fn main() {
-    println!("Figure 4: sender-driven bandwidth partitioning, four cases.\n");
-    let t7302 = Topology::build(&PlatformSpec::epyc_7302());
-    let t9634 = Topology::build(&PlatformSpec::epyc_9634());
-    for link in [CompeteLink::IfIntraCc, CompeteLink::Gmi, CompeteLink::PLink] {
-        panel(&t7302, link);
-        panel(&t9634, link);
-    }
-    println!(
-        "Paper shape: case 1 both flows get their requests; cases 2 and 4 \
-         the higher-demand flow takes more than its equal share \
-         (sender-driven aggressive); case 3 equal demands split evenly."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("fig4"));
 }

@@ -1,91 +1,5 @@
-//! Regenerates Figure 5: six-second trace of two competing flows with
-//! fluctuating demands. Flow 0 is throttled by 2 GB/s during the [2,3) s
-//! and [4,5) s windows; the unthrottled flow 1 harvests the released
-//! bandwidth — in ~100 ms on the 9634's IF, ~500 ms on its P-Link, and
-//! with drastic variation on the 7302's IF.
-
-use chiplet_bench::f1;
-use chiplet_fluid::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim};
-use chiplet_sim::stats::TracePoint;
-use chiplet_sim::{Bandwidth, SimDuration, SimTime};
-
-fn fig5_scenario(link: FluidLink) -> (FluidSim, f64) {
-    let cap = link.capacity.as_gb_per_s();
-    let half = cap / 2.0;
-    let mut sim = FluidSim::new(vec![link]);
-    sim.add_flow(FluidFlowSpec {
-        name: "flow0 (throttled)".into(),
-        demand: DemandSchedule::piecewise(vec![
-            (SimTime::ZERO, None),
-            (
-                SimTime::from_secs(2),
-                Some(Bandwidth::from_gb_per_s(half - 2.0)),
-            ),
-            (SimTime::from_secs(3), None),
-            (
-                SimTime::from_secs(4),
-                Some(Bandwidth::from_gb_per_s(half - 2.0)),
-            ),
-            (SimTime::from_secs(5), None),
-        ]),
-        links: vec![0],
-    });
-    sim.add_flow(FluidFlowSpec {
-        name: "flow1 (unthrottled)".into(),
-        demand: DemandSchedule::constant(None),
-        links: vec![0],
-    });
-    (sim, cap)
-}
-
-/// Time from the throttle start until flow 1 has harvested 95% of the
-/// released 2 GB/s, ms.
-fn harvest_time_ms(trace: &[TracePoint], cap: f64) -> Option<u64> {
-    let threshold = cap / 2.0 + 1.9;
-    trace
-        .iter()
-        .filter(|p| p.at >= SimTime::from_secs(2))
-        .find(|p| p.bandwidth.as_gb_per_s() >= threshold)
-        .map(|p| p.at.as_nanos() / 1_000_000 - 2000)
-}
-
-fn panel(name: &str, link: FluidLink) {
-    let (sim, cap) = fig5_scenario(link);
-    let traces = sim.run(
-        SimTime::from_secs(6),
-        SimDuration::from_millis(1),
-        SimDuration::from_millis(50),
-        42,
-    );
-    println!("{name} (capacity {} GB/s):", f1(cap));
-    println!("  t(s)   flow0 GB/s  flow1 GB/s");
-    for (p0, p1) in traces[0].iter().zip(&traces[1]).step_by(4) {
-        println!(
-            "  {:5.2}  {:>10}  {:>10}",
-            p0.at.as_secs_f64(),
-            f1(p0.bandwidth.as_gb_per_s()),
-            f1(p1.bandwidth.as_gb_per_s()),
-        );
-    }
-    match harvest_time_ms(&traces[1], cap) {
-        Some(ms) => println!("  -> flow 1 harvested the released 2 GB/s in ~{ms} ms"),
-        None => println!("  -> flow 1 never settled at the harvested rate (unstable link)"),
-    }
-    println!();
-}
+//! Regenerates Figure 5 via the scenario registry (`fig5`).
 
 fn main() {
-    println!(
-        "Figure 5: bandwidth harvesting under fluctuating demands \
-         (flow 0 throttled −2 GB/s during [2,3) s and [4,5) s).\n"
-    );
-    panel("9634 IF", FluidLink::if_9634());
-    panel("9634 P-Link", FluidLink::plink_9634());
-    panel("7302 IF", FluidLink::if_7302());
-    println!(
-        "Paper shape: ~100 ms harvesting on the 9634 IF, ~500 ms on its \
-         P-Link; the 7302 IF shows drastic variation (suspected intra-CC \
-         queueing module); after each throttle window the flows return to \
-         equal shares."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("fig5"));
 }

@@ -1,105 +1,5 @@
-//! Regenerates Figure 6: read/write interference at the IF, GMI, and
-//! P-Link/CXL on the EPYC 9634. A frontend stream X runs at max rate while
-//! the background stream Y is swept; the panel reports X's achieved
-//! bandwidth for every X-Y combination (R-R, R-W, W-R, W-W).
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_mem::OpKind;
-use chiplet_membench::interference::{interference_sweep, InterferenceDomain};
-use chiplet_net::engine::EngineConfig;
-use chiplet_topology::{PlatformSpec, Topology};
-
-fn op_letter(op: OpKind) -> &'static str {
-    match op {
-        OpKind::Read => "R",
-        _ => "W",
-    }
-}
-
-fn panel(topo: &Topology, domain: InterferenceDomain) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    if !domain.supported(topo) {
-        let _ = writeln!(out, "{domain}: not supported on {}\n", topo.spec().name);
-        return out;
-    }
-    let _ = writeln!(out, "{domain}:");
-    let cfg = EngineConfig::default();
-    // Background sweep: off, then fractions of a generous ceiling, then
-    // unthrottled (the onset regime). Sweeps run on scoped threads.
-    let loads = [0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, f64::INFINITY];
-    let combos: Vec<(OpKind, OpKind)> = [OpKind::Read, OpKind::WriteNonTemporal]
-        .into_iter()
-        .flat_map(|fg| {
-            [OpKind::Read, OpKind::WriteNonTemporal]
-                .into_iter()
-                .map(move |bg| (fg, bg))
-        })
-        .collect();
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = combos
-            .iter()
-            .map(|&(fg, bg)| {
-                let cfg = cfg.clone();
-                scope.spawn(move |_| interference_sweep(topo, domain, fg, bg, &loads, &cfg))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .collect::<Vec<_>>()
-    })
-    .expect("sweep scope");
-    for ((fg, bg), pts) in combos.into_iter().zip(results) {
-        let mut t = TextTable::new(vec!["bg offered", "bg achieved", "X achieved"]);
-        for p in &pts {
-            t.row(vec![
-                if p.bg_offered_gb_s.is_finite() {
-                    f1(p.bg_offered_gb_s)
-                } else {
-                    "max".to_string()
-                },
-                f1(p.bg_achieved_gb_s),
-                f1(p.fg_achieved_gb_s),
-            ]);
-        }
-        let baseline = pts[0].fg_achieved_gb_s;
-        let worst = pts
-            .iter()
-            .map(|p| p.fg_achieved_gb_s)
-            .fold(f64::INFINITY, f64::min);
-        let _ = writeln!(
-            out,
-            "  X={} vs Y={}  (X alone: {} GB/s; worst under Y: {} GB/s)",
-            op_letter(fg),
-            op_letter(bg),
-            f1(baseline),
-            f1(worst)
-        );
-        for line in t.render().lines() {
-            let _ = writeln!(out, "    {line}");
-        }
-    }
-    out
-}
+//! Regenerates Figure 6 via the scenario registry (`fig6`).
 
 fn main() {
-    println!("Figure 6: read/write interference on the EPYC 9634.\n");
-    let topo = Topology::build(&PlatformSpec::epyc_9634());
-    for domain in [
-        InterferenceDomain::IfIntraCc,
-        InterferenceDomain::IfInterCc,
-        InterferenceDomain::Gmi,
-        InterferenceDomain::PLink,
-    ] {
-        println!("{}", panel(&topo, domain));
-    }
-    println!(
-        "Paper shape: within a CC, frontend writes and reads degrade once \
-         the background READ stream saturates (shared limiter tokens), \
-         while a write background induces little interference; across CCs \
-         interference appears only at much higher aggregate bandwidth \
-         (shared UMCs/NoC paths); GMI and P-Link interfere once the shared \
-         directional capacity saturates."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("fig6"));
 }

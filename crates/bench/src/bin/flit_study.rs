@@ -1,62 +1,6 @@
-//! CXL FLIT-framing ablation (§2.3: "a CXL mem transaction, encoded as the
-//! FLIT size (68/256B)"). Cacheline-granular CXL.mem traffic under the two
-//! FLIT formats: the 68 B format carries one line per FLIT (94.1% payload
-//! efficiency); packing a single line into a 256 B FLIT wastes 75% of the
-//! wire — the cost of a framing mismatch at the transaction layer.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_fabric::FlitFraming;
-use chiplet_net::engine::{Engine, EngineConfig};
-use chiplet_net::flow::{FlowSpec, Target};
-use chiplet_sim::SimTime;
-use chiplet_topology::{CcdId, PlatformSpec, Topology};
-
-fn cxl_socket_bandwidth(flit_bytes: u32) -> (f64, f64) {
-    let mut spec = PlatformSpec::epyc_9634();
-    spec.cxl.as_mut().expect("9634 has CXL").flit_bytes = flit_bytes;
-    let topo = Topology::build(&spec);
-    let mut engine = Engine::new(&topo, EngineConfig::deterministic());
-    // Six chiplets: enough to saturate the P-Link aggregate.
-    let cores = (0..6)
-        .flat_map(|c| topo.cores_of_ccd(CcdId(c)).collect::<Vec<_>>())
-        .collect();
-    engine.add_flow(FlowSpec::reads("cxl", cores, Target::Cxl(0)).build(&topo));
-    let r = engine.run(SimTime::from_micros(40));
-    (
-        r.flows[0].achieved.as_gb_per_s(),
-        r.flows[0].mean_latency_ns(),
-    )
-}
+//! Regenerates the CXL FLIT-framing ablation via the scenario registry
+//! (`flit_study`).
 
 fn main() {
-    println!("CXL FLIT-framing ablation: cacheline (64 B) CXL.mem streams.\n");
-    let mut t = TextTable::new(vec![
-        "FLIT format",
-        "payload efficiency",
-        "socket CXL read GB/s",
-        "mean ns",
-    ]);
-    for (label, framing) in [
-        ("68 B (one line/FLIT)", FlitFraming::CXL_68B),
-        ("256 B (line-granular)", FlitFraming::CXL_256B),
-    ] {
-        let (bw, lat) = cxl_socket_bandwidth(framing.flit_bytes);
-        // For single-line transactions the efficiency is payload/wire of
-        // one line, not the format's best case.
-        let line_eff = 64.0 / framing.wire_bytes(64) as f64;
-        t.row(vec![
-            label.to_string(),
-            format!("{:.1}%", line_eff * 100.0),
-            f1(bw),
-            f1(lat),
-        ]);
-    }
-    t.print();
-    println!(
-        "\nBulk transfers amortize the big FLIT (240/256 B payload = 93.8%), \
-         but the chiplet network's native unit is the 64 B cacheline — at \
-         that granularity the 256 B format forfeits three quarters of the \
-         P-Link. Framing is a transaction-layer design decision, not a\n\
-         constant (§2.3)."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("flit_study"));
 }

@@ -1,108 +1,6 @@
-//! Fused intra-/inter-host stack study (§4 #3): a 400 GbE-class NIC's DMA
-//! traffic versus the chiplet network. The paper's observation — "a
-//! 400+GbE terabit Ethernet port ... can sometimes drive more bandwidth
-//! than a compute chiplet" — and the orchestration remedy.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_net::engine::{Engine, EngineConfig};
-use chiplet_net::flow::{FlowSpec, Target};
-use chiplet_net::traffic::TrafficPolicy;
-use chiplet_sim::SimTime;
-use chiplet_topology::{CcdId, DimmId, NicSpec, PlatformSpec, Topology};
+//! Regenerates the fused intra-/inter-host stack study via the scenario
+//! registry (`fused_stack`).
 
 fn main() {
-    let spec = PlatformSpec::epyc_9634().with_nic(NicSpec::gbe400());
-    let topo = Topology::build(&spec);
-    let cfg = EngineConfig::deterministic();
-    println!("Fused-stack study: {} + 400 GbE NIC\n", spec.name);
-
-    // 1. The §4 #3 observation: the NIC vs one compute chiplet.
-    let mut t = TextTable::new(vec!["engine", "into memory GB/s", "from memory GB/s"]);
-    let nic_spec = spec.nic.as_ref().unwrap();
-    t.row(vec![
-        "400 GbE NIC (line rate)".to_string(),
-        f1(nic_spec.dma_write_bw.as_gb_per_s()),
-        f1(nic_spec.dma_read_bw.as_gb_per_s()),
-    ]);
-    t.row(vec![
-        "one compute chiplet (GMI)".to_string(),
-        f1(spec.caps.gmi_write.as_gb_per_s()),
-        f1(spec.caps.gmi_read.as_gb_per_s()),
-    ]);
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!(
-        "  -> the inter-host fabric outruns the intra-host chiplet link \
-         (the paper's §4 #3 premise).\n"
-    );
-
-    // 2. RX storm vs an application writing to the same memory: hardware
-    //    default vs managed.
-    println!("RX DMA storm vs application writes to the same two DIMMs:");
-    let shared: Vec<DimmId> = vec![DimmId(0), DimmId(1)];
-    let mut t = TextTable::new(vec!["policy", "app writes GB/s", "NIC RX GB/s"]);
-    let policies: [(&str, TrafficPolicy); 3] = [
-        ("hardware (unmanaged)", TrafficPolicy::HardwareDefault),
-        ("max-min fair", TrafficPolicy::MaxMinFair),
-        (
-            "NIC rate-capped at 25",
-            TrafficPolicy::RateLimit {
-                caps_gb_s: vec![f64::INFINITY, 25.0],
-            },
-        ),
-    ];
-    for (name, policy) in policies {
-        let mut c = cfg.clone();
-        c.policy = policy;
-        let mut engine = Engine::new(&topo, c);
-        engine.add_flow(
-            FlowSpec::writes(
-                "app",
-                topo.cores_of_ccd(CcdId(0)).collect(),
-                Target::Dimms(shared.clone()),
-            )
-            .build(&topo),
-        );
-        engine.add_flow(
-            FlowSpec::nic_dma_write("nic-rx", 0, Target::Dimms(shared.clone())).build(&topo),
-        );
-        let r = engine.run(SimTime::from_micros(60));
-        t.row(vec![
-            name.to_string(),
-            f1(r.flow("app").unwrap().achieved.as_gb_per_s()),
-            f1(r.flow("nic-rx").unwrap().achieved.as_gb_per_s()),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-
-    // 3. Placement as orchestration: steering the RX ring to other UMCs.
-    println!("\nPlacement orchestration: move the RX buffers off the app's DIMMs:");
-    let mut engine = Engine::new(&topo, cfg.clone());
-    engine.add_flow(
-        FlowSpec::writes(
-            "app",
-            topo.cores_of_ccd(CcdId(0)).collect(),
-            Target::Dimms(shared.clone()),
-        )
-        .build(&topo),
-    );
-    engine.add_flow(
-        FlowSpec::nic_dma_write("nic-rx", 0, Target::Dimms((6..12).map(DimmId).collect()))
-            .build(&topo),
-    );
-    let r = engine.run(SimTime::from_micros(60));
-    println!(
-        "  app writes {} GB/s, NIC RX {} GB/s — both at full rate.",
-        f1(r.flow("app").unwrap().achieved.as_gb_per_s()),
-        f1(r.flow("nic-rx").unwrap().achieved.as_gb_per_s())
-    );
-    println!(
-        "\nReading: unmanaged, the deep-queued DMA engine crushes the \
-         application at the shared UMCs; a traffic manager (rate caps or \
-         fairness) or NUMA-aware buffer placement restores it — the \
-         'judicious orchestration' §4 #3 calls for."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("fused_stack"));
 }

@@ -1,131 +1,6 @@
-//! NoC design-space study (§2.3 lists Mesh/Torus topologies and buffered
-//! vs bufferless routing as the I/O die's design choices; §4 #5 calls for
-//! chiplet-centric benchmarking). Sweeps injection rate for each topology ×
-//! routing combination under uniform and hotspot traffic.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_noc::{NocConfig, NocSim, NocTopology, Routing, TrafficPattern};
-use chiplet_sim::DetRng;
+//! Regenerates the NoC design-space study via the scenario registry
+//! (`noc_study`).
 
 fn main() {
-    println!("NoC design-space study: 4x2 I/O-die fabric candidates.\n");
-    let topologies = [
-        (
-            "mesh 4x2",
-            NocTopology::Mesh {
-                width: 4,
-                height: 2,
-            },
-        ),
-        (
-            "torus 4x2",
-            NocTopology::Torus {
-                width: 4,
-                height: 2,
-            },
-        ),
-    ];
-    let routings = [
-        (
-            "buffered XY (4-deep)",
-            Routing::BufferedXY { buffer_depth: 4 },
-        ),
-        ("bufferless deflection", Routing::Deflection),
-    ];
-    let patterns = [
-        ("uniform", TrafficPattern::UniformRandom),
-        ("hotspot@0", TrafficPattern::Hotspot { target: 0 }),
-    ];
-    let rates = [0.05, 0.15, 0.30, 0.45];
-
-    for (pname, pattern) in patterns {
-        println!("pattern: {pname}");
-        let mut t = TextTable::new(vec![
-            "config",
-            "inj rate",
-            "throughput",
-            "avg lat (cyc)",
-            "P999 (cyc)",
-            "deflect/flit",
-        ]);
-        for (tname, topo) in topologies {
-            for (rname, routing) in routings {
-                for &rate in &rates {
-                    let mut rng = DetRng::seed_from_u64(7);
-                    let stats = NocSim::run_synthetic(
-                        NocConfig {
-                            topology: topo,
-                            routing,
-                            packet_len: 1,
-                        },
-                        pattern,
-                        rate,
-                        500,
-                        5000,
-                        &mut rng,
-                    );
-                    t.row(vec![
-                        format!("{tname} / {rname}"),
-                        format!("{rate:.2}"),
-                        format!("{:.3}", stats.throughput()),
-                        f1(stats.mean_latency()),
-                        stats.p999_latency().to_string(),
-                        format!("{:.2}", stats.deflection_rate()),
-                    ]);
-                }
-            }
-        }
-        for line in t.render().lines() {
-            println!("  {line}");
-        }
-        println!();
-    }
-    // Wormhole packet-length sweep at a fixed flit rate: longer packets
-    // hold channels longer (§2.3's FLIT-size design axis).
-    println!("wormhole packet length (mesh 4x2, buffered, ~0.2 flits/node/cycle):");
-    let mut t = TextTable::new(vec![
-        "flits/packet",
-        "pkt rate",
-        "throughput (pkt)",
-        "avg lat (cyc)",
-        "P999 (cyc)",
-    ]);
-    for len in [1u8, 2, 4, 8] {
-        let rate = 0.2 / len as f64;
-        let mut rng = DetRng::seed_from_u64(7);
-        let stats = NocSim::run_synthetic(
-            NocConfig {
-                topology: NocTopology::Mesh {
-                    width: 4,
-                    height: 2,
-                },
-                routing: Routing::BufferedXY { buffer_depth: 4 },
-                packet_len: len,
-            },
-            TrafficPattern::UniformRandom,
-            rate,
-            500,
-            5000,
-            &mut rng,
-        );
-        t.row(vec![
-            len.to_string(),
-            format!("{rate:.3}"),
-            format!("{:.4}", stats.throughput()),
-            f1(stats.mean_latency()),
-            stats.p999_latency().to_string(),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!();
-    println!(
-        "Reading: the torus' wraparound halves worst-case distance; \
-         bufferless deflection matches buffered latency at low load but \
-         deflects heavily as injection grows; the hotspot's single ejection \
-         port caps throughput regardless of fabric; longer wormhole packets \
-         pipeline their bodies but hold channels, trading per-packet \
-         latency for framing efficiency."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("noc_study"));
 }

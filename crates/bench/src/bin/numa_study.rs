@@ -1,115 +1,5 @@
-//! NUMA / Sub-NUMA study on the dual-socket Dell 7525 testbed (2× EPYC
-//! 7302) — Implication #1's "more granular non-uniform memory access":
-//! local position spread, remote xGMI access, and the NPS (node-per-socket)
-//! interleave trade-off between latency and bandwidth.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_net::engine::{pointer_chase_latency_ns, Engine, EngineConfig};
-use chiplet_net::flow::{FlowSpec, Target};
-use chiplet_sim::{ByteSize, SimTime};
-use chiplet_topology::{CcdId, CoreId, DimmPosition, NpsMode, PlatformSpec, Topology};
+//! Regenerates the NUMA/NPS study via the scenario registry (`numa_study`).
 
 fn main() {
-    let spec = PlatformSpec::dual_epyc_7302();
-    let topo = Topology::build(&spec);
-    let cfg = EngineConfig::deterministic();
-    println!(
-        "NUMA study: {} ({} cores, {} DIMMs)\n",
-        spec.name,
-        topo.core_count(),
-        topo.dimm_count()
-    );
-
-    // 1. The full latency ladder including the remote socket.
-    println!("Pointer-chase latency ladder from core0:");
-    let mut t = TextTable::new(vec!["position", "latency ns", "vs near"]);
-    let near = {
-        let d = topo
-            .dimm_at_position(CoreId(0), DimmPosition::Near)
-            .unwrap();
-        pointer_chase_latency_ns(&topo, CoreId(0), d, ByteSize::from_gib(1), cfg.clone())
-    };
-    for pos in DimmPosition::ALL_WITH_REMOTE {
-        let Some(dimm) = topo.dimm_at_position(CoreId(0), pos) else {
-            continue;
-        };
-        let lat =
-            pointer_chase_latency_ns(&topo, CoreId(0), dimm, ByteSize::from_gib(1), cfg.clone());
-        t.row(vec![
-            pos.to_string(),
-            f1(lat),
-            format!("+{}%", f1((lat / near - 1.0) * 100.0)),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-
-    // 2. NPS modes: one chiplet at a moderate 20 GB/s, where the interleave
-    // scope decides which positions the requests visit (at full saturation
-    // queueing dominates and the position spread washes out).
-    println!("\nNPS interleave trade-off (CCD0 at 20 GB/s offered):");
-    let mut t = TextTable::new(vec!["NPS mode", "DIMMs", "achieved GB/s", "mean ns"]);
-    for nps in [NpsMode::Nps1, NpsMode::Nps2, NpsMode::Nps4] {
-        let dimms = topo.dimms_in_scope(CoreId(0), nps);
-        let n = dimms.len();
-        let mut engine = Engine::new(&topo, cfg.clone());
-        engine.add_flow(
-            FlowSpec::reads(
-                "nps",
-                topo.cores_of_ccd(CcdId(0)).collect(),
-                Target::Dimms(dimms),
-            )
-            .offered(chiplet_sim::Bandwidth::from_gb_per_s(20.0))
-            .working_set(ByteSize::from_gib(1))
-            .build(&topo),
-        );
-        let r = engine.run(SimTime::from_micros(40));
-        t.row(vec![
-            nps.to_string(),
-            n.to_string(),
-            f1(r.flows[0].achieved.as_gb_per_s()),
-            f1(r.flows[0].mean_latency_ns()),
-        ]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!(
-        "  (NPS4 pins the interleave to the near quadrant: lowest latency; \
-NPS1 spreads over all positions for the full UMC aggregate.)"
-    );
-
-    // 3. Remote streaming: the xGMI wall.
-    println!("\nCross-socket streaming (socket 0 cores -> socket 1 DIMMs):");
-    let mut t = TextTable::new(vec!["scope", "local GB/s", "remote GB/s"]);
-    for (label, cores) in [
-        ("one CCD", topo.cores_of_ccd(CcdId(0)).collect::<Vec<_>>()),
-        ("whole socket", (0..16).map(CoreId).collect()),
-    ] {
-        let run = |dimms: Vec<chiplet_topology::DimmId>| {
-            let mut engine = Engine::new(&topo, cfg.clone());
-            engine.add_flow(
-                FlowSpec::reads("s", cores.clone(), Target::Dimms(dimms))
-                    .working_set(ByteSize::from_gib(1))
-                    .build(&topo),
-            );
-            engine.run(SimTime::from_micros(40)).flows[0]
-                .achieved
-                .as_gb_per_s()
-        };
-        let local = run((0..8).map(chiplet_topology::DimmId).collect());
-        let remote = run((8..16).map(chiplet_topology::DimmId).collect());
-        t.row(vec![label.to_string(), f1(local), f1(remote)]);
-    }
-    for line in t.render().lines() {
-        println!("  {line}");
-    }
-    println!(
-        "\nReading: the remote rung of the NUMA ladder costs ~65% extra \
-         latency (xGMI crossing + both I/O dies), and the 42 GB/s xGMI caps \
-         cross-socket bandwidth far below the socket's local 106.7 GB/s — \
-         locality-aware placement (Implication #1) is worth two position \
-         classes, not one."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("numa_study"));
 }

@@ -1,51 +1,5 @@
-//! Regenerates Table 1: hardware specifications of the two evaluated
-//! processors, straight from the platform presets.
-
-use chiplet_bench::TextTable;
-use chiplet_topology::PlatformSpec;
+//! Regenerates Table 1 via the scenario registry (`table1`).
 
 fn main() {
-    let specs = [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()];
-    let mut t = TextTable::new(vec![
-        "Parameters".to_string(),
-        specs[0].name.clone(),
-        specs[1].name.clone(),
-    ]);
-    let col =
-        |f: &dyn Fn(&PlatformSpec) -> String| -> Vec<String> { specs.iter().map(f).collect() };
-    let mut row = |label: &str, f: &dyn Fn(&PlatformSpec) -> String| {
-        let mut cells = vec![label.to_string()];
-        cells.extend(col(f));
-        t.row(cells);
-    };
-    row("Microarchitecture", &|s| s.microarchitecture.clone());
-    row("L1 (per core)", &|s| s.cache.l1_size.to_string());
-    row("L2 (per core)", &|s| s.cache.l2_size.to_string());
-    row("L3 (per CPU)", &|s| s.total_l3().to_string());
-    row("Core#/CCX#/CCD# (per CPU)", &|s| {
-        format!("{}/{}/{}", s.total_cores(), s.total_ccx(), s.ccd_count)
-    });
-    row("Compute Chiplets # (per CPU)", &|s| s.ccd_count.to_string());
-    row("Process technology (Compute Die)", &|s| {
-        format!("{}nm", s.process_compute_nm)
-    });
-    row("I/O Chiplets # (per CPU)", &|_| "1".to_string());
-    row("Process technology (I/O Die)", &|s| {
-        format!("{}nm", s.process_io_nm)
-    });
-    row("PCIe Gen/Lane #", &|s| {
-        format!("Gen{}/{}", s.pcie_gen, s.pcie_lanes)
-    });
-    row("Base/Turbo Frequency", &|s| {
-        format!("{}/{} GHz", s.base_freq_ghz, s.turbo_freq_ghz)
-    });
-    row("UMC # (per CPU)", &|s| s.mem.umc_count.to_string());
-    row("CXL modules", &|s| {
-        s.cxl
-            .as_ref()
-            .map_or("N/A".to_string(), |c| c.device_count.to_string())
-    });
-
-    println!("Table 1: HW specifications of the two evaluated processors.\n");
-    t.print();
+    print!("{}", chiplet_bench::scenarios::render_named("table1"));
 }

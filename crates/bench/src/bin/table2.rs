@@ -1,163 +1,5 @@
-//! Regenerates Table 2: the data-path latency breakdown, measured with the
-//! utility's pointer-chasing mode exactly as §3.1 describes — working set
-//! swept through the hierarchy, then DIMMs at each relative position, then
-//! the CXL module.
-
-use chiplet_bench::{f1, TextTable};
-use chiplet_membench::latency::{chase_sweep, cxl_latency, position_latencies};
-use chiplet_net::engine::EngineConfig;
-use chiplet_sim::ByteSize;
-use chiplet_topology::{CoreId, DimmPosition, PlatformSpec, Topology};
-
-/// Paper values for the comparison column: (7302, 9634).
-fn paper_value(row: &str) -> (&'static str, &'static str) {
-    match row {
-        "L1" => ("1.24", "1.19"),
-        "L2" => ("5.66", "7.51"),
-        "L3" => ("34.3", "40.8"),
-        "Max CCX Q" => ("30", "20"),
-        "Max CCD Q" => ("20", "N/A"),
-        "Switching Hop" => ("~8", "~4"),
-        "I/O Hub" => ("~15", "~15"),
-        "Near" => ("124", "141"),
-        "Vertical" => ("131", "145"),
-        "Horizontal" => ("141", "150"),
-        "Diagonal" => ("145", "149"),
-        "CXL DIMM" => ("N/A", "243"),
-        _ => ("", ""),
-    }
-}
+//! Regenerates Table 2 via the scenario registry (`table2`).
 
 fn main() {
-    let cfg = EngineConfig::deterministic();
-    let platforms = [
-        Topology::build(&PlatformSpec::epyc_7302()),
-        Topology::build(&PlatformSpec::epyc_9634()),
-    ];
-
-    let mut t = TextTable::new(vec![
-        "Level",
-        "Row",
-        "EPYC 7302 (sim)",
-        "paper",
-        "EPYC 9634 (sim)",
-        "paper",
-    ]);
-
-    // Cache rows via the chase sweep: pick the plateau value for each level.
-    let cache_points: Vec<Vec<f64>> = platforms
-        .iter()
-        .map(|topo| {
-            // Probe firmly inside each level: 16 KiB, 256 KiB, 8 MiB.
-            chase_sweep(
-                topo,
-                CoreId(0),
-                &[
-                    ByteSize::from_kib(16),
-                    ByteSize::from_kib(256),
-                    ByteSize::from_mib(8),
-                ],
-                &cfg,
-            )
-            .iter()
-            .map(|p| p.latency_ns)
-            .collect()
-        })
-        .collect();
-    for (i, label) in ["L1", "L2", "L3"].iter().enumerate() {
-        let (p0, p1) = paper_value(label);
-        t.row(vec![
-            "Compute Chiplet".to_string(),
-            (*label).to_string(),
-            format!("{:.2} ns", cache_points[0][i]),
-            p0.to_string(),
-            format!("{:.2} ns", cache_points[1][i]),
-            p1.to_string(),
-        ]);
-    }
-
-    // Limiter rows: the configured maxima (calibration inputs; the engine's
-    // limiter sizing reproduces them as worst-case waits).
-    for label in ["Max CCX Q", "Max CCD Q"] {
-        let (p0, p1) = paper_value(label);
-        let val = |topo: &Topology| -> String {
-            let tc = &topo.spec().traffic_ctrl;
-            let v = if label == "Max CCX Q" {
-                Some(tc.ccx_max_queue_ns)
-            } else {
-                tc.ccd_max_queue_ns
-            };
-            v.map_or("N/A".to_string(), |x| format!("{} ns", f1(x)))
-        };
-        t.row(vec![
-            "Compute Chiplet".to_string(),
-            label.to_string(),
-            val(&platforms[0]),
-            p0.to_string(),
-            val(&platforms[1]),
-            p1.to_string(),
-        ]);
-    }
-
-    for label in ["Switching Hop", "I/O Hub"] {
-        let (p0, p1) = paper_value(label);
-        let val = |topo: &Topology| {
-            let noc = &topo.spec().noc;
-            let v = if label == "Switching Hop" {
-                noc.shop_latency_ns
-            } else {
-                noc.io_hub_latency_ns
-            };
-            format!("~{} ns", f1(v))
-        };
-        t.row(vec![
-            "I/O Chiplet".to_string(),
-            label.to_string(),
-            val(&platforms[0]),
-            p0.to_string(),
-            val(&platforms[1]),
-            p1.to_string(),
-        ]);
-    }
-
-    // Memory position rows: measured by pointer chase over a 1 GiB set.
-    let positions: Vec<Vec<(DimmPosition, f64)>> = platforms
-        .iter()
-        .map(|topo| position_latencies(topo, CoreId(0), &cfg))
-        .collect();
-    for (i, pos) in DimmPosition::ALL.iter().enumerate() {
-        let label = match pos {
-            DimmPosition::Near => "Near",
-            DimmPosition::Vertical => "Vertical",
-            DimmPosition::Horizontal => "Horizontal",
-            DimmPosition::Diagonal => "Diagonal",
-            DimmPosition::Remote => unreachable!("Table 2 covers local positions"),
-        };
-        let (p0, p1) = paper_value(label);
-        t.row(vec![
-            "Memory/Device".to_string(),
-            label.to_string(),
-            format!("{} ns", f1(positions[0][i].1)),
-            p0.to_string(),
-            format!("{} ns", f1(positions[1][i].1)),
-            p1.to_string(),
-        ]);
-    }
-
-    // CXL row.
-    let (p0, p1) = paper_value("CXL DIMM");
-    let cxl_cell = |topo: &Topology| {
-        cxl_latency(topo, CoreId(0), &cfg).map_or("N/A".to_string(), |v| format!("{} ns", f1(v)))
-    };
-    t.row(vec![
-        "Memory/Device".to_string(),
-        "CXL DIMM".to_string(),
-        cxl_cell(&platforms[0]),
-        p0.to_string(),
-        cxl_cell(&platforms[1]),
-        p1.to_string(),
-    ]);
-
-    println!("Table 2: data-path latency breakdown (pointer-chasing mode).\n");
-    t.print();
+    print!("{}", chiplet_bench::scenarios::render_named("table2"));
 }

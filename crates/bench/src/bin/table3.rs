@@ -1,63 +1,5 @@
-//! Regenerates Table 3: maximum achieved bandwidth from a core / CCX / CCD
-//! / CPU when accessing the DIMMs and the CXL device, with AVX-style
-//! sequential reads and non-temporal writes.
-
-use chiplet_bench::{rw, TextTable};
-use chiplet_membench::bandwidth::{table3_column, Destination};
-use chiplet_membench::CoreScope;
-use chiplet_net::engine::EngineConfig;
-use chiplet_topology::{PlatformSpec, Topology};
-
-/// Paper values: ((dimm_7302, dimm_9634, cxl_9634) per scope, read/write).
-fn paper_row(scope: CoreScope) -> (&'static str, &'static str, &'static str) {
-    match scope {
-        CoreScope::Core => ("14.9/3.6", "14.6/3.3", "5.4/2.8"),
-        CoreScope::Ccx => ("25.1/7.1", "35.2/23.8", "23.6/15.8"),
-        CoreScope::Ccd => ("32.5/14.3", "33.2/23.6", "25.0/15.0"),
-        CoreScope::Cpu => ("106.7/55.1", "366.2/270.6", "88.1/87.7"),
-    }
-}
+//! Regenerates Table 3 via the scenario registry (`table3`).
 
 fn main() {
-    let cfg = EngineConfig::deterministic();
-    let t7302 = Topology::build(&PlatformSpec::epyc_7302());
-    let t9634 = Topology::build(&PlatformSpec::epyc_9634());
-
-    let dimm_7302 = table3_column(&t7302, Destination::Dimms, &cfg).expect("DIMMs always present");
-    let dimm_9634 = table3_column(&t9634, Destination::Dimms, &cfg).expect("DIMMs always present");
-    let cxl_9634 = table3_column(&t9634, Destination::Cxl, &cfg).expect("9634 has CXL");
-
-    let mut t = TextTable::new(vec![
-        "From",
-        "DIMM 7302 (sim)",
-        "paper",
-        "DIMM 9634 (sim)",
-        "paper",
-        "CXL 9634 (sim)",
-        "paper",
-    ]);
-    for (i, scope) in CoreScope::ALL.iter().enumerate() {
-        let (p0, p1, p2) = paper_row(*scope);
-        t.row(vec![
-            format!("From {scope}"),
-            rw(dimm_7302[i].read_gb_s, dimm_7302[i].write_gb_s),
-            p0.to_string(),
-            rw(dimm_9634[i].read_gb_s, dimm_9634[i].write_gb_s),
-            p1.to_string(),
-            rw(cxl_9634[i].read_gb_s, cxl_9634[i].write_gb_s),
-            p2.to_string(),
-        ]);
-    }
-
-    println!(
-        "Table 3: maximum achieved read/write bandwidth (GB/s), sequential \
-         reads and non-temporal writes.\n"
-    );
-    t.print();
-    println!(
-        "\nNote: the 7302 has no CXL attachment (N/A in the paper); the CXL \
-         column here is the 9634's. On the 9634 the CCX and CCD scopes are \
-         the same seven cores; the paper's 35.2 vs 33.2 GB/s difference is \
-         measurement spread, the simulator binds both at the GMI capacity."
-    );
+    print!("{}", chiplet_bench::scenarios::render_named("table3"));
 }

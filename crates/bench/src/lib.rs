@@ -12,10 +12,16 @@
 //!   simulator itself (engine event throughput, NoC cycle rate, sketch
 //!   update rate, fluid solver).
 //!
-//! This library hosts the shared table-formatting and sweep helpers.
+//! This library hosts the shared table-formatting helpers plus the
+//! [`scenarios`] module: the paper's experiments as entries of a
+//! [`ScenarioRegistry`](chiplet_net::scenario::ScenarioRegistry) (see
+//! [`scenarios::paper_registry`]), which every regenerator binary and the
+//! `chiplet-scenario` CLI look their work up in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenarios;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,85 @@
+//! Ablation B: the chiplet tax. Re-runs the Table 2 latency probe and the
+//! Figure 3 loaded-latency sweep on the monolithic baseline (same cores and
+//! memory as the 7302, no chiplet partitioning) — the paper's implicit
+//! point of contrast throughout §3.
+//!
+//! The loaded comparison consumes the scenario-layer sweep report
+//! ([`chiplet_membench::scenario::loaded_latency_report`]).
+
+use std::fmt::Write;
+
+use chiplet_mem::OpKind;
+use chiplet_membench::latency::position_latencies;
+use chiplet_membench::loaded::LinkScenario;
+use chiplet_membench::scenario::loaded_latency_report;
+use chiplet_net::engine::EngineConfig;
+use chiplet_topology::{CoreId, PlatformSpec, Topology};
+
+use crate::{f1, TextTable};
+
+/// Renders the study (identical to the former `ablation_monolithic` binary).
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation B: chiplet (EPYC 7302) vs monolithic baseline.\n"
+    );
+    let chiplet = Topology::build(&PlatformSpec::epyc_7302());
+    let mono = Topology::build(&PlatformSpec::monolithic_baseline());
+    let cfg = EngineConfig::deterministic();
+
+    // Latency: every DIMM position. The monolithic die has a single
+    // uniform "position", so every chiplet row compares against it.
+    let mut t = TextTable::new(vec!["DIMM position", "chiplet ns", "monolithic ns", "tax"]);
+    let ch = position_latencies(&chiplet, CoreId(0), &cfg);
+    let mono_uniform = position_latencies(&mono, CoreId(0), &cfg)[0].1;
+    for (pos, c) in &ch {
+        t.row(vec![
+            pos.to_string(),
+            f1(*c),
+            f1(mono_uniform),
+            format!("+{}%", f1((c / mono_uniform - 1.0) * 100.0)),
+        ]);
+    }
+    let _ = writeln!(out, "Unloaded memory latency:");
+    for line in t.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+
+    // Loaded latency at the chiplet's GMI choke point vs the same cores on
+    // the crossbar.
+    let _ = writeln!(
+        out,
+        "\nLoaded latency, 4 cores streaming reads (offered = 30 GB/s):"
+    );
+    let mut t = TextTable::new(vec!["platform", "achieved GB/s", "avg ns", "P999 ns"]);
+    for (name, topo) in [("chiplet", &chiplet), ("monolithic", &mono)] {
+        let fraction = 30.0
+            / LinkScenario::Gmi
+                .nominal_cap(topo, OpKind::Read)
+                .as_gb_per_s();
+        let report =
+            loaded_latency_report(topo, LinkScenario::Gmi, OpKind::Read, &[fraction], &cfg);
+        let outcome = report.outcome().expect("GMI runs everywhere");
+        let p = &outcome.flows[0];
+        t.row(vec![
+            name.to_string(),
+            f1(p.achieved_gb_s),
+            f1(p.mean_latency_ns.unwrap_or(f64::NAN)),
+            f1(p.p999_latency_ns.unwrap_or(f64::NAN)),
+        ]);
+    }
+    for line in t.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+
+    let _ = writeln!(
+        out,
+        "\nReading: the chiplet platform pays extra switch hops at every \
+         position (and the position spread itself — the monolithic die is \
+         uniform), plus GMI queueing under load that the over-provisioned \
+         crossbar never sees. This is the latency/bandwidth cost chiplets \
+         trade for yield and modularity (§2.1)."
+    );
+    out
+}

@@ -1,0 +1,118 @@
+//! BDP-adaptive traffic control study (Implication #3): "Dynamic
+//! monitoring end-to-end runtime BDP and using it for traffic control
+//! becomes vital in server chiplet networking."
+//!
+//! Sweeps the controller's latency target and prints the bandwidth/latency
+//! frontier against the hardware default, on both the GMI (one chiplet)
+//! and the CXL P-Link. Every point is a declarative [`ScenarioSpec`] run
+//! through the event backend.
+
+use std::fmt::Write;
+
+use chiplet_net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, ScenarioFlow, ScenarioSpec, TargetSpec, TopologyChoice,
+};
+use chiplet_net::traffic::TrafficPolicy;
+use chiplet_sim::SimTime;
+
+use crate::{f1, TextTable};
+
+fn point_spec(target: TargetSpec, policy: TrafficPolicy) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bdp_control point".to_string(),
+        description: "One CCD streaming reads under a traffic-control policy".to_string(),
+        topology: TopologyChoice::Named("epyc_9634".to_string()),
+        backend: BackendKind::Event,
+        seed: None,
+        horizon: SimTime::from_micros(150),
+        policy,
+        engine: None,
+        fluid: None,
+        flows: vec![ScenarioFlow {
+            name: "f".to_string(),
+            demand: None,
+            engine: Some(EngineFlow {
+                cores: CoreSelect::Ccd(0),
+                nic: None,
+                target,
+                op: None,
+                pattern: None,
+                working_set: None,
+                start: None,
+                stop: None,
+            }),
+            links: Vec::new(),
+        }],
+    }
+}
+
+fn run(target: TargetSpec, policy: TrafficPolicy) -> (f64, f64, f64) {
+    let report = point_spec(target, policy)
+        .run()
+        .expect("bdp_control specs resolve");
+    let outcome = report.outcome().expect("event runs complete");
+    let f = &outcome.flows[0];
+    (
+        f.achieved_gb_s,
+        f.mean_latency_ns.unwrap_or(f64::NAN),
+        f.p999_latency_ns.unwrap_or(f64::NAN),
+    )
+}
+
+fn study(out: &mut String, label: &str, target: TargetSpec) {
+    let _ = writeln!(out, "{label}:");
+    let mut t = TextTable::new(vec!["policy", "GB/s", "mean ns", "P999 ns"]);
+    let (bw, lat, p999) = run(target.clone(), TrafficPolicy::HardwareDefault);
+    t.row(vec![
+        "hardware (full MLP)".to_string(),
+        f1(bw),
+        f1(lat),
+        f1(p999),
+    ]);
+    for factor in [2.0, 1.5, 1.25, 1.10, 1.05] {
+        let (bw, lat, p999) = run(
+            target.clone(),
+            TrafficPolicy::BdpAdaptive {
+                latency_factor: factor,
+                interval_ns: 2_000,
+            },
+        );
+        t.row(vec![
+            format!("BDP-adaptive ×{factor:.2}"),
+            f1(bw),
+            f1(lat),
+            f1(p999),
+        ]);
+    }
+    for line in t.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out);
+}
+
+/// Renders the study (identical to the former `bdp_control` binary).
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "BDP-adaptive traffic control: the bandwidth/latency frontier.\n"
+    );
+    study(
+        &mut out,
+        "EPYC 9634 — one chiplet to DRAM (GMI-bound)",
+        TargetSpec::AllDimms,
+    );
+    study(
+        &mut out,
+        "EPYC 9634 — one chiplet to CXL (port-bound)",
+        TargetSpec::Cxl(0),
+    );
+    let _ = writeln!(
+        out,
+        "Reading: the hardware default keeps the full MLP in flight and \
+         pays hundreds of ns of queueing; a runtime-BDP controller walks \
+         the frontier — a few percent of bandwidth buys 1.5–2× lower mean \
+         latency and tighter tails, without hardware support."
+    );
+    out
+}

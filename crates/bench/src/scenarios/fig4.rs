@@ -1,0 +1,93 @@
+//! Figure 4: bandwidth partitioning of two competing flows at a shared
+//! link, for the paper's four demand cases, on both processors and all
+//! three link classes.
+
+use std::fmt::Write;
+
+use chiplet_mem::OpKind;
+use chiplet_membench::compete::{competing_flows, figure4_cases, CompeteLink};
+use chiplet_net::engine::EngineConfig;
+use chiplet_net::scenario::ScenarioReport;
+use chiplet_topology::{PlatformSpec, Topology};
+
+use crate::{f1, TextTable};
+
+fn panel(out: &mut String, topo: &Topology, link: CompeteLink) {
+    if let Some(reason) = link.unsupported_reason(topo) {
+        let report =
+            ScenarioReport::unsupported(link.to_string(), topo.spec().name.clone(), reason);
+        if let ScenarioReport::Unsupported {
+            scenario, platform, ..
+        } = &report
+        {
+            let _ = writeln!(out, "{platform} — {scenario}: not supported\n");
+        }
+        return;
+    }
+    let c = link.capacity_gb_s(topo);
+    let _ = writeln!(
+        out,
+        "{} — {link} (shared capacity ~{} GB/s, equal share {}):",
+        topo.spec().name,
+        f1(c),
+        f1(c / 2.0)
+    );
+    let cfg = EngineConfig::default();
+    let mut t = TextTable::new(vec![
+        "case",
+        "req0",
+        "req1",
+        "achieved0",
+        "achieved1",
+        "verdict",
+    ]);
+    for (name, d0, d1) in figure4_cases(c) {
+        let o = competing_flows(topo, link, Some(d0), Some(d1), OpKind::Read, &cfg);
+        let equal_share = c / 2.0;
+        let verdict = if d0 + d1 <= c {
+            "both satisfied"
+        } else if (o.achieved0_gb_s - o.achieved1_gb_s).abs() < 0.03 * c {
+            "equal split"
+        } else if o.achieved0_gb_s > equal_share && o.achieved0_gb_s > o.achieved1_gb_s {
+            "aggressive flow0 wins"
+        } else if o.achieved1_gb_s > equal_share {
+            "aggressive flow1 wins"
+        } else {
+            "shared below equal"
+        };
+        t.row(vec![
+            name.to_string(),
+            f1(d0),
+            f1(d1),
+            f1(o.achieved0_gb_s),
+            f1(o.achieved1_gb_s),
+            verdict.to_string(),
+        ]);
+    }
+    for line in t.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out);
+}
+
+/// Renders the full figure (identical to the former `fig4` binary).
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4: sender-driven bandwidth partitioning, four cases.\n"
+    );
+    let t7302 = Topology::build(&PlatformSpec::epyc_7302());
+    let t9634 = Topology::build(&PlatformSpec::epyc_9634());
+    for link in [CompeteLink::IfIntraCc, CompeteLink::Gmi, CompeteLink::PLink] {
+        panel(&mut out, &t7302, link);
+        panel(&mut out, &t9634, link);
+    }
+    let _ = writeln!(
+        out,
+        "Paper shape: case 1 both flows get their requests; cases 2 and 4 \
+         the higher-demand flow takes more than its equal share \
+         (sender-driven aggressive); case 3 equal demands split evenly."
+    );
+    out
+}

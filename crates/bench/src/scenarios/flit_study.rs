@@ -1,0 +1,103 @@
+//! CXL FLIT-framing ablation (§2.3: "a CXL mem transaction, encoded as the
+//! FLIT size (68/256B)"). Cacheline-granular CXL.mem traffic under the two
+//! FLIT formats: the 68 B format carries one line per FLIT (94.1% payload
+//! efficiency); packing a single line into a 256 B FLIT wastes 75% of the
+//! wire — the cost of a framing mismatch at the transaction layer.
+//!
+//! Each format runs as a declarative [`ScenarioSpec`] with an inline
+//! platform (the 9634 with that FLIT size) through the event backend.
+
+use std::fmt::Write;
+
+use chiplet_fabric::FlitFraming;
+use chiplet_net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, EngineOptions, ScenarioFlow, ScenarioSpec, TargetSpec,
+    TopologyChoice,
+};
+use chiplet_sim::SimTime;
+use chiplet_topology::PlatformSpec;
+
+use crate::{f1, TextTable};
+
+fn cxl_socket_bandwidth(flit_bytes: u32) -> (f64, f64) {
+    let mut platform = PlatformSpec::epyc_9634();
+    platform.cxl.as_mut().expect("9634 has CXL").flit_bytes = flit_bytes;
+    let spec = ScenarioSpec {
+        name: format!("flit_study {flit_bytes} B"),
+        description: "Six chiplets streaming cacheline CXL.mem reads".to_string(),
+        topology: TopologyChoice::Inline(platform),
+        backend: BackendKind::Event,
+        seed: None,
+        horizon: SimTime::from_micros(40),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            deterministic_memory: true,
+            ..Default::default()
+        }),
+        fluid: None,
+        flows: vec![ScenarioFlow {
+            name: "cxl".to_string(),
+            demand: None,
+            engine: Some(EngineFlow {
+                // Six chiplets: enough to saturate the P-Link aggregate.
+                cores: CoreSelect::Ccds((0..6).collect()),
+                nic: None,
+                target: TargetSpec::Cxl(0),
+                op: None,
+                pattern: None,
+                working_set: None,
+                start: None,
+                stop: None,
+            }),
+            links: Vec::new(),
+        }],
+    };
+    let outcome = spec
+        .run()
+        .expect("flit_study specs resolve")
+        .outcome()
+        .expect("event runs complete")
+        .clone();
+    let f = &outcome.flows[0];
+    (f.achieved_gb_s, f.mean_latency_ns.unwrap_or(f64::NAN))
+}
+
+/// Renders the study (identical to the former `flit_study` binary).
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CXL FLIT-framing ablation: cacheline (64 B) CXL.mem streams.\n"
+    );
+    let mut t = TextTable::new(vec![
+        "FLIT format",
+        "payload efficiency",
+        "socket CXL read GB/s",
+        "mean ns",
+    ]);
+    for (label, framing) in [
+        ("68 B (one line/FLIT)", FlitFraming::CXL_68B),
+        ("256 B (line-granular)", FlitFraming::CXL_256B),
+    ] {
+        let (bw, lat) = cxl_socket_bandwidth(framing.flit_bytes);
+        // For single-line transactions the efficiency is payload/wire of
+        // one line, not the format's best case.
+        let line_eff = 64.0 / framing.wire_bytes(64) as f64;
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}%", line_eff * 100.0),
+            f1(bw),
+            f1(lat),
+        ]);
+    }
+    let _ = write!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "\nBulk transfers amortize the big FLIT (240/256 B payload = 93.8%), \
+         but the chiplet network's native unit is the 64 B cacheline — at \
+         that granularity the 256 B format forfeits three quarters of the \
+         P-Link. Framing is a transaction-layer design decision, not a\n\
+         constant (§2.3)."
+    );
+    out
+}

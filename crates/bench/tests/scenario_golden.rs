@@ -1,0 +1,54 @@
+//! Golden snapshots and end-to-end checks for the declarative scenario
+//! layer.
+//!
+//! The `tests/golden/*.txt` files are the exact stdout of the pre-refactor
+//! `fig3`/`fig5` binaries (default seed); the registry-driven renderers
+//! must reproduce them byte for byte. The `examples/scenarios/*.json`
+//! files are the user-facing custom-scenario examples from the README —
+//! they must parse, run on their backend, and be seed-stable.
+
+use chiplet_bench::scenarios::render_named;
+use chiplet_net::scenario::{BackendKind, ScenarioSpec};
+
+const FIG3_GOLDEN: &str = include_str!("../../../tests/golden/fig3.txt");
+const FIG5_GOLDEN: &str = include_str!("../../../tests/golden/fig5.txt");
+const EVENT_EXAMPLE: &str = include_str!("../../../examples/scenarios/ccd_vs_cxl.json");
+const FLUID_EXAMPLE: &str = include_str!("../../../examples/scenarios/link_share.json");
+
+#[test]
+fn fig5_matches_the_pre_refactor_binary() {
+    assert_eq!(render_named("fig5"), FIG5_GOLDEN);
+}
+
+#[test]
+fn fig3_matches_the_pre_refactor_binary() {
+    // The slowest snapshot (~20 s unoptimized): the full loaded-latency
+    // sweep of Figure 3 on both platforms.
+    assert_eq!(render_named("fig3"), FIG3_GOLDEN);
+}
+
+#[test]
+fn json_examples_run_on_both_backends_and_are_seed_stable() {
+    for (text, backend) in [
+        (EVENT_EXAMPLE, BackendKind::Event),
+        (FLUID_EXAMPLE, BackendKind::Fluid),
+    ] {
+        let spec = ScenarioSpec::from_json(text).expect("example parses");
+        assert_eq!(spec.backend, backend);
+        let a = spec.run().expect("example runs");
+        let b = ScenarioSpec::from_json(text)
+            .expect("example parses")
+            .run()
+            .expect("example runs");
+        assert_eq!(a, b, "same spec + seed ⇒ identical report");
+        assert_eq!(a.to_json(), b.to_json(), "…and identical report bytes");
+
+        let outcome = a.outcome().expect("example completes");
+        assert_eq!(outcome.flows.len(), 2);
+        assert!(
+            outcome.flows.iter().all(|f| f.achieved_gb_s > 0.0),
+            "every flow moves data: {:?}",
+            outcome.flows
+        );
+    }
+}

@@ -147,12 +147,24 @@ impl EngineConfig {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Issue { core: u32 },
-    Stage { txn: u32 },
-    Granted { txn: u32 },
-    Complete { txn: u32 },
+    Issue {
+        core: u32,
+    },
+    Stage {
+        txn: u32,
+    },
+    Granted {
+        txn: u32,
+    },
+    Complete {
+        txn: u32,
+    },
     ResetStats,
     Policy,
+    /// A flow's demand schedule enters a new piece: re-pace its issuers.
+    Demand {
+        flow: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -495,7 +507,7 @@ impl<'t> Engine<'t> {
         } else {
             spec.cores.len() as u32 * if spec.op.is_write() { write_cap } else { mlp }
         };
-        let budget_max = match spec.offered {
+        let budget_max = match spec.peak_demand() {
             Some(bw) => {
                 let bdp_lines =
                     (bw.as_gb_per_s() * mean_unloaded_ns * self.cfg.budget_headroom) / LINE as f64;
@@ -503,7 +515,10 @@ impl<'t> Engine<'t> {
             }
             None => hw_budget.max(1),
         };
-        let gap_mean_ns = gap_from_rate(spec.offered_per_core());
+        let gap_mean_ns = match &spec.demand {
+            None => gap_from_rate(spec.offered_per_core()),
+            Some(_) => demand_gap(spec.demand_per_issuer_at(spec.start)),
+        };
 
         self.flows.push(FlowRuntime {
             spec,
@@ -559,7 +574,7 @@ impl<'t> Engine<'t> {
         }
 
         // Traffic-manager recomputation points: every distinct flow
-        // start/stop boundary.
+        // start/stop boundary, plus every demand-schedule piece boundary.
         if self.cfg.policy != TrafficPolicy::HardwareDefault {
             let mut boundaries: Vec<u64> = self
                 .flows
@@ -567,10 +582,40 @@ impl<'t> Engine<'t> {
                 .flat_map(|f| [f.spec.start.as_nanos(), f.spec.stop_or(horizon).as_nanos()])
                 .filter(|&t| t < horizon.as_nanos())
                 .collect();
+            for f in &self.flows {
+                if let Some(sched) = &f.spec.demand {
+                    let stop = f.spec.stop_or(horizon).as_nanos();
+                    boundaries.extend(
+                        sched
+                            .pieces()
+                            .iter()
+                            .map(|(from, _)| from.as_nanos())
+                            .filter(|&t| t > f.spec.start.as_nanos() && t < stop),
+                    );
+                }
+            }
             boundaries.sort_unstable();
             boundaries.dedup();
             for t in boundaries {
                 self.queue.push(SimTime::from_nanos(t), Event::Policy);
+            }
+        }
+
+        // Demand-schedule piece boundaries: each one re-paces the flow's
+        // issuers (after any same-instant policy recomputation).
+        for fi in 0..self.flows.len() {
+            let Some(sched) = self.flows[fi].spec.demand.clone() else {
+                continue;
+            };
+            let start = self.flows[fi].spec.start;
+            let stop = self.flows[fi].spec.stop_or(horizon);
+            let mut t = start;
+            while let Some(next) = sched.next_change_after(t) {
+                if next >= stop {
+                    break;
+                }
+                self.queue.push(next, Event::Demand { flow: fi as u32 });
+                t = next;
             }
         }
 
@@ -602,6 +647,7 @@ impl<'t> Engine<'t> {
                 Event::Complete { txn } => self.on_complete(txn, now_ns),
                 Event::ResetStats => self.reset_stats(),
                 Event::Policy => self.recompute_policy(now_ns, horizon),
+                Event::Demand { flow } => self.on_demand(flow, now_ns),
             }
         }
 
@@ -640,11 +686,17 @@ impl<'t> Engine<'t> {
             return;
         }
 
-        // Pacing gate.
+        // Pacing gate. A paused flow (zero-demand schedule piece) parks at
+        // the horizon; a Demand event re-kicks it earlier.
         let next_allowed = self.cores[core as usize].next_allowed_ns;
         if next_allowed > now_ns + 0.5 {
             self.cores[core as usize].attempt_scheduled = true;
-            self.schedule_at(next_allowed, now_ns, Event::Issue { core });
+            let at = if next_allowed.is_finite() {
+                next_allowed
+            } else {
+                self.horizon_ns
+            };
+            self.schedule_at(at, now_ns, Event::Issue { core });
             return;
         }
 
@@ -740,7 +792,10 @@ impl<'t> Engine<'t> {
         // at tens of GB/s) would otherwise accumulate ~0.5 ns of ceil bias
         // per transaction and undershoot the configured rate. A stale
         // schedule (after a long slot stall) catches up at most 1 ns.
-        let next = if gap > 0.0 {
+        let next = if gap.is_infinite() {
+            // The flow paused mid-issue; park until re-kicked.
+            f64::INFINITY
+        } else if gap > 0.0 {
             let base = self.cores[core as usize].next_allowed_ns.max(now_ns - 1.0);
             base + self.rng.exponential(gap)
         } else {
@@ -748,7 +803,12 @@ impl<'t> Engine<'t> {
         };
         self.cores[core as usize].next_allowed_ns = next;
         self.cores[core as usize].attempt_scheduled = true;
-        self.schedule_at(next, now_ns, Event::Issue { core });
+        let at = if next.is_finite() {
+            next
+        } else {
+            self.horizon_ns
+        };
+        self.schedule_at(at, now_ns, Event::Issue { core });
 
         self.advance_limiters(txn, now_ns);
     }
@@ -1079,7 +1139,10 @@ impl<'t> Engine<'t> {
                     .collect();
                 resources.sort_by_key(|&(k, _)| k);
                 FlowDemand {
-                    demand: f.spec.offered.map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
+                    demand: f
+                        .spec
+                        .demand_at(SimTime::from_nanos(now_ns as u64))
+                        .map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
                     weight: 1.0,
                     resources,
                 }
@@ -1098,7 +1161,10 @@ impl<'t> Engine<'t> {
                 f.win_lat_sum_ns = 0.0;
                 f.win_lat_n = 0;
                 let target = latency_factor * f.mean_unloaded_ns;
-                let demand_gb = f.spec.offered.map_or(f64::INFINITY, |b| b.as_gb_per_s());
+                let demand_gb = f
+                    .spec
+                    .demand_at(SimTime::from_nanos(now_ns as u64))
+                    .map_or(f64::INFINITY, |b| b.as_gb_per_s());
                 // Start from the hardware-budget-implied rate.
                 let current = f.adaptive_rate.unwrap_or_else(|| {
                     (f.budget_max as f64 * LINE as f64 / f.mean_unloaded_ns).min(1000.0)
@@ -1110,7 +1176,11 @@ impl<'t> Engine<'t> {
                 };
                 f.adaptive_rate = Some(next);
                 let per_issuer = next / f.spec.issuer_count() as f64;
-                f.gap_mean_ns = gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)));
+                f.gap_mean_ns = if per_issuer > 0.0 {
+                    gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)))
+                } else {
+                    f64::INFINITY
+                };
             }
             return;
         }
@@ -1119,7 +1189,55 @@ impl<'t> Engine<'t> {
             for (k, &i) in active.iter().enumerate() {
                 let issuers = self.flows[i].spec.issuer_count() as f64;
                 let per_issuer = Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
-                self.flows[i].gap_mean_ns = gap_from_rate(Some(per_issuer));
+                // A zero allocation (zero-demand schedule piece) pauses the
+                // flow rather than unthrottling it.
+                self.flows[i].gap_mean_ns = if per_issuer.is_positive() {
+                    gap_from_rate(Some(per_issuer))
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+    }
+
+    /// A flow's demand schedule entered a new piece: under the hardware
+    /// default the engine re-paces directly (a Policy event at the same
+    /// instant already handled managed policies), then every issuer is
+    /// re-kicked so rate increases take effect immediately.
+    fn on_demand(&mut self, flow: u32, now_ns: f64) {
+        let fi = flow as usize;
+        let horizon = SimTime::from_nanos(self.horizon_ns as u64);
+        let stop_ns = self.flows[fi].spec.stop_or(horizon).as_nanos() as f64;
+        if now_ns >= stop_ns {
+            return;
+        }
+        if self.cfg.policy == TrafficPolicy::HardwareDefault {
+            let now = SimTime::from_nanos(now_ns as u64);
+            self.flows[fi].gap_mean_ns = demand_gap(self.flows[fi].spec.demand_per_issuer_at(now));
+        }
+        let paused = self.flows[fi].gap_mean_ns.is_infinite();
+        let issuers: Vec<u32> = if let Some(nic) = self.flows[fi].spec.nic {
+            vec![self.topo.core_count() + nic]
+        } else {
+            self.flows[fi].spec.cores.iter().map(|c| c.0).collect()
+        };
+        for issuer in issuers {
+            if paused {
+                self.cores[issuer as usize].next_allowed_ns = f64::INFINITY;
+                continue;
+            }
+            let rekick = {
+                let cs = &mut self.cores[issuer as usize];
+                // An issuer parked at the horizon (zero-demand piece) has a
+                // pending event far in the future; give it one at `now`.
+                let was_parked = cs.next_allowed_ns.is_infinite();
+                cs.next_allowed_ns = cs.next_allowed_ns.min(now_ns);
+                let rekick = was_parked || !cs.attempt_scheduled;
+                cs.attempt_scheduled = cs.attempt_scheduled || rekick;
+                rekick
+            };
+            if rekick {
+                self.schedule_at(now_ns, now_ns, Event::Issue { core: issuer });
             }
         }
     }
@@ -1319,6 +1437,17 @@ fn gap_from_rate(rate: Option<Bandwidth>) -> f64 {
     match rate {
         Some(bw) if bw.is_positive() => LINE as f64 / bw.bytes_per_ns(),
         _ => 0.0,
+    }
+}
+
+/// Inter-issue gap for a demand-schedule piece: `None` = unthrottled (gap
+/// 0), a positive demand paces, and a zero demand pauses the flow
+/// (infinite gap) until the next piece.
+fn demand_gap(rate: Option<Bandwidth>) -> f64 {
+    match rate {
+        None => 0.0,
+        Some(bw) if bw.is_positive() => gap_from_rate(Some(bw)),
+        Some(_) => f64::INFINITY,
     }
 }
 

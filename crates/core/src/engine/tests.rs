@@ -782,3 +782,134 @@ fn link_time_series_cover_the_run() {
             .all(|p| p.bandwidth == Bandwidth::ZERO));
     }
 }
+
+#[test]
+fn constant_demand_schedule_matches_offered() {
+    // A single-piece schedule must behave bit-identically to `offered`.
+    let topo = topo_7302();
+    let run = |schedule: bool| {
+        let mut engine = Engine::new(&topo, EngineConfig::deterministic());
+        let b = FlowSpec::reads(
+            "f",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        );
+        let b = if schedule {
+            b.demand(chiplet_sim::DemandSchedule::constant(Some(
+                Bandwidth::from_gb_per_s(12.0),
+            )))
+        } else {
+            b.offered(Bandwidth::from_gb_per_s(12.0))
+        };
+        engine.add_flow(b.build(&topo));
+        engine.run(SimTime::from_micros(40)).telemetry.to_json()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn piecewise_demand_throttles_and_recovers() {
+    // Demand drops mid-run and comes back: the trace must show all three
+    // phases at the scheduled rates.
+    let topo = topo_7302();
+    let mut cfg = EngineConfig::deterministic();
+    cfg.trace_window = Some(SimDuration::from_micros(2));
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads(
+            "varying",
+            topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+            Target::all_dimms(&topo),
+        )
+        .demand(chiplet_sim::DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, None),
+            (
+                SimTime::from_micros(20),
+                Some(Bandwidth::from_gb_per_s(4.0)),
+            ),
+            (SimTime::from_micros(40), None),
+        ]))
+        .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    let at = |us: u64| {
+        r.flows[0]
+            .trace
+            .iter()
+            .rev()
+            .find(|p| p.at <= SimTime::from_micros(us))
+            .map(|p| p.bandwidth.as_gb_per_s())
+            .unwrap()
+    };
+    let unthrottled = at(16);
+    let throttled = at(34);
+    let recovered = at(56);
+    assert!(unthrottled > 20.0, "phase 1 unthrottled: {unthrottled}");
+    assert!(
+        within(throttled, 4.0, 0.25),
+        "phase 2 follows the schedule: {throttled}"
+    );
+    assert!(recovered > 20.0, "phase 3 recovers: {recovered}");
+}
+
+#[test]
+fn zero_demand_piece_pauses_the_flow() {
+    let topo = topo_7302();
+    let mut cfg = EngineConfig::deterministic();
+    cfg.trace_window = Some(SimDuration::from_micros(2));
+    let mut engine = Engine::new(&topo, cfg);
+    engine.add_flow(
+        FlowSpec::reads("gated", vec![CoreId(0)], Target::all_dimms(&topo))
+            .demand(chiplet_sim::DemandSchedule::piecewise(vec![
+                (SimTime::ZERO, Some(Bandwidth::from_gb_per_s(6.0))),
+                (SimTime::from_micros(20), Some(Bandwidth::ZERO)),
+                (
+                    SimTime::from_micros(40),
+                    Some(Bandwidth::from_gb_per_s(6.0)),
+                ),
+            ]))
+            .build(&topo),
+    );
+    let r = engine.run(SimTime::from_micros(60));
+    let window_bytes = |lo: u64, hi: u64| {
+        r.flows[0]
+            .trace
+            .iter()
+            .filter(|p| p.at >= SimTime::from_micros(lo) && p.at < SimTime::from_micros(hi))
+            .map(|p| p.bandwidth.as_gb_per_s())
+            .sum::<f64>()
+    };
+    assert!(window_bytes(4, 18) > 0.0, "active before the pause");
+    assert_eq!(window_bytes(24, 38), 0.0, "paused window is silent");
+    assert!(window_bytes(44, 58) > 0.0, "resumes after the pause");
+}
+
+#[test]
+fn demand_schedule_is_deterministic_per_seed() {
+    let topo = topo_9634();
+    let run = |seed: u64| {
+        let mut engine = Engine::new(&topo, EngineConfig::default().with_seed(seed));
+        engine.add_flow(
+            FlowSpec::reads(
+                "a",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .demand(chiplet_sim::DemandSchedule::piecewise(vec![
+                (SimTime::ZERO, None),
+                (
+                    SimTime::from_micros(10),
+                    Some(Bandwidth::from_gb_per_s(5.0)),
+                ),
+                (SimTime::from_micros(25), None),
+            ]))
+            .build(&topo),
+        );
+        engine.add_flow(
+            FlowSpec::reads("b", vec![CoreId(30)], Target::all_dimms(&topo)).build(&topo),
+        );
+        engine.run(SimTime::from_micros(40)).telemetry.to_json()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}

@@ -9,7 +9,7 @@
 //! traffic manager to reason about it.
 
 use chiplet_mem::{OpKind, Pattern};
-use chiplet_sim::{Bandwidth, ByteSize, SimTime};
+use chiplet_sim::{Bandwidth, ByteSize, DemandSchedule, SimTime};
 use chiplet_topology::{CoreId, DimmId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +72,11 @@ pub struct FlowSpec {
     /// Total offered load across all cores; `None` = unthrottled (issue as
     /// fast as MLP allows — the paper's maximum-bandwidth mode).
     pub offered: Option<Bandwidth>,
+    /// Time-varying offered load; when present it overrides `offered`.
+    /// Schedule times are absolute simulation times, and a zero-demand
+    /// piece pauses the flow until the next piece.
+    #[serde(default)]
+    pub demand: Option<DemandSchedule>,
     /// When the flow starts issuing.
     pub start: SimTime,
     /// When the flow stops issuing; `None` = until the run's horizon.
@@ -138,6 +143,31 @@ impl FlowSpec {
             Bandwidth::from_bytes_per_s(total.as_bytes_per_s() / self.issuer_count() as f64)
         })
     }
+
+    /// The effective total demand at time `t`: the schedule when present,
+    /// otherwise the constant `offered` load.
+    pub fn demand_at(&self, t: SimTime) -> Option<Bandwidth> {
+        match &self.demand {
+            Some(s) => s.at(t),
+            None => self.offered,
+        }
+    }
+
+    /// The effective per-issuer demand at time `t`.
+    pub fn demand_per_issuer_at(&self, t: SimTime) -> Option<Bandwidth> {
+        self.demand_at(t).map(|total| {
+            Bandwidth::from_bytes_per_s(total.as_bytes_per_s() / self.issuer_count() as f64)
+        })
+    }
+
+    /// The largest demand the flow ever offers (`None` = unthrottled at
+    /// some point); sizes the in-flight budget.
+    pub fn peak_demand(&self) -> Option<Bandwidth> {
+        match &self.demand {
+            Some(s) => s.peak(),
+            None => self.offered,
+        }
+    }
 }
 
 impl FlowBuilder {
@@ -152,6 +182,7 @@ impl FlowBuilder {
                 pattern: Pattern::Sequential,
                 working_set: ByteSize::from_gib(1),
                 offered: None,
+                demand: None,
                 start: SimTime::ZERO,
                 stop: None,
             },
@@ -179,6 +210,12 @@ impl FlowBuilder {
     /// Throttles the flow to a total offered load.
     pub fn offered(mut self, bw: Bandwidth) -> Self {
         self.spec.offered = Some(bw);
+        self
+    }
+
+    /// Gives the flow a time-varying demand schedule (overrides `offered`).
+    pub fn demand(mut self, schedule: DemandSchedule) -> Self {
+        self.spec.demand = Some(schedule);
         self
     }
 

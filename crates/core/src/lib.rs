@@ -34,6 +34,11 @@
 //! * [`sketch`] — probabilistic profiling structures (§4 #5): Count-Min
 //!   sketch and SpaceSaving heavy hitters for bounded-memory per-flow
 //!   telemetry.
+//! * [`scenario`] — the **declarative scenario layer**: experiments as
+//!   JSON-serializable [`ScenarioSpec`]s run through a [`Backend`] trait by
+//!   either this crate's event engine or `chiplet_fluid`'s fluid sim, both
+//!   producing a common [`ScenarioReport`]; a [`ScenarioRegistry`] names the
+//!   built-in paper scenarios.
 //!
 //! ## Quick start
 //!
@@ -65,6 +70,7 @@ pub mod export;
 pub mod flow;
 pub mod matrix;
 pub mod profiler;
+pub mod scenario;
 pub mod sketch;
 pub mod telemetry;
 pub mod trace;
@@ -76,6 +82,9 @@ pub use export::export_sysfs;
 pub use flow::{FlowId, FlowSpec, Target};
 pub use matrix::TrafficMatrix;
 pub use profiler::{ProfileReport, Profiler};
+pub use scenario::{
+    Backend, EventEngineBackend, FluidBackend, ScenarioRegistry, ScenarioReport, ScenarioSpec,
+};
 pub use telemetry::TelemetryReport;
 pub use trace::{HopClass, TraceReport};
 pub use traffic::TrafficPolicy;

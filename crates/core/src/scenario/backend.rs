@@ -1,0 +1,182 @@
+//! The two scenario executors.
+
+use chiplet_fluid::{FluidFlowSpec, FluidLink, FluidSim};
+use chiplet_sim::{DemandSchedule, SimDuration, SimTime};
+use chiplet_topology::Topology;
+
+use super::report::{FlowReport, ScenarioOutcome, ScenarioReport};
+use super::spec::{ScenarioError, ScenarioSpec};
+use crate::engine::{Engine, RunResult};
+
+/// A scenario executor: compiles a [`ScenarioSpec`] for one of the
+/// workspace's engines and returns the common [`ScenarioReport`].
+pub trait Backend {
+    /// The backend's name, as recorded in reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario. `Err` means the spec itself doesn't resolve;
+    /// a platform that can't exercise the scenario yields
+    /// `Ok(ScenarioReport::Unsupported { .. })` instead.
+    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError>;
+}
+
+/// Runs scenarios on the transaction-level event engine.
+pub struct EventEngineBackend;
+
+impl EventEngineBackend {
+    /// Builds an engine loaded with the spec's flows over a resolved
+    /// topology. Exposed so callers that need the full [`RunResult`]
+    /// (trace exports, telemetry dumps) still construct engines through
+    /// the scenario layer.
+    pub fn instantiate<'t>(
+        spec: &ScenarioSpec,
+        topo: &'t Topology,
+    ) -> Result<Engine<'t>, ScenarioError> {
+        let mut engine = Engine::new(topo, spec.engine_config());
+        for flow in &spec.flows {
+            engine.add_flow(spec.compile_flow(flow, topo)?);
+        }
+        Ok(engine)
+    }
+
+    /// Runs the spec and returns the engine's native result alongside the
+    /// resolved topology (for callers that post-process telemetry).
+    pub fn run_raw(spec: &ScenarioSpec) -> Result<(RunResult, Topology), ScenarioError> {
+        let topo = spec.topology.resolve()?;
+        let result = Self::instantiate(spec, &topo)?.run(spec.horizon);
+        Ok((result, topo))
+    }
+}
+
+impl Backend for EventEngineBackend {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        let (result, topo) = Self::run_raw(spec)?;
+        let flows = spec
+            .flows
+            .iter()
+            .zip(&result.flows)
+            .map(|(sf, ft)| FlowReport {
+                name: ft.name.clone(),
+                offered_gb_s: sf
+                    .demand
+                    .as_ref()
+                    .and_then(|d| d.at(SimTime::ZERO))
+                    .map(|b| b.as_gb_per_s()),
+                achieved_gb_s: ft.achieved.as_gb_per_s(),
+                mean_latency_ns: Some(ft.mean_latency_ns()),
+                p999_latency_ns: Some(ft.p999_latency_ns()),
+                issued: ft.issued,
+                completed: ft.completed,
+                trace: ft.trace.clone(),
+            })
+            .collect();
+        Ok(ScenarioReport::Completed(ScenarioOutcome {
+            scenario: spec.name.clone(),
+            backend: self.name().into(),
+            platform: topo.spec().name.clone(),
+            seed: spec.seed_or_default(),
+            horizon: spec.horizon,
+            flows,
+        }))
+    }
+}
+
+/// Runs scenarios on the flow-level fluid engine.
+pub struct FluidBackend;
+
+impl FluidBackend {
+    /// Default integration step.
+    pub const DEFAULT_DT: SimDuration = SimDuration::from_millis(1);
+    /// Default trace sampling interval.
+    pub const DEFAULT_SAMPLE: SimDuration = SimDuration::from_millis(10);
+
+    /// Resolves the spec's fluid link table.
+    pub fn links(spec: &ScenarioSpec) -> Result<Vec<FluidLink>, ScenarioError> {
+        let Some(fluid) = &spec.fluid else {
+            return Err(ScenarioError::Invalid(
+                "the fluid backend needs a `fluid.links` table".into(),
+            ));
+        };
+        fluid.links.iter().map(|l| l.resolve()).collect()
+    }
+}
+
+impl Backend for FluidBackend {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        let links = Self::links(spec)?;
+        let n_links = links.len();
+        let mut sim = FluidSim::new(links);
+        for flow in &spec.flows {
+            if flow.links.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "flow '{}' crosses no fluid links (required by the fluid backend)",
+                    flow.name
+                )));
+            }
+            if let Some(&bad) = flow.links.iter().find(|&&l| l >= n_links) {
+                return Err(ScenarioError::Invalid(format!(
+                    "flow '{}': fluid link {bad} out of range (table has {n_links})",
+                    flow.name
+                )));
+            }
+            sim.add_flow(FluidFlowSpec {
+                name: flow.name.clone(),
+                demand: flow
+                    .demand
+                    .clone()
+                    .unwrap_or_else(|| DemandSchedule::constant(None)),
+                links: flow.links.clone(),
+            });
+        }
+        let opts = spec.fluid.as_ref().expect("links() checked presence");
+        let dt = opts.dt.unwrap_or(Self::DEFAULT_DT);
+        let sample = opts.sample.unwrap_or(Self::DEFAULT_SAMPLE);
+        let traces = sim.run(spec.horizon, dt, sample, spec.seed_or_default());
+
+        let platform = spec.topology.platform()?.name;
+        let flows = spec
+            .flows
+            .iter()
+            .zip(traces)
+            .map(|(sf, trace)| {
+                // Time-average of the sampled rate over the whole horizon.
+                let mean = if trace.is_empty() {
+                    0.0
+                } else {
+                    trace.iter().map(|p| p.bandwidth.as_gb_per_s()).sum::<f64>()
+                        / trace.len() as f64
+                };
+                FlowReport {
+                    name: sf.name.clone(),
+                    offered_gb_s: sf
+                        .demand
+                        .as_ref()
+                        .and_then(|d| d.at(SimTime::ZERO))
+                        .map(|b| b.as_gb_per_s()),
+                    achieved_gb_s: mean,
+                    mean_latency_ns: None,
+                    p999_latency_ns: None,
+                    issued: 0,
+                    completed: 0,
+                    trace,
+                }
+            })
+            .collect();
+        Ok(ScenarioReport::Completed(ScenarioOutcome {
+            scenario: spec.name.clone(),
+            backend: self.name().into(),
+            platform,
+            seed: spec.seed_or_default(),
+            horizon: spec.horizon,
+            flows,
+        }))
+    }
+}

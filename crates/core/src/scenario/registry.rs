@@ -1,0 +1,134 @@
+//! Named scenario registry.
+//!
+//! Maps names (`fig3`, `table1`, `bdp_control`, …) to runnable scenarios.
+//! Two kinds of entries exist:
+//!
+//! * **specs** — declarative [`ScenarioSpec`]s executed through a backend;
+//! * **studies** — composite experiments (parameter sweeps, multi-run
+//!   comparisons) that orchestrate many engine runs and render their own
+//!   text, but route every run through the scenario layer.
+//!
+//! The registry itself is domain-agnostic; the paper's built-ins are
+//! registered by the benchmark crate (`chiplet_bench::paper_registry`),
+//! which owns the sweep helpers and table rendering.
+
+use super::report::ScenarioReport;
+use super::spec::{ScenarioError, ScenarioSpec};
+
+/// What a registry entry builds.
+// Entries are built one at a time and consumed immediately; the size gap
+// between a full spec and a study fn pointer costs nothing here.
+#[allow(clippy::large_enum_variant)]
+pub enum ScenarioKind {
+    /// A declarative spec, run on its configured backend.
+    Spec(ScenarioSpec),
+    /// A composite study returning rendered text.
+    Study(fn() -> String),
+}
+
+/// One named scenario.
+pub struct ScenarioEntry {
+    /// Registry name (`fig3`, `bdp_control`, …).
+    pub name: &'static str,
+    /// One-line summary for `scenario list`.
+    pub summary: &'static str,
+    /// Builds the scenario (specs are constructed lazily so listing the
+    /// registry stays cheap).
+    pub build: fn() -> ScenarioKind,
+}
+
+/// What running a registry entry produced.
+pub enum ScenarioRun {
+    /// A spec's structured report.
+    Report(ScenarioReport),
+    /// A study's rendered text.
+    Text(String),
+}
+
+/// A name → scenario table.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entry; names must be unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn register(&mut self, entry: ScenarioEntry) {
+        assert!(
+            !self.entries.iter().any(|e| e.name == entry.name),
+            "duplicate scenario '{}'",
+            entry.name
+        );
+        self.entries.push(entry);
+    }
+
+    /// The entries, in registration order.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Builds and runs a named scenario. `None` = unknown name.
+    pub fn run(&self, name: &str) -> Option<Result<ScenarioRun, ScenarioError>> {
+        let entry = self.get(name)?;
+        Some(match (entry.build)() {
+            ScenarioKind::Spec(spec) => spec.run().map(ScenarioRun::Report),
+            ScenarioKind::Study(f) => Ok(ScenarioRun::Text(f())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_and_order() {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(ScenarioEntry {
+            name: "a",
+            summary: "first",
+            build: || ScenarioKind::Study(|| "A".into()),
+        });
+        reg.register(ScenarioEntry {
+            name: "b",
+            summary: "second",
+            build: || ScenarioKind::Study(|| "B".into()),
+        });
+        assert_eq!(reg.entries().len(), 2);
+        assert_eq!(reg.entries()[0].name, "a");
+        assert!(reg.get("b").is_some());
+        assert!(reg.get("missing").is_none());
+        match reg.run("b") {
+            Some(Ok(ScenarioRun::Text(t))) => assert_eq!(t, "B"),
+            _ => panic!("study should run"),
+        }
+        assert!(reg.run("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario")]
+    fn duplicate_names_rejected() {
+        let mut reg = ScenarioRegistry::new();
+        let entry = || ScenarioEntry {
+            name: "x",
+            summary: "",
+            build: || ScenarioKind::Study(String::new),
+        };
+        reg.register(entry());
+        reg.register(entry());
+    }
+}

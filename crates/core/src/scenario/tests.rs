@@ -1,0 +1,458 @@
+use chiplet_sim::{Bandwidth, ByteSize, DemandSchedule, SimDuration, SimTime};
+
+use super::*;
+
+fn event_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "unit_event".into(),
+        description: "one CCD reading all DIMMs".into(),
+        topology: TopologyChoice::Named("epyc_7302".into()),
+        backend: BackendKind::Event,
+        seed: Some(7),
+        horizon: SimTime::from_micros(30),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            deterministic_memory: true,
+            ..Default::default()
+        }),
+        fluid: None,
+        flows: vec![ScenarioFlow {
+            name: "probe".into(),
+            demand: Some(DemandSchedule::constant(Some(Bandwidth::from_gb_per_s(
+                8.0,
+            )))),
+            engine: Some(EngineFlow {
+                cores: CoreSelect::Ccd(0),
+                nic: None,
+                target: TargetSpec::AllDimms,
+                op: None,
+                pattern: None,
+                working_set: Some(ByteSize::from_mib(64)),
+                start: None,
+                stop: None,
+            }),
+            links: Vec::new(),
+        }],
+    }
+}
+
+fn fluid_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "unit_fluid".into(),
+        description: String::new(),
+        topology: TopologyChoice::Named("epyc_9634".into()),
+        backend: BackendKind::Fluid,
+        seed: None,
+        horizon: SimTime::from_millis(200),
+        policy: Default::default(),
+        engine: None,
+        fluid: Some(FluidOptions {
+            links: vec![FluidLinkSpec::Named("if_9634".into())],
+            dt: Some(SimDuration::from_millis(1)),
+            sample: Some(SimDuration::from_millis(20)),
+        }),
+        flows: vec![
+            ScenarioFlow {
+                name: "greedy".into(),
+                demand: None,
+                engine: None,
+                links: vec![0],
+            },
+            ScenarioFlow {
+                name: "capped".into(),
+                demand: Some(DemandSchedule::constant(Some(Bandwidth::from_gb_per_s(
+                    4.0,
+                )))),
+                engine: None,
+                links: vec![0],
+            },
+        ],
+    }
+}
+
+#[test]
+fn spec_round_trips_through_json() {
+    for spec in [event_spec(), fluid_spec()] {
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("round trip parses");
+        assert_eq!(back, spec);
+        // Deterministic bytes: serializing the parsed copy reproduces the
+        // original text exactly.
+        assert_eq!(back.to_json(), json);
+    }
+}
+
+#[test]
+fn event_backend_runs_and_is_seed_stable() {
+    let spec = event_spec();
+    let a = spec.run().expect("spec resolves");
+    let b = spec.run().expect("spec resolves");
+    assert_eq!(a.to_json(), b.to_json(), "same spec + seed ⇒ same report");
+
+    let outcome = a.outcome().expect("completes");
+    assert_eq!(outcome.backend, "event");
+    assert_eq!(outcome.seed, 7);
+    let flow = outcome.flow("probe").expect("flow reported");
+    assert_eq!(flow.offered_gb_s, Some(8.0));
+    assert!(flow.achieved_gb_s > 4.0, "got {}", flow.achieved_gb_s);
+    assert!(flow.mean_latency_ns.unwrap() > 0.0);
+    assert!(flow.completed > 0);
+
+    // A different seed must still run (and virtually always differs).
+    let mut other = event_spec();
+    other.seed = Some(8);
+    assert!(other.run().expect("spec resolves").outcome().is_some());
+}
+
+#[test]
+fn fluid_backend_runs_and_is_seed_stable() {
+    let spec = fluid_spec();
+    let a = spec.run().expect("spec resolves");
+    let b = spec.run().expect("spec resolves");
+    assert_eq!(a.to_json(), b.to_json());
+
+    let outcome = a.outcome().expect("completes");
+    assert_eq!(outcome.backend, "fluid");
+    assert_eq!(outcome.seed, 42, "default seed");
+    let greedy = outcome.flow("greedy").expect("flow reported");
+    let capped = outcome.flow("capped").expect("flow reported");
+    assert!(!greedy.trace.is_empty(), "fluid traces are native output");
+    assert!(
+        greedy.mean_latency_ns.is_none(),
+        "fluid measures no latency"
+    );
+    // The greedy flow harvests whatever the capped flow leaves on the link.
+    assert!(greedy.achieved_gb_s > capped.achieved_gb_s);
+    assert!(capped.achieved_gb_s <= 4.0 + 1e-9);
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = event_spec().run().expect("spec resolves");
+    let back = ScenarioReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(back, report);
+
+    let unsup = ScenarioReport::unsupported("fig3e", "EPYC 7302", "platform has no CXL device");
+    assert!(unsup.is_unsupported());
+    assert_eq!(
+        unsup.unsupported_note().as_deref(),
+        Some("fig3e on EPYC 7302: not supported")
+    );
+    assert_eq!(
+        ScenarioReport::from_json(&unsup.to_json()).expect("parses"),
+        unsup
+    );
+}
+
+#[test]
+fn bad_specs_are_rejected_with_reasons() {
+    // Unknown platform name.
+    let mut spec = event_spec();
+    spec.topology = TopologyChoice::Named("epyc_1234".into());
+    let err = spec.run().unwrap_err();
+    assert!(err.to_string().contains("unknown platform"), "{err}");
+
+    // Event backend needs an engine mapping per flow.
+    let mut spec = event_spec();
+    spec.flows[0].engine = None;
+    let err = spec.run().unwrap_err();
+    assert!(err.to_string().contains("no engine mapping"), "{err}");
+
+    // CXL target on a platform without CXL.
+    let mut spec = event_spec();
+    spec.flows[0].engine.as_mut().unwrap().target = TargetSpec::Cxl(0);
+    let err = spec.run().unwrap_err();
+    assert!(
+        err.to_string().contains("CXL device 0 not present"),
+        "{err}"
+    );
+
+    // Fluid backend needs a link table…
+    let mut spec = fluid_spec();
+    spec.fluid = None;
+    let err = spec.run().unwrap_err();
+    assert!(err.to_string().contains("fluid.links"), "{err}");
+
+    // …in-range link references…
+    let mut spec = fluid_spec();
+    spec.flows[0].links = vec![3];
+    let err = spec.run().unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    // …and every flow to cross at least one link.
+    let mut spec = fluid_spec();
+    spec.flows[0].links = Vec::new();
+    let err = spec.run().unwrap_err();
+    assert!(err.to_string().contains("crosses no fluid links"), "{err}");
+}
+
+mod json_roundtrip_props {
+    use chiplet_fluid::FluidLink;
+    use chiplet_mem::{OpKind, Pattern};
+    use chiplet_sim::{Bandwidth, ByteSize, DemandSchedule, SimDuration, SimTime};
+    use chiplet_topology::PlatformSpec;
+    use proptest::prelude::*;
+
+    use crate::scenario::*;
+    use crate::traffic::TrafficPolicy;
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        (0usize..6).prop_map(|i| {
+            [
+                "probe",
+                "rx burst",
+                "ccd0→cxl",
+                "λ-flow",
+                "",
+                "with \"quotes\"\n",
+            ][i]
+                .to_string()
+        })
+    }
+
+    fn arb_bw() -> impl Strategy<Value = Bandwidth> {
+        // Any finite f64 round-trips: the writer prints the shortest decimal
+        // that parses back to the same bits, so odd magnitudes are fine.
+        (1u64..u64::from(u32::MAX)).prop_map(|b| Bandwidth::from_bytes_per_s(b as f64 * 1.7))
+    }
+
+    fn arb_demand() -> impl Strategy<Value = DemandSchedule> {
+        (
+            prop::bool::ANY,
+            prop::collection::vec((1u64..5_000_000, prop::option::of(arb_bw())), 1..5),
+        )
+            .prop_map(|(constant, raw)| {
+                if constant {
+                    DemandSchedule::constant(raw[0].1)
+                } else {
+                    // Strictly increasing from zero: cumulative gaps.
+                    let mut t = 0u64;
+                    let pieces = raw
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (gap, d))| {
+                            if i > 0 {
+                                t += gap;
+                            }
+                            (SimTime::from_nanos(t), d)
+                        })
+                        .collect();
+                    DemandSchedule::piecewise(pieces)
+                }
+            })
+    }
+
+    fn arb_cores() -> impl Strategy<Value = CoreSelect> {
+        (0u8..5, prop::collection::vec(0u32..256, 0..4), 0u32..64).prop_map(|(k, ids, n)| match k {
+            0 => CoreSelect::Cores(ids),
+            1 => CoreSelect::Ccd(n),
+            2 => CoreSelect::Ccds(ids),
+            3 => CoreSelect::Ccx(n),
+            _ => CoreSelect::All,
+        })
+    }
+
+    fn arb_target() -> impl Strategy<Value = TargetSpec> {
+        (0u8..3, prop::collection::vec(0u32..24, 0..4), 0u32..4).prop_map(|(k, ds, dev)| match k {
+            0 => TargetSpec::AllDimms,
+            1 => TargetSpec::Dimms(ds),
+            _ => TargetSpec::Cxl(dev),
+        })
+    }
+
+    fn arb_engine_flow() -> impl Strategy<Value = EngineFlow> {
+        (
+            (arb_cores(), prop::option::of(0u32..4), arb_target()),
+            (0usize..4, 0usize..4, prop::option::of(1u64..4096)),
+            (
+                prop::option::of(0u64..100_000_000),
+                prop::option::of(0u64..100_000_000),
+            ),
+        )
+            .prop_map(
+                |((cores, nic, target), (op, pat, ws), (start, stop))| EngineFlow {
+                    cores,
+                    nic,
+                    target,
+                    op: [
+                        None,
+                        Some(OpKind::Read),
+                        Some(OpKind::WriteTemporal),
+                        Some(OpKind::WriteNonTemporal),
+                    ][op],
+                    pattern: [
+                        None,
+                        Some(Pattern::Sequential),
+                        Some(Pattern::Random),
+                        Some(Pattern::PointerChase),
+                    ][pat],
+                    working_set: ws.map(ByteSize::from_mib),
+                    start: start.map(SimTime::from_nanos),
+                    stop: stop.map(SimTime::from_nanos),
+                },
+            )
+    }
+
+    fn arb_policy() -> impl Strategy<Value = TrafficPolicy> {
+        (
+            0u8..5,
+            prop::collection::vec(1u64..64, 0..4),
+            1u64..1_000_000,
+        )
+            .prop_map(|(k, v, i)| match k {
+                0 => TrafficPolicy::HardwareDefault,
+                1 => TrafficPolicy::MaxMinFair,
+                2 => TrafficPolicy::WeightedFair {
+                    weights: v.iter().map(|&w| w as f64 / 4.0).collect(),
+                },
+                3 => TrafficPolicy::RateLimit {
+                    caps_gb_s: v.iter().map(|&w| w as f64 * 1.5).collect(),
+                },
+                _ => TrafficPolicy::BdpAdaptive {
+                    latency_factor: 1.0 + i as f64 / 1e6,
+                    interval_ns: i,
+                },
+            })
+    }
+
+    fn arb_topology() -> impl Strategy<Value = TopologyChoice> {
+        (0u8..6).prop_map(|k| match k {
+            0 => TopologyChoice::Named("epyc_7302".into()),
+            1 => TopologyChoice::Named("epyc_9634".into()),
+            2 => TopologyChoice::Named("dual_epyc_7302".into()),
+            3 => TopologyChoice::Named("epyc_9634_nic".into()),
+            4 => TopologyChoice::Inline(PlatformSpec::epyc_9634()),
+            _ => TopologyChoice::Inline(PlatformSpec::monolithic_baseline()),
+        })
+    }
+
+    fn arb_engine_opts() -> impl Strategy<Value = EngineOptions> {
+        (
+            prop::option::of(1u64..10_000),
+            prop::bool::ANY,
+            prop::option::of(1u64..100_000),
+            prop::option::of(1u32..64),
+        )
+            .prop_map(|(warmup, det, tw, ts)| EngineOptions {
+                warmup: warmup.map(SimDuration::from_nanos),
+                deterministic_memory: det,
+                trace_window: tw.map(SimDuration::from_nanos),
+                trace_sampling: ts,
+            })
+    }
+
+    fn arb_fluid_opts() -> impl Strategy<Value = FluidOptions> {
+        (
+            prop::collection::vec(0u8..4, 1..4),
+            prop::option::of(1u64..10_000_000),
+            prop::option::of(1u64..100_000_000),
+        )
+            .prop_map(|(links, dt, sample)| FluidOptions {
+                links: links
+                    .into_iter()
+                    .map(|k| match k {
+                        0 => FluidLinkSpec::Named("if_9634".into()),
+                        1 => FluidLinkSpec::Named("plink_9634".into()),
+                        2 => FluidLinkSpec::Named("if_7302".into()),
+                        _ => FluidLinkSpec::Inline(FluidLink::if_7302()),
+                    })
+                    .collect(),
+                dt: dt.map(SimDuration::from_nanos),
+                sample: sample.map(SimDuration::from_nanos),
+            })
+    }
+
+    fn arb_flow() -> impl Strategy<Value = ScenarioFlow> {
+        (
+            arb_name(),
+            prop::option::of(arb_demand()),
+            prop::option::of(arb_engine_flow()),
+            prop::collection::vec(0usize..4, 0..3),
+        )
+            .prop_map(|(name, demand, engine, links)| ScenarioFlow {
+                name,
+                demand,
+                engine,
+                links,
+            })
+    }
+
+    fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+        (
+            (arb_name(), arb_name(), arb_topology(), prop::bool::ANY),
+            (
+                prop::option::of(0u64..=u64::MAX),
+                1u64..10_000_000_000,
+                arb_policy(),
+            ),
+            (
+                prop::option::of(arb_engine_opts()),
+                prop::option::of(arb_fluid_opts()),
+            ),
+            prop::collection::vec(arb_flow(), 0..4),
+        )
+            .prop_map(
+                |(
+                    (name, description, topology, event),
+                    (seed, horizon, policy),
+                    (engine, fluid),
+                    flows,
+                )| ScenarioSpec {
+                    name,
+                    description,
+                    topology,
+                    backend: if event {
+                        BackendKind::Event
+                    } else {
+                        BackendKind::Fluid
+                    },
+                    seed,
+                    horizon: SimTime::from_nanos(horizon),
+                    policy,
+                    engine,
+                    fluid,
+                    flows,
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Serialization is lossless and byte-deterministic over the whole
+        /// spec space — including unicode names, full-range seeds, inline
+        /// platforms, and every policy/selector variant.
+        #[test]
+        fn arbitrary_specs_round_trip_through_json(spec in arb_spec()) {
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json).expect("generated spec parses back");
+            prop_assert_eq!(&back, &spec);
+            prop_assert_eq!(back.to_json(), json);
+        }
+    }
+}
+
+#[test]
+fn constant_demand_compiles_to_the_offered_path() {
+    let spec = event_spec();
+    let topo = spec.topology.resolve().unwrap();
+    let flow = spec.compile_flow(&spec.flows[0], &topo).unwrap();
+    assert_eq!(flow.offered, Some(Bandwidth::from_gb_per_s(8.0)));
+    assert!(
+        flow.demand.is_none(),
+        "constant schedules use the fast path"
+    );
+
+    // A piecewise schedule stays a schedule.
+    let mut spec = event_spec();
+    spec.flows[0].demand = Some(DemandSchedule::piecewise(vec![
+        (SimTime::ZERO, None),
+        (
+            SimTime::from_micros(10),
+            Some(Bandwidth::from_gb_per_s(2.0)),
+        ),
+    ]));
+    let flow = spec.compile_flow(&spec.flows[0], &topo).unwrap();
+    assert!(flow.offered.is_none());
+    assert!(flow.demand.is_some());
+}

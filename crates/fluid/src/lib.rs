@@ -28,7 +28,9 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod metrics;
 pub mod sim;
 
 pub use alloc::proportional_allocate;
+pub use metrics::harvest_time_ms;
 pub use sim::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim, Instability};

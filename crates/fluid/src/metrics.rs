@@ -1,0 +1,69 @@
+//! Metrics over fluid traces.
+//!
+//! The harvest-time metric of Figure 5 — how long an unthrottled flow takes
+//! to claim bandwidth another flow released — is reused by the fig5/fig6
+//! studies and the BDP-control experiments, so it lives here rather than in
+//! each binary.
+
+use chiplet_sim::stats::TracePoint;
+use chiplet_sim::{Bandwidth, SimTime};
+
+/// Milliseconds after `from` until the trace first reaches `threshold`.
+///
+/// Points before `from` are ignored; returns `None` when the trace never
+/// reaches the threshold (e.g. an unstable link that keeps oscillating).
+pub fn harvest_time_ms(trace: &[TracePoint], from: SimTime, threshold: Bandwidth) -> Option<u64> {
+    let thr = threshold.as_gb_per_s();
+    trace
+        .iter()
+        .filter(|p| p.at >= from)
+        .find(|p| p.bandwidth.as_gb_per_s() >= thr)
+        .map(|p| (p.at.as_nanos() - from.as_nanos()) / 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(ms: u64, gb: f64) -> TracePoint {
+        TracePoint {
+            at: SimTime::from_millis(ms),
+            bandwidth: Bandwidth::from_gb_per_s(gb),
+        }
+    }
+
+    #[test]
+    fn finds_first_crossing_after_from() {
+        let trace = vec![
+            pt(0, 20.0), // before `from`: ignored even though above threshold
+            pt(2000, 10.0),
+            pt(2050, 12.0),
+            pt(2100, 18.0),
+            pt(2150, 19.0),
+        ];
+        let t = harvest_time_ms(
+            &trace,
+            SimTime::from_secs(2),
+            Bandwidth::from_gb_per_s(18.0),
+        );
+        assert_eq!(t, Some(100));
+    }
+
+    #[test]
+    fn none_when_never_reached() {
+        let trace = vec![pt(2000, 10.0), pt(2100, 11.0)];
+        assert_eq!(
+            harvest_time_ms(
+                &trace,
+                SimTime::from_secs(2),
+                Bandwidth::from_gb_per_s(18.0)
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_none() {
+        assert_eq!(harvest_time_ms(&[], SimTime::ZERO, Bandwidth::ZERO), None);
+    }
+}

@@ -24,7 +24,7 @@ pub struct Instability {
 }
 
 /// A shared link in the fluid model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FluidLink {
     /// Display name ("IF", "GMI", "P-Link").
     pub name: String,
@@ -73,49 +73,7 @@ impl FluidLink {
     }
 }
 
-/// A piecewise-constant demand schedule.
-///
-/// Pieces are `(from, demand)` with `None` = unthrottled; the schedule
-/// holds each piece until the next one starts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct DemandSchedule {
-    pieces: Vec<(SimTime, Option<Bandwidth>)>,
-}
-
-impl DemandSchedule {
-    /// A constant schedule.
-    pub fn constant(demand: Option<Bandwidth>) -> Self {
-        DemandSchedule {
-            pieces: vec![(SimTime::ZERO, demand)],
-        }
-    }
-
-    /// Builds from `(from, demand)` pieces; they must start at time zero
-    /// and be strictly increasing in time.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty, unsorted, or non-zero-starting schedule.
-    pub fn piecewise(pieces: Vec<(SimTime, Option<Bandwidth>)>) -> Self {
-        assert!(!pieces.is_empty(), "schedule needs at least one piece");
-        assert_eq!(pieces[0].0, SimTime::ZERO, "schedule must start at zero");
-        assert!(
-            pieces.windows(2).all(|w| w[0].0 < w[1].0),
-            "schedule pieces must be strictly increasing"
-        );
-        DemandSchedule { pieces }
-    }
-
-    /// The demand at time `t`.
-    pub fn at(&self, t: SimTime) -> Option<Bandwidth> {
-        self.pieces
-            .iter()
-            .rev()
-            .find(|(from, _)| *from <= t)
-            .map(|(_, d)| *d)
-            .expect("schedule covers time zero")
-    }
-}
+pub use chiplet_sim::schedule::DemandSchedule;
 
 /// One flow in the fluid model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -464,24 +422,6 @@ mod tests {
         for (ta, tb) in a.iter().zip(&b) {
             assert_eq!(ta, tb);
         }
-    }
-
-    #[test]
-    fn schedule_lookup() {
-        let s = DemandSchedule::piecewise(vec![
-            (SimTime::ZERO, None),
-            (SimTime::from_secs(1), Some(gb(5.0))),
-            (SimTime::from_secs(2), None),
-        ]);
-        assert_eq!(s.at(SimTime::from_millis(500)), None);
-        assert_eq!(s.at(SimTime::from_millis(1500)), Some(gb(5.0)));
-        assert_eq!(s.at(SimTime::from_secs(3)), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "must start at zero")]
-    fn schedule_must_start_at_zero() {
-        let _ = DemandSchedule::piecewise(vec![(SimTime::from_secs(1), None)]);
     }
 
     #[test]

@@ -74,14 +74,29 @@ impl CompeteLink {
         }
     }
 
+    /// Why the platform can't run this competition — `None` when it can.
+    pub fn unsupported_reason(self, topo: &Topology) -> Option<&'static str> {
+        match self {
+            CompeteLink::PLink if topo.cxl_device_count() == 0 => {
+                Some("platform has no CXL device")
+            }
+            // (each P-Link flow uses up to three chiplets; two suffice)
+            CompeteLink::PLink if topo.spec().ccd_count < 2 => {
+                Some("platform has fewer than two CCDs")
+            }
+            CompeteLink::IfIntraCc if topo.spec().cores_per_ccx < 2 => {
+                Some("CCX has fewer than two cores")
+            }
+            CompeteLink::Gmi if topo.spec().cores_per_ccd() < 2 => {
+                Some("CCD has fewer than two cores")
+            }
+            _ => None,
+        }
+    }
+
     /// Platform support check.
     pub fn supported(self, topo: &Topology) -> bool {
-        match self {
-            CompeteLink::PLink => topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2,
-            // (each P-Link flow uses up to three chiplets; two suffice)
-            CompeteLink::IfIntraCc => topo.spec().cores_per_ccx >= 2,
-            CompeteLink::Gmi => topo.spec().cores_per_ccd() >= 2,
-        }
+        self.unsupported_reason(topo).is_none()
     }
 }
 

@@ -70,14 +70,31 @@ impl InterferenceDomain {
         }
     }
 
+    /// Why the platform can't run this domain — `None` when it can.
+    pub fn unsupported_reason(self, topo: &Topology) -> Option<&'static str> {
+        match self {
+            InterferenceDomain::PLink if topo.cxl_device_count() == 0 => {
+                Some("platform has no CXL device")
+            }
+            InterferenceDomain::PLink if topo.spec().ccd_count < 2 => {
+                Some("platform has fewer than two CCDs")
+            }
+            InterferenceDomain::IfInterCc if topo.spec().ccd_count < 2 => {
+                Some("platform has fewer than two CCDs")
+            }
+            InterferenceDomain::IfIntraCc if topo.spec().cores_per_ccx < 2 => {
+                Some("CCX has fewer than two cores")
+            }
+            InterferenceDomain::Gmi if topo.spec().cores_per_ccd() < 2 => {
+                Some("CCD has fewer than two cores")
+            }
+            _ => None,
+        }
+    }
+
     /// Platform support check.
     pub fn supported(self, topo: &Topology) -> bool {
-        match self {
-            InterferenceDomain::PLink => topo.cxl_device_count() > 0 && topo.spec().ccd_count >= 2,
-            InterferenceDomain::IfInterCc => topo.spec().ccd_count >= 2,
-            InterferenceDomain::IfIntraCc => topo.spec().cores_per_ccx >= 2,
-            InterferenceDomain::Gmi => topo.spec().cores_per_ccd() >= 2,
-        }
+        self.unsupported_reason(topo).is_none()
     }
 }
 

@@ -31,6 +31,7 @@ pub mod compete;
 pub mod interference;
 pub mod latency;
 pub mod loaded;
+pub mod scenario;
 pub mod scope;
 
 pub use scope::CoreScope;

@@ -91,13 +91,26 @@ impl LinkScenario {
         }
     }
 
+    /// Why the platform can't run this scenario — `None` when it can.
+    /// The single source for every "not supported" message; callers render
+    /// it through [`ScenarioReport::Unsupported`].
+    ///
+    /// [`ScenarioReport::Unsupported`]: chiplet_net::scenario::ScenarioReport::Unsupported
+    pub fn unsupported_reason(self, topo: &Topology) -> Option<&'static str> {
+        match self {
+            LinkScenario::PlinkCxl if topo.cxl_device_count() == 0 => {
+                Some("platform has no CXL device")
+            }
+            LinkScenario::IfInterCc if topo.spec().ccd_count < 2 => {
+                Some("platform has fewer than two CCDs")
+            }
+            _ => None,
+        }
+    }
+
     /// True when the platform supports the scenario.
     pub fn supported(self, topo: &Topology) -> bool {
-        match self {
-            LinkScenario::PlinkCxl => topo.cxl_device_count() > 0,
-            LinkScenario::IfInterCc => topo.spec().ccd_count >= 2,
-            _ => true,
-        }
+        self.unsupported_reason(topo).is_none()
     }
 }
 

@@ -1,0 +1,99 @@
+//! Scenario-layer adapter: the utility's sweeps as [`ScenarioReport`]s.
+//!
+//! The loaded-latency sweep behind Figure 3 is exposed here through the
+//! common scenario result type, so callers (the fig3 study, the
+//! `chiplet-scenario` CLI) consume one structured report instead of raw
+//! point vectors — and platform mismatches come back as
+//! [`ScenarioReport::Unsupported`] with a reason, not as ad-hoc strings or
+//! panics.
+
+use chiplet_mem::OpKind;
+use chiplet_net::engine::EngineConfig;
+use chiplet_net::scenario::{FlowReport, ScenarioOutcome, ScenarioReport};
+use chiplet_sim::SimTime;
+use chiplet_topology::Topology;
+
+use crate::loaded::{loaded_latency_sweep, LinkScenario};
+
+/// The horizon of each loaded-latency point.
+pub const POINT_HORIZON: SimTime = SimTime::from_micros(120);
+
+/// Runs [`loaded_latency_sweep`] and packages it as a [`ScenarioReport`]:
+/// one [`FlowReport`] per load point (offered/achieved bandwidth plus the
+/// latency distribution), or `Unsupported` with the platform's reason.
+pub fn loaded_latency_report(
+    topo: &Topology,
+    scenario: LinkScenario,
+    op: OpKind,
+    fractions: &[f64],
+    cfg: &EngineConfig,
+) -> ScenarioReport {
+    if let Some(reason) = scenario.unsupported_reason(topo) {
+        return ScenarioReport::unsupported(scenario.to_string(), topo.spec().name.clone(), reason);
+    }
+    let flows = loaded_latency_sweep(topo, scenario, op, fractions, cfg)
+        .into_iter()
+        .map(|p| FlowReport {
+            name: format!("offered {:.1} GB/s", p.offered_gb_s),
+            offered_gb_s: Some(p.offered_gb_s),
+            achieved_gb_s: p.achieved_gb_s,
+            mean_latency_ns: Some(p.mean_ns),
+            p999_latency_ns: Some(p.p999_ns),
+            issued: 0,
+            completed: 0,
+            trace: Vec::new(),
+        })
+        .collect();
+    ScenarioReport::Completed(ScenarioOutcome {
+        scenario: format!("{scenario} / {op:?}"),
+        backend: "event".into(),
+        platform: topo.spec().name.clone(),
+        seed: cfg.seed,
+        horizon: POINT_HORIZON,
+        flows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiplet_topology::PlatformSpec;
+
+    #[test]
+    fn sweep_becomes_a_completed_report() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let report = loaded_latency_report(
+            &topo,
+            LinkScenario::Gmi,
+            OpKind::Read,
+            &[0.2, 0.9],
+            &EngineConfig::default(),
+        );
+        let outcome = report.outcome().expect("GMI runs everywhere");
+        assert_eq!(outcome.flows.len(), 2);
+        assert!(outcome.flows[0].offered_gb_s.unwrap() < outcome.flows[1].offered_gb_s.unwrap());
+        assert!(outcome.flows[1].mean_latency_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn missing_cxl_is_structured_unsupported() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let report = loaded_latency_report(
+            &topo,
+            LinkScenario::PlinkCxl,
+            OpKind::Read,
+            &[0.5],
+            &EngineConfig::default(),
+        );
+        match &report {
+            ScenarioReport::Unsupported { reason, .. } => {
+                assert_eq!(reason, "platform has no CXL device");
+            }
+            _ => panic!("expected Unsupported"),
+        }
+        assert_eq!(
+            report.unsupported_note().as_deref(),
+            Some("P-Link/CXL on AMD EPYC 7302: not supported")
+        );
+    }
+}

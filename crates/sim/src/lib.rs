@@ -11,7 +11,9 @@
 //!   that every run with the same seed is bit-identical,
 //! * [`DetRng`] — a seedable deterministic random-number generator,
 //! * [`stats`] — streaming statistics (log-bucket latency histograms with tail
-//!   quantiles, Welford mean/variance, windowed bandwidth time series).
+//!   quantiles, Welford mean/variance, windowed bandwidth time series),
+//! * [`DemandSchedule`] — piecewise-constant offered-load schedules shared by
+//!   every engine in the workspace.
 //!
 //! The design follows the smoltcp school: event-driven, allocation-conscious,
 //! simple and robust, with behaviour that is identical run-to-run. Simulations
@@ -24,11 +26,13 @@
 
 pub mod event;
 pub mod rng;
+pub mod schedule;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::DetRng;
+pub use schedule::DemandSchedule;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize};

@@ -1,0 +1,174 @@
+//! Piecewise-constant demand schedules.
+//!
+//! A [`DemandSchedule`] describes how much bandwidth a flow *wants* over
+//! time: a sorted list of `(from, demand)` pieces where `None` means
+//! unthrottled. Both the transaction-level engine and the fluid engine
+//! evaluate the same schedule type, so a scenario written once drives
+//! either backend.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::units::Bandwidth;
+
+/// A piecewise-constant demand schedule.
+///
+/// Pieces are `(from, demand)` with `None` = unthrottled; the schedule
+/// holds each piece until the next one starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandSchedule {
+    pieces: Vec<(SimTime, Option<Bandwidth>)>,
+}
+
+impl DemandSchedule {
+    /// A constant schedule.
+    pub fn constant(demand: Option<Bandwidth>) -> Self {
+        DemandSchedule {
+            pieces: vec![(SimTime::ZERO, demand)],
+        }
+    }
+
+    /// Builds from `(from, demand)` pieces; they must start at time zero
+    /// and be strictly increasing in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty, unsorted, or non-zero-starting schedule.
+    pub fn piecewise(pieces: Vec<(SimTime, Option<Bandwidth>)>) -> Self {
+        assert!(!pieces.is_empty(), "schedule needs at least one piece");
+        assert_eq!(pieces[0].0, SimTime::ZERO, "schedule must start at zero");
+        assert!(
+            pieces.windows(2).all(|w| w[0].0 < w[1].0),
+            "schedule pieces must be strictly increasing"
+        );
+        DemandSchedule { pieces }
+    }
+
+    /// The demand at time `t`.
+    pub fn at(&self, t: SimTime) -> Option<Bandwidth> {
+        self.pieces
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= t)
+            .map(|(_, d)| *d)
+            .expect("schedule covers time zero")
+    }
+
+    /// The first piece boundary strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        self.pieces.iter().map(|(from, _)| *from).find(|&f| f > t)
+    }
+
+    /// The largest demand across all pieces, or `None` if any piece is
+    /// unthrottled.
+    pub fn peak(&self) -> Option<Bandwidth> {
+        let mut best = Bandwidth::ZERO;
+        for (_, d) in &self.pieces {
+            match d {
+                None => return None,
+                Some(b) => {
+                    if *b > best {
+                        best = *b;
+                    }
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// True when the schedule has a single piece (demand never changes).
+    pub fn is_constant(&self) -> bool {
+        self.pieces.len() == 1
+    }
+
+    /// The raw `(from, demand)` pieces, in time order.
+    pub fn pieces(&self) -> &[(SimTime, Option<Bandwidth>)] {
+        &self.pieces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(x: f64) -> Bandwidth {
+        Bandwidth::from_gb_per_s(x)
+    }
+
+    #[test]
+    fn schedule_lookup() {
+        let s = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, None),
+            (SimTime::from_secs(1), Some(gb(5.0))),
+            (SimTime::from_secs(2), None),
+        ]);
+        assert_eq!(s.at(SimTime::from_millis(500)), None);
+        assert_eq!(s.at(SimTime::from_millis(1500)), Some(gb(5.0)));
+        assert_eq!(s.at(SimTime::from_secs(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at zero")]
+    fn schedule_must_start_at_zero() {
+        let _ = DemandSchedule::piecewise(vec![(SimTime::from_secs(1), None)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn schedule_must_be_sorted() {
+        let _ = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, None),
+            (SimTime::from_secs(2), Some(gb(1.0))),
+            (SimTime::from_secs(1), None),
+        ]);
+    }
+
+    #[test]
+    fn next_change_walks_boundaries() {
+        let s = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, None),
+            (SimTime::from_secs(1), Some(gb(5.0))),
+            (SimTime::from_secs(2), None),
+        ]);
+        assert_eq!(
+            s.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(
+            s.next_change_after(SimTime::from_millis(1000)),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(s.next_change_after(SimTime::from_secs(2)), None);
+        assert!(DemandSchedule::constant(None)
+            .next_change_after(SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn peak_and_constant() {
+        assert_eq!(DemandSchedule::constant(None).peak(), None);
+        assert!(DemandSchedule::constant(None).is_constant());
+        let s = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, Some(gb(2.0))),
+            (SimTime::from_secs(1), Some(gb(7.0))),
+            (SimTime::from_secs(2), Some(gb(3.0))),
+        ]);
+        assert_eq!(s.peak(), Some(gb(7.0)));
+        assert!(!s.is_constant());
+        let unbounded = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, Some(gb(2.0))),
+            (SimTime::from_secs(1), None),
+        ]);
+        assert_eq!(unbounded.peak(), None);
+    }
+
+    #[test]
+    fn round_trips_through_json_value() {
+        let s = DemandSchedule::piecewise(vec![
+            (SimTime::ZERO, Some(gb(2.0))),
+            (SimTime::from_secs(1), None),
+        ]);
+        let back = DemandSchedule::from_value(&s.to_value()).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,7 +1,9 @@
 //! Shape assertions for Figures 3–6: the qualitative claims of §3.4 and
 //! §3.5 hold end-to-end.
 
-use server_chiplet_networking::fluid::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim};
+use server_chiplet_networking::fluid::{
+    harvest_time_ms, DemandSchedule, FluidFlowSpec, FluidLink, FluidSim,
+};
 use server_chiplet_networking::mem::OpKind;
 use server_chiplet_networking::membench::compete::{competing_flows, CompeteLink};
 use server_chiplet_networking::membench::interference::{interference_sweep, InterferenceDomain};
@@ -158,13 +160,12 @@ fn fig5_harvest_timescales() {
             SimDuration::from_millis(10),
             11,
         );
-        let threshold = cap / 2.0 + 1.9;
-        traces[1]
-            .iter()
-            .filter(|p| p.at >= SimTime::from_secs(2))
-            .find(|p| p.bandwidth.as_gb_per_s() >= threshold)
-            .map(|p| p.at.as_nanos() / 1_000_000 - 2000)
-            .expect("harvest completes")
+        harvest_time_ms(
+            &traces[1],
+            SimTime::from_secs(2),
+            Bandwidth::from_gb_per_s(cap / 2.0 + 1.9),
+        )
+        .expect("harvest completes")
     };
     let t_if = run(FluidLink::if_9634());
     let t_plink = run(FluidLink::plink_9634());

@@ -4,29 +4,49 @@
 //! chiplet-scenario list
 //! chiplet-scenario show <name>
 //! chiplet-scenario run <name|file.json> [--json]
+//! chiplet-scenario sweep <name|file.json> [--jobs N] [--no-cache] [--cache-dir DIR] [--json]
 //! ```
 //!
 //! `list` prints the registry of the paper's built-in scenarios; `run`
 //! executes a built-in by name or any [`ScenarioSpec`] JSON file on its
 //! configured backend and prints the report (`--json` emits the structured
 //! [`ScenarioReport`] instead); `show` prints a built-in declarative spec
-//! as JSON — a starting point for custom scenario files.
+//! or sweep as JSON — a starting point for custom scenario files; `sweep`
+//! expands a [`SweepSpec`] (built-in or JSON file) and executes its points
+//! across worker threads with an on-disk result cache (`results/cache` by
+//! default). Sweep output is byte-identical for any `--jobs` value and for
+//! cached vs fresh runs; execution stats go to stderr.
 //!
 //! [`ScenarioSpec`]: chiplet_net::scenario::ScenarioSpec
 //! [`ScenarioReport`]: chiplet_net::scenario::ScenarioReport
+//! [`SweepSpec`]: chiplet_net::scenario::SweepSpec
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use chiplet_bench::scenarios::{paper_registry, render_report};
+use chiplet_bench::scenarios::{paper_registry, render_report, render_sweep};
 use chiplet_bench::TextTable;
-use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec};
+use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec, SweepRunner, SweepSpec};
 
 const USAGE: &str = "usage: chiplet-scenario <COMMAND>
 commands:
   list                     print the built-in scenario registry
-  show <name>              print a built-in declarative spec as JSON
+  show <name>              print a built-in spec or sweep as JSON
   run <name|file.json>     run a built-in or a ScenarioSpec JSON file
-      [--json]             print the structured report instead of text";
+      [--json]             print the structured report instead of text
+  sweep <name|file.json>   expand and run a SweepSpec across worker threads
+      [--jobs N]           worker threads (default: one per core)
+      [--no-cache]         skip the on-disk result cache
+      [--cache-dir DIR]    cache directory (default: results/cache)
+      [--json]             print the aggregate SweepOutcome as JSON";
+
+/// Command-line options shared across subcommands.
+struct Opts {
+    json: bool,
+    jobs: usize,
+    cache: bool,
+    cache_dir: PathBuf,
+}
 
 fn list() {
     let reg = paper_registry();
@@ -35,6 +55,7 @@ fn list() {
         let kind = match (e.build)() {
             ScenarioKind::Spec(_) => "spec",
             ScenarioKind::Study(_) => "study",
+            ScenarioKind::Sweep(_) => "sweep",
         };
         t.row(vec![
             e.name.to_string(),
@@ -55,20 +76,24 @@ fn show(name: &str) -> Result<(), String> {
             println!("{}", spec.to_json());
             Ok(())
         }
+        ScenarioKind::Sweep(sweep) => {
+            println!("{}", sweep.to_json());
+            Ok(())
+        }
         ScenarioKind::Study(_) => Err(format!(
             "'{name}' is a composite study (it renders its own text); \
-             only declarative spec entries have a JSON form"
+             only declarative spec and sweep entries have a JSON form"
         )),
     }
 }
 
-fn run(target: &str, json: bool) -> Result<(), String> {
+fn run(target: &str, opts: &Opts) -> Result<(), String> {
     // A JSON file takes priority; anything else is a registry name.
     if target.ends_with(".json") || std::path::Path::new(target).is_file() {
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
         let spec = ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?;
         let report = spec.run().map_err(|e| e.to_string())?;
-        if json {
+        if opts.json {
             println!("{}", report.to_json());
         } else {
             print!("{}", render_report(&report));
@@ -82,7 +107,7 @@ fn run(target: &str, json: bool) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     match outcome {
         ScenarioRun::Text(text) => {
-            if json {
+            if opts.json {
                 return Err(format!(
                     "'{target}' is a composite study rendering text; --json \
                      applies to declarative spec scenarios"
@@ -91,12 +116,54 @@ fn run(target: &str, json: bool) -> Result<(), String> {
             print!("{text}");
         }
         ScenarioRun::Report(report) => {
-            if json {
+            if opts.json {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", render_report(&report));
             }
         }
+        ScenarioRun::Sweep(outcome) => {
+            if opts.json {
+                println!("{}", outcome.to_json());
+            } else {
+                print!("{}", render_sweep(&outcome));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
+    let spec = if target.ends_with(".json") || std::path::Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        SweepSpec::from_json(&text).map_err(|e| e.to_string())?
+    } else {
+        let reg = paper_registry();
+        let entry = reg
+            .get(target)
+            .ok_or_else(|| format!("unknown sweep '{target}' (try `chiplet-scenario list`)"))?;
+        match (entry.build)() {
+            ScenarioKind::Sweep(sweep) => sweep,
+            _ => {
+                return Err(format!(
+                    "'{target}' is not a sweep; run it with `chiplet-scenario run {target}`"
+                ))
+            }
+        }
+    };
+    let runner = SweepRunner {
+        jobs: opts.jobs,
+        cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
+    };
+    let (outcome, stats) = runner.run(&spec).map_err(|e| e.to_string())?;
+    eprintln!(
+        "sweep {}: {} points ({} executed, {} cached)",
+        spec.name, stats.total, stats.executed, stats.cached
+    );
+    if opts.json {
+        println!("{}", outcome.to_json());
+    } else {
+        print!("{}", render_sweep(&outcome));
     }
     Ok(())
 }
@@ -104,10 +171,27 @@ fn run(target: &str, json: bool) -> Result<(), String> {
 fn dispatch() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
-    let mut json = false;
-    for a in &args {
+    let mut opts = Opts {
+        json: false,
+        jobs: 0,
+        cache: true,
+        cache_dir: PathBuf::from("results/cache"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => opts.json = true,
+            "--no-cache" => opts.cache = false,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got '{v}'"))?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a value")?;
+                opts.cache_dir = PathBuf::from(v);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             s if s.starts_with('-') => return Err(format!("unknown flag {s}\n{USAGE}")),
             s => positional.push(s),
@@ -119,7 +203,8 @@ fn dispatch() -> Result<(), String> {
             Ok(())
         }
         ["show", name] => show(name),
-        ["run", target] => run(target, json),
+        ["run", target] => run(target, &opts),
+        ["sweep", target] => sweep(target, &opts),
         _ => Err(USAGE.to_string()),
     }
 }

@@ -20,7 +20,7 @@ use chiplet_mem::OpKind;
 use chiplet_membench::loaded::{default_fractions, LinkScenario};
 use chiplet_membench::scenario::loaded_latency_report;
 use chiplet_net::engine::EngineConfig;
-use chiplet_net::scenario::ScenarioReport;
+use chiplet_net::scenario::{parallel_ordered, ScenarioReport};
 use chiplet_topology::{PlatformSpec, Topology};
 
 use crate::{f1, TextTable};
@@ -75,8 +75,8 @@ pub fn render() -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "Figure 3: interconnect latency under load.\n");
-    // Panels are independent deterministic simulations: run them on scoped
-    // threads and print in figure order.
+    // Panels are independent deterministic simulations: run them across
+    // worker threads and print in figure order.
     let jobs: Vec<(&Topology, LinkScenario, &str)> = vec![
         (&t7302, LinkScenario::IfIntraCc, "a"),
         (&t9634, LinkScenario::IfIntraCc, "b"),
@@ -85,17 +85,9 @@ pub fn render() -> String {
         (&t9634, LinkScenario::Gmi, "e"),
         (&t9634, LinkScenario::PlinkCxl, "f"),
     ];
-    let outputs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(topo, scenario, label)| scope.spawn(move |_| panel(topo, scenario, label)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("panel thread"))
-            .collect::<Vec<String>>()
-    })
-    .expect("panel scope");
+    let outputs = parallel_ordered(&jobs, 0, |_, &(topo, scenario, label)| {
+        panel(topo, scenario, label)
+    });
     for p in outputs {
         let _ = writeln!(out, "{p}");
     }

@@ -12,7 +12,8 @@ use std::fmt::Write;
 
 use chiplet_fluid::harvest_time_ms;
 use chiplet_net::scenario::{
-    BackendKind, FluidLinkSpec, FluidOptions, ScenarioFlow, ScenarioSpec, TopologyChoice,
+    run_specs, BackendKind, FluidLinkSpec, FluidOptions, ScenarioFlow, ScenarioReport,
+    ScenarioSpec, TopologyChoice,
 };
 use chiplet_sim::{Bandwidth, DemandSchedule, SimDuration, SimTime};
 
@@ -85,13 +86,12 @@ pub fn spec_if_7302() -> ScenarioSpec {
     spec("fig5 7302 IF", "epyc_7302", "if_7302")
 }
 
-fn panel(out: &mut String, name: &str, spec: ScenarioSpec, link: &str) {
+fn panel(out: &mut String, name: &str, report: &ScenarioReport, link: &str) {
     let cap = FluidLinkSpec::Named(link.to_string())
         .resolve()
         .expect("preset link")
         .capacity
         .as_gb_per_s();
-    let report = spec.run().expect("fig5 specs resolve");
     let outcome = report.outcome().expect("fluid runs complete");
     let _ = writeln!(out, "{name} (capacity {} GB/s):", f1(cap));
     let _ = writeln!(out, "  t(s)   flow0 GB/s  flow1 GB/s");
@@ -129,9 +129,13 @@ pub fn render() -> String {
         "Figure 5: bandwidth harvesting under fluctuating demands \
          (flow 0 throttled −2 GB/s during [2,3) s and [4,5) s).\n"
     );
-    panel(&mut out, "9634 IF", spec_if_9634(), "if_9634");
-    panel(&mut out, "9634 P-Link", spec_plink_9634(), "plink_9634");
-    panel(&mut out, "7302 IF", spec_if_7302(), "if_7302");
+    // The three panels are independent runs: execute them across worker
+    // threads, then render in figure order.
+    let specs = [spec_if_9634(), spec_plink_9634(), spec_if_7302()];
+    let reports = run_specs(&specs, 0).expect("fig5 specs resolve");
+    panel(&mut out, "9634 IF", &reports[0], "if_9634");
+    panel(&mut out, "9634 P-Link", &reports[1], "plink_9634");
+    panel(&mut out, "7302 IF", &reports[2], "if_7302");
     let _ = writeln!(
         out,
         "Paper shape: ~100 ms harvesting on the 9634 IF, ~500 ms on its \

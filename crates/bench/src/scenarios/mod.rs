@@ -20,6 +20,7 @@ pub mod flit_study;
 pub mod fused_stack;
 pub mod noc_study;
 pub mod numa_study;
+pub mod sweeps;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -27,7 +28,7 @@ pub mod table3;
 use std::fmt::Write;
 
 use chiplet_net::scenario::{
-    ScenarioEntry, ScenarioKind, ScenarioRegistry, ScenarioReport, ScenarioRun,
+    ScenarioEntry, ScenarioKind, ScenarioRegistry, ScenarioReport, ScenarioRun, SweepOutcome,
 };
 
 use crate::{f1, TextTable};
@@ -69,6 +70,52 @@ pub fn render_report(report: &ScenarioReport) -> String {
     out
 }
 
+/// Renders a sweep outcome as one row per (point, flow): the axis label,
+/// the flow, and its achieved bandwidth and latency.
+pub fn render_sweep(outcome: &SweepOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep {} — {} points",
+        outcome.sweep,
+        outcome.points.len()
+    );
+    let mut t = TextTable::new(vec![
+        "point",
+        "flow",
+        "offered GB/s",
+        "achieved GB/s",
+        "mean ns",
+        "P999 ns",
+    ]);
+    for p in &outcome.points {
+        match p.report.outcome() {
+            None => t.row(vec![
+                p.label.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+            Some(o) => {
+                for f in &o.flows {
+                    t.row(vec![
+                        p.label.clone(),
+                        f.name.clone(),
+                        f.offered_gb_s.map_or("max".to_string(), f1),
+                        f1(f.achieved_gb_s),
+                        f.mean_latency_ns.map_or("-".to_string(), f1),
+                        f.p999_latency_ns.map_or("-".to_string(), f1),
+                    ]);
+                }
+            }
+        }
+    }
+    let _ = write!(out, "{}", t.render());
+    out
+}
+
 /// Runs a registry built-in and renders it: studies return their own text,
 /// declarative specs go through [`render_report`].
 ///
@@ -84,6 +131,7 @@ pub fn render_named(name: &str) -> String {
     {
         ScenarioRun::Text(text) => text,
         ScenarioRun::Report(report) => render_report(&report),
+        ScenarioRun::Sweep(outcome) => render_sweep(&outcome),
     }
 }
 
@@ -174,6 +222,16 @@ pub fn paper_registry() -> ScenarioRegistry {
         name: "noc_study",
         summary: "NoC design-space study: mesh/torus, buffered/bufferless",
         build: || ScenarioKind::Study(noc_study::render),
+    });
+    reg.register(ScenarioEntry {
+        name: "fig3_sweep",
+        summary: "Figure 3 load axis as a 24-point event-engine sweep",
+        build: || ScenarioKind::Sweep(sweeps::fig3_sweep()),
+    });
+    reg.register(ScenarioEntry {
+        name: "fig5_sweep",
+        summary: "Figure 5 harvesting vs capacity x flow count (fluid sweep)",
+        build: || ScenarioKind::Sweep(sweeps::fig5_sweep()),
     });
     reg
 }

@@ -9,10 +9,18 @@
 
 use std::fmt::Write;
 
-use chiplet_noc::{NocConfig, NocSim, NocTopology, Routing, TrafficPattern};
+use chiplet_net::scenario::parallel_ordered;
+use chiplet_noc::{NocConfig, NocSim, NocStats, NocTopology, Routing, TrafficPattern};
 use chiplet_sim::DetRng;
 
 use crate::{f1, TextTable};
+
+/// One simulation point of the study grid. Every point re-seeds its own
+/// RNG, so points are order- and thread-independent.
+fn run_point(config: NocConfig, pattern: TrafficPattern, rate: f64) -> NocStats {
+    let mut rng = DetRng::seed_from_u64(7);
+    NocSim::run_synthetic(config, pattern, rate, 500, 5000, &mut rng)
+}
 
 /// Renders the study (identical to the former `noc_study` binary).
 pub fn render() -> String {
@@ -50,7 +58,37 @@ pub fn render() -> String {
     ];
     let rates = [0.05, 0.15, 0.30, 0.45];
 
+    // Flatten the full grid, run it across worker threads, then render the
+    // per-pattern tables in grid order.
+    let mut grid = Vec::new();
     for (pname, pattern) in patterns {
+        for (tname, topo) in topologies {
+            for (rname, routing) in routings {
+                for &rate in &rates {
+                    grid.push((
+                        pname,
+                        pattern,
+                        format!("{tname} / {rname}"),
+                        topo,
+                        routing,
+                        rate,
+                    ));
+                }
+            }
+        }
+    }
+    let results = parallel_ordered(&grid, 0, |_, (_, pattern, _, topo, routing, rate)| {
+        run_point(
+            NocConfig {
+                topology: *topo,
+                routing: *routing,
+                packet_len: 1,
+            },
+            *pattern,
+            *rate,
+        )
+    });
+    for (pname, _) in patterns {
         let _ = writeln!(out, "pattern: {pname}");
         let mut t = TextTable::new(vec![
             "config",
@@ -60,32 +98,17 @@ pub fn render() -> String {
             "P999 (cyc)",
             "deflect/flit",
         ]);
-        for (tname, topo) in topologies {
-            for (rname, routing) in routings {
-                for &rate in &rates {
-                    let mut rng = DetRng::seed_from_u64(7);
-                    let stats = NocSim::run_synthetic(
-                        NocConfig {
-                            topology: topo,
-                            routing,
-                            packet_len: 1,
-                        },
-                        pattern,
-                        rate,
-                        500,
-                        5000,
-                        &mut rng,
-                    );
-                    t.row(vec![
-                        format!("{tname} / {rname}"),
-                        format!("{rate:.2}"),
-                        format!("{:.3}", stats.throughput()),
-                        f1(stats.mean_latency()),
-                        stats.p999_latency().to_string(),
-                        format!("{:.2}", stats.deflection_rate()),
-                    ]);
-                }
-            }
+        for ((_, _, config, _, _, rate), stats) in
+            grid.iter().zip(&results).filter(|((p, ..), _)| *p == pname)
+        {
+            t.row(vec![
+                config.clone(),
+                format!("{rate:.2}"),
+                format!("{:.3}", stats.throughput()),
+                f1(stats.mean_latency()),
+                stats.p999_latency().to_string(),
+                format!("{:.2}", stats.deflection_rate()),
+            ]);
         }
         for line in t.render().lines() {
             let _ = writeln!(out, "  {line}");
@@ -105,10 +128,9 @@ pub fn render() -> String {
         "avg lat (cyc)",
         "P999 (cyc)",
     ]);
-    for len in [1u8, 2, 4, 8] {
-        let rate = 0.2 / len as f64;
-        let mut rng = DetRng::seed_from_u64(7);
-        let stats = NocSim::run_synthetic(
+    let lens = [1u8, 2, 4, 8];
+    let wormhole = parallel_ordered(&lens, 0, |_, &len| {
+        run_point(
             NocConfig {
                 topology: NocTopology::Mesh {
                     width: 4,
@@ -118,11 +140,11 @@ pub fn render() -> String {
                 packet_len: len,
             },
             TrafficPattern::UniformRandom,
-            rate,
-            500,
-            5000,
-            &mut rng,
-        );
+            0.2 / len as f64,
+        )
+    });
+    for (&len, stats) in lens.iter().zip(&wormhole) {
+        let rate = 0.2 / len as f64;
         t.row(vec![
             len.to_string(),
             format!("{rate:.3}"),

@@ -1,0 +1,82 @@
+//! Built-in parameter sweeps over the paper's scenarios.
+//!
+//! These are [`SweepSpec`]s: a base [`ScenarioSpec`] plus axes, expanded
+//! and executed by the scenario layer's parallel sweep runner
+//! (`chiplet-scenario sweep <name> --jobs N`). They complement the figure
+//! studies with dense grids the figures only sample.
+
+use chiplet_net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, EngineOptions, ScenarioFlow, ScenarioSpec, SweepAxis,
+    SweepSpec, TargetSpec, TopologyChoice,
+};
+use chiplet_sim::{ByteSize, SimTime};
+
+use super::fig5;
+
+/// Figure 3's load axis as a dense sweep: one CCD of the EPYC 9634 reading
+/// all DIMMs, offered load swept 2→48 GB/s in 2 GB/s steps (24 points on
+/// the event engine). The figure samples this curve at a handful of load
+/// fractions; the sweep exposes the whole latency-vs-load knee.
+pub fn fig3_sweep() -> SweepSpec {
+    let base = ScenarioSpec {
+        name: "fig3_sweep".into(),
+        description: "CCD0 of the EPYC 9634 reading all DIMMs under swept offered load".into(),
+        topology: TopologyChoice::Named("epyc_9634".into()),
+        backend: BackendKind::Event,
+        seed: Some(42),
+        horizon: SimTime::from_micros(30),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            deterministic_memory: true,
+            ..Default::default()
+        }),
+        fluid: None,
+        flows: vec![ScenarioFlow {
+            name: "probe".into(),
+            demand: None,
+            engine: Some(EngineFlow {
+                cores: CoreSelect::Ccd(0),
+                nic: None,
+                target: TargetSpec::AllDimms,
+                op: None,
+                pattern: None,
+                working_set: Some(ByteSize::from_mib(64)),
+                start: None,
+                stop: None,
+            }),
+            links: Vec::new(),
+        }],
+    };
+    SweepSpec {
+        name: "fig3_sweep".into(),
+        description: "latency vs offered load, 24 points on the event engine".into(),
+        base,
+        axes: vec![SweepAxis::DemandGbS {
+            flow: "probe".into(),
+            values: (1..=24).map(|i| Some(2.0 * i as f64)).collect(),
+        }],
+    }
+}
+
+/// Figure 5's harvesting scenario swept over link capacity × competing-flow
+/// count on the fluid engine: how fast the unthrottled flows harvest
+/// released bandwidth as the link gets faster and more crowded.
+pub fn fig5_sweep() -> SweepSpec {
+    let mut base = fig5::spec_if_9634();
+    base.name = "fig5_sweep".into();
+    SweepSpec {
+        name: "fig5_sweep".into(),
+        description: "harvesting vs link capacity and competing-flow count (fluid)".into(),
+        base,
+        axes: vec![
+            SweepAxis::LinkCapacityGbS {
+                link: 0,
+                values: vec![16.6, 24.3, 33.2, 40.0],
+            },
+            SweepAxis::FlowCount {
+                flow: "flow1 (unthrottled)".into(),
+                values: vec![1, 2, 4],
+            },
+        ],
+    }
+}

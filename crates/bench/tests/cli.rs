@@ -1,0 +1,183 @@
+//! `chiplet-scenario` CLI error paths: bad input must exit non-zero with a
+//! one-line diagnostic on stderr — never a panic or a zero exit.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scenario_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chiplet-scenario"))
+        .args(args)
+        .output()
+        .expect("chiplet-scenario spawns")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch file path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chiplet-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn run_missing_file_fails_cleanly() {
+    let out = scenario_cli(&["run", "/nonexistent/nowhere.json"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("/nonexistent/nowhere.json"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn run_malformed_json_fails_cleanly() {
+    let path = scratch("malformed.json");
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let out = scenario_cli(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("JSON error"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_invalid_spec_fails_cleanly() {
+    // Structurally valid JSON referencing a platform that doesn't exist.
+    let path = scratch("badplatform.json");
+    let spec = r#"{
+      "name": "bad",
+      "description": "",
+      "topology": { "Named": "epyc_1234" },
+      "backend": "Event",
+      "seed": 1,
+      "horizon": 1000,
+      "policy": "HardwareDefault",
+      "engine": null,
+      "fluid": null,
+      "flows": []
+    }"#;
+    std::fs::write(&path, spec).unwrap();
+    let out = scenario_cli(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown platform"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_unknown_name_fails_cleanly() {
+    let out = scenario_cli(&["run", "fig99"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown scenario 'fig99'"), "{err}");
+}
+
+#[test]
+fn sweep_missing_file_fails_cleanly() {
+    let out = scenario_cli(&["sweep", "/nonexistent/sweep.json"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("/nonexistent/sweep.json"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn sweep_malformed_json_fails_cleanly() {
+    let path = scratch("badsweep.json");
+    std::fs::write(&path, "[1, 2,").unwrap();
+    let out = scenario_cli(&["sweep", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("JSON error"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sweep_unknown_name_fails_cleanly() {
+    let out = scenario_cli(&["sweep", "no_such_sweep"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown sweep 'no_such_sweep'"), "{err}");
+}
+
+#[test]
+fn sweep_rejects_non_sweep_entries() {
+    let out = scenario_cli(&["sweep", "fig3"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("not a sweep"), "{err}");
+}
+
+#[test]
+fn sweep_rejects_invalid_axes_cleanly() {
+    // A well-formed SweepSpec whose axis targets a flow that doesn't exist.
+    let path = scratch("badaxis.json");
+    let sweep = r#"{
+      "name": "bad_axis",
+      "description": "",
+      "base": {
+        "name": "base",
+        "description": "",
+        "topology": { "Named": "epyc_9634" },
+        "backend": "Fluid",
+        "seed": 1,
+        "horizon": 1000000,
+        "policy": "HardwareDefault",
+        "engine": null,
+        "fluid": { "links": [ { "Named": "if_9634" } ], "dt": null, "sample": null },
+        "flows": [ { "name": "f", "demand": null, "engine": null, "links": [0] } ]
+      },
+      "axes": [ { "DemandGbS": { "flow": "ghost", "values": [null] } } ]
+    }"#;
+    std::fs::write(&path, sweep).unwrap();
+    let out = scenario_cli(&["sweep", path.to_str().unwrap(), "--no-cache"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown flow"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = scenario_cli(&["sweep", "fig5_sweep", "--jobs"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--jobs needs a value"));
+
+    let out = scenario_cli(&["sweep", "fig5_sweep", "--jobs", "many"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--jobs needs a number"));
+
+    let out = scenario_cli(&["run", "fig5_if_9634", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("unknown flag --frobnicate"));
+}
+
+#[test]
+fn sweep_runs_end_to_end_with_cache() {
+    let dir = scratch("cachedir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    let cold = scenario_cli(&["sweep", "fig5_sweep", "--json", "--cache-dir", dir_s]);
+    assert!(cold.status.success(), "{}", stderr_of(&cold));
+    assert!(
+        stderr_of(&cold).contains("0 cached"),
+        "{}",
+        stderr_of(&cold)
+    );
+
+    let warm = scenario_cli(&["sweep", "fig5_sweep", "--json", "--cache-dir", dir_s]);
+    assert!(warm.status.success(), "{}", stderr_of(&warm));
+    assert!(
+        stderr_of(&warm).contains("0 executed"),
+        "{}",
+        stderr_of(&warm)
+    );
+
+    assert_eq!(cold.stdout, warm.stdout, "cache must be transparent");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,41 @@
+//! The sweep runner's core guarantee: aggregate output bytes are a pure
+//! function of the sweep spec — independent of worker count, scheduling
+//! order, and cache state.
+
+use chiplet_bench::scenarios::sweeps;
+use chiplet_net::scenario::SweepRunner;
+
+/// The 24-point event-engine sweep (`fig3_sweep`) produces byte-identical
+/// aggregate JSON with 1 worker and with 8.
+#[test]
+fn event_sweep_bytes_are_worker_count_invariant() {
+    let sweep = sweeps::fig3_sweep();
+    let points = sweep.expand().expect("fig3_sweep expands");
+    assert!(
+        points.len() >= 24,
+        "fig3_sweep must stay a ≥24-point sweep (got {})",
+        points.len()
+    );
+    let (serial, _) = SweepRunner::with_jobs(1).run(&sweep).expect("serial run");
+    let (wide, _) = SweepRunner::with_jobs(8).run(&sweep).expect("parallel run");
+    assert_eq!(
+        serial.to_json(),
+        wide.to_json(),
+        "aggregate JSON must not depend on --jobs"
+    );
+    // Sanity: the points actually ran and differ across the load axis.
+    let first = serial.points.first().unwrap().report.outcome().unwrap();
+    let last = serial.points.last().unwrap().report.outcome().unwrap();
+    assert!(first.flows[0].achieved_gb_s < last.flows[0].achieved_gb_s);
+}
+
+/// The fluid sweep is likewise invariant, including across repeat runs.
+#[test]
+fn fluid_sweep_bytes_are_worker_count_invariant() {
+    let sweep = sweeps::fig5_sweep();
+    let (serial, _) = SweepRunner::with_jobs(1).run(&sweep).expect("serial run");
+    let (wide, _) = SweepRunner::with_jobs(8).run(&sweep).expect("parallel run");
+    let (again, _) = SweepRunner::with_jobs(8).run(&sweep).expect("repeat run");
+    assert_eq!(serial.to_json(), wide.to_json());
+    assert_eq!(wide.to_json(), again.to_json());
+}

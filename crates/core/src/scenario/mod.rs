@@ -29,6 +29,7 @@ mod backend;
 mod registry;
 mod report;
 mod spec;
+mod sweep;
 
 #[cfg(test)]
 mod tests;
@@ -39,4 +40,8 @@ pub use report::{FlowReport, ScenarioOutcome, ScenarioReport};
 pub use spec::{
     BackendKind, CoreSelect, EngineFlow, EngineOptions, FluidLinkSpec, FluidOptions, ScenarioError,
     ScenarioFlow, ScenarioSpec, TargetSpec, TopologyChoice,
+};
+pub use sweep::{
+    parallel_ordered, run_specs, SweepAxis, SweepOutcome, SweepPoint, SweepPointResult,
+    SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
 };

@@ -14,6 +14,7 @@
 
 use super::report::ScenarioReport;
 use super::spec::{ScenarioError, ScenarioSpec};
+use super::sweep::{SweepOutcome, SweepRunner, SweepSpec};
 
 /// What a registry entry builds.
 // Entries are built one at a time and consumed immediately; the size gap
@@ -24,6 +25,8 @@ pub enum ScenarioKind {
     Spec(ScenarioSpec),
     /// A composite study returning rendered text.
     Study(fn() -> String),
+    /// A declarative parameter sweep over a base spec.
+    Sweep(SweepSpec),
 }
 
 /// One named scenario.
@@ -43,6 +46,8 @@ pub enum ScenarioRun {
     Report(ScenarioReport),
     /// A study's rendered text.
     Text(String),
+    /// A sweep's aggregate outcome.
+    Sweep(SweepOutcome),
 }
 
 /// A name → scenario table.
@@ -81,12 +86,17 @@ impl ScenarioRegistry {
         self.entries.iter().find(|e| e.name == name)
     }
 
-    /// Builds and runs a named scenario. `None` = unknown name.
+    /// Builds and runs a named scenario. `None` = unknown name. Sweeps run
+    /// with a default runner (auto worker count, no cache); use
+    /// [`SweepRunner`] directly for cache or job control.
     pub fn run(&self, name: &str) -> Option<Result<ScenarioRun, ScenarioError>> {
         let entry = self.get(name)?;
         Some(match (entry.build)() {
             ScenarioKind::Spec(spec) => spec.run().map(ScenarioRun::Report),
             ScenarioKind::Study(f) => Ok(ScenarioRun::Text(f())),
+            ScenarioKind::Sweep(sweep) => SweepRunner::default()
+                .run(&sweep)
+                .map(|(outcome, _)| ScenarioRun::Sweep(outcome)),
         })
     }
 }

@@ -1,0 +1,489 @@
+//! Parallel, deterministic parameter sweeps over the scenario layer.
+//!
+//! A [`SweepSpec`] expands a base [`ScenarioSpec`] along parameter axes
+//! (demand levels, MLP budgets, link capacities, flow counts, seeds,
+//! horizons) into a list of concrete specs — the cartesian product of all
+//! axes, in a stable order. Each point gets
+//!
+//! * a **content hash** (FNV-1a over its canonical JSON) identifying the
+//!   point for caching, and
+//! * a **derived seed** mixed from the sweep's base seed and the point's
+//!   content, so RNG streams are decorrelated across points and entirely
+//!   independent of worker count or scheduling order.
+//!
+//! [`SweepRunner`] executes the expanded points across worker threads with
+//! a work-stealing index queue ([`parallel_ordered`]); results land in
+//! expansion order, so the aggregate [`SweepOutcome`] is **byte-identical
+//! for any `--jobs` value**. An optional on-disk cache
+//! (`results/cache/<hash>.json`) skips points whose reports already exist,
+//! making re-runs of a mostly-unchanged sweep incremental.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use chiplet_sim::{Bandwidth, DemandSchedule, SimTime};
+use serde::{Deserialize, Serialize};
+
+use super::report::ScenarioReport;
+use super::spec::{ScenarioError, ScenarioSpec, TopologyChoice};
+
+/// Hard cap on the number of points one sweep may expand to.
+pub const MAX_POINTS: usize = 10_000;
+
+fn invalid<T>(msg: impl Into<String>) -> Result<T, ScenarioError> {
+    Err(ScenarioError::Invalid(msg.into()))
+}
+
+/// One parameter axis of a sweep. The expansion takes the cartesian
+/// product of all axes, first axis outermost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Base-seed values (each still goes through per-point derivation, so
+    /// the values act as named entropy sources, not literal engine seeds).
+    Seed {
+        /// The seeds to sweep.
+        values: Vec<u64>,
+    },
+    /// Constant offered load (GB/s) of one flow, by name; `None` means
+    /// unthrottled.
+    DemandGbS {
+        /// Name of the flow whose demand varies.
+        flow: String,
+        /// Demand levels; `None` = unthrottled.
+        values: Vec<Option<f64>>,
+    },
+    /// Capacity (GB/s) of one entry of the fluid link table.
+    LinkCapacityGbS {
+        /// Index into `fluid.links`.
+        link: usize,
+        /// Capacities to sweep.
+        values: Vec<f64>,
+    },
+    /// Replicates one flow (by name) into N identical copies named
+    /// `<name>#<k>`; a count of 1 keeps the flow unchanged.
+    FlowCount {
+        /// Name of the template flow.
+        flow: String,
+        /// Copy counts to sweep (each ≥ 1).
+        values: Vec<usize>,
+    },
+    /// Per-core read MLP budget (outstanding cachelines) of the platform.
+    MlpReadOutstanding {
+        /// Budgets to sweep.
+        values: Vec<u32>,
+    },
+    /// Run horizon, microseconds.
+    HorizonUs {
+        /// Horizons to sweep.
+        values: Vec<u64>,
+    },
+}
+
+impl SweepAxis {
+    /// Number of settings on this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::Seed { values } => values.len(),
+            SweepAxis::DemandGbS { values, .. } => values.len(),
+            SweepAxis::LinkCapacityGbS { values, .. } => values.len(),
+            SweepAxis::FlowCount { values, .. } => values.len(),
+            SweepAxis::MlpReadOutstanding { values } => values.len(),
+            SweepAxis::HorizonUs { values } => values.len(),
+        }
+    }
+
+    /// True when the axis has no settings (an invalid sweep).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable `key=value` label of setting `idx`.
+    fn label(&self, idx: usize) -> String {
+        match self {
+            SweepAxis::Seed { values } => format!("seed={}", values[idx]),
+            SweepAxis::DemandGbS { flow, values } => match values[idx] {
+                Some(g) => format!("demand[{flow}]={g}"),
+                None => format!("demand[{flow}]=max"),
+            },
+            SweepAxis::LinkCapacityGbS { link, values } => {
+                format!("cap[link{link}]={}", values[idx])
+            }
+            SweepAxis::FlowCount { flow, values } => format!("count[{flow}]={}", values[idx]),
+            SweepAxis::MlpReadOutstanding { values } => format!("mlp_read={}", values[idx]),
+            SweepAxis::HorizonUs { values } => format!("horizon={}us", values[idx]),
+        }
+    }
+
+    /// Applies setting `idx` to a spec.
+    fn apply(&self, idx: usize, spec: &mut ScenarioSpec) -> Result<(), ScenarioError> {
+        match self {
+            SweepAxis::Seed { values } => {
+                spec.seed = Some(values[idx]);
+                Ok(())
+            }
+            SweepAxis::DemandGbS { flow, values } => {
+                let f = spec
+                    .flows
+                    .iter_mut()
+                    .find(|f| &f.name == flow)
+                    .ok_or_else(|| {
+                        ScenarioError::Invalid(format!("sweep axis targets unknown flow '{flow}'"))
+                    })?;
+                f.demand = values[idx]
+                    .map(|g| DemandSchedule::constant(Some(Bandwidth::from_gb_per_s(g))));
+                Ok(())
+            }
+            SweepAxis::LinkCapacityGbS { link, values } => {
+                let Some(fluid) = spec.fluid.as_mut() else {
+                    return invalid("link-capacity axis needs a fluid link table");
+                };
+                let Some(entry) = fluid.links.get_mut(*link) else {
+                    return invalid(format!(
+                        "link-capacity axis: link {link} out of range (table has {})",
+                        fluid.links.len()
+                    ));
+                };
+                let mut resolved = entry.resolve()?;
+                resolved.capacity = Bandwidth::from_gb_per_s(values[idx]);
+                *entry = super::spec::FluidLinkSpec::Inline(resolved);
+                Ok(())
+            }
+            SweepAxis::FlowCount { flow, values } => {
+                let n = values[idx];
+                if n == 0 {
+                    return invalid(format!("flow-count axis: count 0 for flow '{flow}'"));
+                }
+                let pos = spec
+                    .flows
+                    .iter()
+                    .position(|f| &f.name == flow)
+                    .ok_or_else(|| {
+                        ScenarioError::Invalid(format!("sweep axis targets unknown flow '{flow}'"))
+                    })?;
+                if n > 1 {
+                    let template = spec.flows.remove(pos);
+                    for k in (0..n).rev() {
+                        let mut copy = template.clone();
+                        copy.name = format!("{}#{k}", template.name);
+                        spec.flows.insert(pos, copy);
+                    }
+                }
+                Ok(())
+            }
+            SweepAxis::MlpReadOutstanding { values } => {
+                let mut platform = spec.topology.platform()?;
+                platform.mlp.core_read_outstanding = values[idx];
+                spec.topology = TopologyChoice::Inline(platform);
+                Ok(())
+            }
+            SweepAxis::HorizonUs { values } => {
+                if values[idx] == 0 {
+                    return invalid("horizon axis: 0 µs horizon");
+                }
+                spec.horizon = SimTime::from_micros(values[idx]);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A declarative parameter sweep: a base scenario plus axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name (appears in the aggregate output).
+    pub name: String,
+    /// One-line description.
+    #[serde(default)]
+    pub description: String,
+    /// The scenario every point starts from.
+    pub base: ScenarioSpec,
+    /// The parameter axes (cartesian product, first axis outermost).
+    pub axes: Vec<SweepAxis>,
+}
+
+/// One expanded point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// `key=value` labels of this point's axis settings, space-joined.
+    pub label: String,
+    /// The concrete spec, with the derived per-point seed applied.
+    pub spec: ScenarioSpec,
+    /// Content hash of the final spec (16 hex digits) — the cache key.
+    pub hash: String,
+}
+
+impl SweepSpec {
+    /// Serializes to pretty JSON (deterministic bytes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep specs always serialize")
+    }
+
+    /// Parses a sweep back from [`SweepSpec::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(s).map_err(|e| ScenarioError::Invalid(format!("JSON error: {e:?}")))
+    }
+
+    /// Expands the cartesian product of all axes into concrete points, in
+    /// a stable order (first axis outermost). Every point's seed is
+    /// derived from the base seed and the point's content hash, so results
+    /// never depend on execution order.
+    pub fn expand(&self) -> Result<Vec<SweepPoint>, ScenarioError> {
+        if self.axes.is_empty() {
+            return invalid(format!("sweep '{}' has no axes", self.name));
+        }
+        let mut total = 1usize;
+        for (a, axis) in self.axes.iter().enumerate() {
+            if axis.is_empty() {
+                return invalid(format!("sweep '{}': axis {a} has no values", self.name));
+            }
+            total = total.saturating_mul(axis.len());
+        }
+        if total > MAX_POINTS {
+            return invalid(format!(
+                "sweep '{}' expands to {total} points (max {MAX_POINTS})",
+                self.name
+            ));
+        }
+        let base_seed = self.base.seed_or_default();
+        let mut points = Vec::with_capacity(total);
+        let mut idx = vec![0usize; self.axes.len()];
+        loop {
+            let mut spec = self.base.clone();
+            let mut labels = Vec::with_capacity(self.axes.len());
+            for (axis, &i) in self.axes.iter().zip(&idx) {
+                axis.apply(i, &mut spec)?;
+                labels.push(axis.label(i));
+            }
+            let label = labels.join(" ");
+            spec.name = format!("{} [{label}]", self.name);
+            // Derive the point seed from the base seed and the point's
+            // content (hashed before the derived seed is written, to avoid
+            // the fixed point chasing itself).
+            let key_hash = fnv1a64(spec.to_json().as_bytes());
+            spec.seed = Some(splitmix64(base_seed ^ key_hash));
+            let hash = format!("{:016x}", fnv1a64(spec.to_json().as_bytes()));
+            points.push(SweepPoint { label, spec, hash });
+
+            // Odometer increment, last axis fastest.
+            let mut carry = true;
+            for (i, axis) in self.axes.iter().enumerate().rev() {
+                if !carry {
+                    break;
+                }
+                idx[i] += 1;
+                carry = idx[i] == axis.len();
+                if carry {
+                    idx[i] = 0;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// FNV-1a 64-bit — stable across platforms and runs, unlike `DefaultHasher`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns structured hash input into a well-mixed seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One executed sweep point: the label, cache key, and report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointResult {
+    /// The point's axis label.
+    pub label: String,
+    /// The point's content hash (cache key).
+    pub hash: String,
+    /// The scenario report.
+    pub report: ScenarioReport,
+}
+
+/// The aggregate result of a sweep, in expansion order. Serialization is
+/// deterministic and contains no execution metadata, so the bytes are
+/// identical for any worker count and for cached vs freshly-executed runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Sweep name.
+    pub sweep: String,
+    /// Per-point results, in expansion order.
+    pub points: Vec<SweepPointResult>,
+}
+
+impl SweepOutcome {
+    /// Serializes to pretty JSON, deterministically.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep outcomes always serialize")
+    }
+
+    /// Parses back from [`SweepOutcome::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Execution metadata of one sweep run (not part of the aggregate bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Total points.
+    pub total: usize,
+    /// Points executed on an engine this run.
+    pub executed: usize,
+    /// Points served from the on-disk cache.
+    pub cached: usize,
+}
+
+/// Executes expanded sweep points across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunner {
+    /// Worker threads; 0 = one per available core.
+    pub jobs: usize,
+    /// Result cache directory (`<hash>.json` per point); `None` disables
+    /// caching. Cache entries are keyed by spec content only — delete the
+    /// directory (or pass `None`) after changing engine code.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` workers and no cache.
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepRunner {
+            jobs,
+            cache_dir: None,
+        }
+    }
+
+    /// Expands and runs a sweep. Points run in parallel; the outcome lists
+    /// them in expansion order, byte-identical for any worker count.
+    pub fn run(&self, sweep: &SweepSpec) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
+        let points = sweep.expand()?;
+        if let Some(dir) = &self.cache_dir {
+            // Best-effort: an unwritable cache degrades to uncached runs.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let results: Vec<Result<(ScenarioReport, bool), ScenarioError>> =
+            parallel_ordered(&points, self.jobs, |_, point| {
+                if let Some(dir) = &self.cache_dir {
+                    if let Some(report) = load_cached(dir, &point.hash) {
+                        return Ok((report, true));
+                    }
+                }
+                let report = point.spec.run()?;
+                if let Some(dir) = &self.cache_dir {
+                    let _ = std::fs::write(cache_path(dir, &point.hash), report.to_json());
+                }
+                Ok((report, false))
+            });
+        let mut stats = SweepStats {
+            total: points.len(),
+            ..Default::default()
+        };
+        let mut out = Vec::with_capacity(points.len());
+        for (point, result) in points.into_iter().zip(results) {
+            let (report, cached) = result?;
+            if cached {
+                stats.cached += 1;
+            } else {
+                stats.executed += 1;
+            }
+            out.push(SweepPointResult {
+                label: point.label,
+                hash: point.hash,
+                report,
+            });
+        }
+        Ok((
+            SweepOutcome {
+                sweep: sweep.name.clone(),
+                points: out,
+            },
+            stats,
+        ))
+    }
+}
+
+fn cache_path(dir: &Path, hash: &str) -> PathBuf {
+    dir.join(format!("{hash}.json"))
+}
+
+fn load_cached(dir: &Path, hash: &str) -> Option<ScenarioReport> {
+    let text = std::fs::read_to_string(cache_path(dir, hash)).ok()?;
+    // A corrupt entry is a miss: the point re-runs and overwrites it.
+    ScenarioReport::from_json(&text).ok()
+}
+
+/// Runs `f` over `items` on `jobs` worker threads (0 = one per core) with
+/// a work-stealing index queue, returning results **in input order** —
+/// the building block behind [`SweepRunner`] and the parallel studies.
+///
+/// Deterministic by construction: output slot `i` holds `f(i, &items[i])`
+/// regardless of which worker ran it or when. A panicking `f` propagates.
+pub fn parallel_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Runs a batch of scenario specs in parallel (no cache), preserving order.
+pub fn run_specs(
+    specs: &[ScenarioSpec],
+    jobs: usize,
+) -> Result<Vec<ScenarioReport>, ScenarioError> {
+    parallel_ordered(specs, jobs, |_, spec| spec.run())
+        .into_iter()
+        .collect()
+}
+
+fn effective_jobs(jobs: usize, items: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    jobs.min(items.max(1))
+}

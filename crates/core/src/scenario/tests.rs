@@ -432,6 +432,231 @@ mod json_roundtrip_props {
     }
 }
 
+mod sweeps {
+    use super::*;
+
+    fn fluid_sweep() -> SweepSpec {
+        SweepSpec {
+            name: "unit_sweep".into(),
+            description: "demand × capacity grid over the fluid harvest scenario".into(),
+            base: fluid_spec(),
+            axes: vec![
+                SweepAxis::DemandGbS {
+                    flow: "capped".into(),
+                    values: vec![Some(2.0), Some(4.0), None],
+                },
+                SweepAxis::LinkCapacityGbS {
+                    link: 0,
+                    values: vec![20.0, 33.2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_ordered_and_seed_derived() {
+        let sweep = fluid_sweep();
+        let a = sweep.expand().expect("expands");
+        let b = sweep.expand().expect("expands");
+        assert_eq!(a, b, "expansion is a pure function of the spec");
+        assert_eq!(a.len(), 6, "cartesian product of 3 × 2");
+        // First axis outermost, labels in key=value form.
+        assert_eq!(a[0].label, "demand[capped]=2 cap[link0]=20");
+        assert_eq!(a[1].label, "demand[capped]=2 cap[link0]=33.2");
+        assert_eq!(a[4].label, "demand[capped]=max cap[link0]=20");
+        // Hashes are distinct and seeds are derived (≠ base seed).
+        let mut hashes: Vec<&str> = a.iter().map(|p| p.hash.as_str()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 6, "every point hashes uniquely");
+        let base = sweep.base.seed_or_default();
+        for p in &a {
+            let s = p.spec.seed.expect("derived seed set");
+            assert_ne!(s, base, "per-point seeds are mixed, not the base seed");
+        }
+    }
+
+    #[test]
+    fn sweep_round_trips_through_json() {
+        let sweep = fluid_sweep();
+        let json = sweep.to_json();
+        let back = SweepSpec::from_json(&json).expect("parses");
+        assert_eq!(back, sweep);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn runner_is_worker_count_invariant() {
+        let sweep = fluid_sweep();
+        let (serial, s1) = SweepRunner::with_jobs(1).run(&sweep).expect("runs");
+        let (wide, s8) = SweepRunner::with_jobs(8).run(&sweep).expect("runs");
+        assert_eq!(
+            serial.to_json(),
+            wide.to_json(),
+            "aggregate bytes must not depend on worker count"
+        );
+        assert_eq!(s1.executed, 6);
+        assert_eq!(s8.executed, 6);
+        assert_eq!(s1.cached, 0);
+    }
+
+    #[test]
+    fn runner_cache_hits_reproduce_cold_bytes() {
+        let dir = std::env::temp_dir().join(format!("chiplet-sweep-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = SweepRunner {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let sweep = fluid_sweep();
+        let (cold, cold_stats) = runner.run(&sweep).expect("cold run");
+        assert_eq!(cold_stats.executed, 6);
+        assert_eq!(cold_stats.cached, 0);
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() >= 6,
+            "cache populated"
+        );
+        let (warm, warm_stats) = runner.run(&sweep).expect("warm run");
+        assert_eq!(warm_stats.cached, 6, "second run is fully cached");
+        assert_eq!(warm_stats.executed, 0);
+        assert_eq!(cold.to_json(), warm.to_json(), "cache is transparent");
+        // Corrupt one entry: it silently re-runs instead of failing.
+        let victim = dir.join(format!("{}.json", cold.points[0].hash));
+        std::fs::write(&victim, "{ not json").unwrap();
+        let (healed, healed_stats) = runner.run(&sweep).expect("heals corrupt entries");
+        assert_eq!(healed_stats.executed, 1);
+        assert_eq!(healed_stats.cached, 5);
+        assert_eq!(healed.to_json(), cold.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_sweeps_are_rejected_with_reasons() {
+        // No axes.
+        let mut sweep = fluid_sweep();
+        sweep.axes.clear();
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("no axes"), "{err}");
+
+        // An empty axis.
+        let mut sweep = fluid_sweep();
+        sweep.axes[0] = SweepAxis::Seed { values: Vec::new() };
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("no values"), "{err}");
+
+        // Unknown flow name.
+        let mut sweep = fluid_sweep();
+        sweep.axes[0] = SweepAxis::DemandGbS {
+            flow: "nobody".into(),
+            values: vec![None],
+        };
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("unknown flow"), "{err}");
+
+        // Out-of-range link.
+        let mut sweep = fluid_sweep();
+        sweep.axes[1] = SweepAxis::LinkCapacityGbS {
+            link: 9,
+            values: vec![10.0],
+        };
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // Explosive product.
+        let mut sweep = fluid_sweep();
+        sweep.axes = vec![
+            SweepAxis::Seed {
+                values: (0..200).collect(),
+            },
+            SweepAxis::HorizonUs {
+                values: (1..=200).collect(),
+            },
+        ];
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("max"), "{err}");
+    }
+
+    #[test]
+    fn flow_count_axis_replicates_in_place() {
+        let mut sweep = fluid_sweep();
+        sweep.axes = vec![SweepAxis::FlowCount {
+            flow: "capped".into(),
+            values: vec![1, 3],
+        }];
+        let points = sweep.expand().expect("expands");
+        assert_eq!(points.len(), 2);
+        let names: Vec<&str> = points[0]
+            .spec
+            .flows
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, ["greedy", "capped"], "count 1 keeps the flow as-is");
+        let names: Vec<&str> = points[1]
+            .spec
+            .flows
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, ["greedy", "capped#0", "capped#1", "capped#2"]);
+    }
+
+    #[test]
+    fn mlp_axis_inlines_a_patched_platform() {
+        let mut sweep = fluid_sweep();
+        sweep.base = event_spec();
+        sweep.axes = vec![SweepAxis::MlpReadOutstanding {
+            values: vec![8, 16],
+        }];
+        let points = sweep.expand().expect("expands");
+        for (p, want) in points.iter().zip([8u32, 16]) {
+            let platform = p.spec.topology.platform().unwrap();
+            assert_eq!(platform.mlp.core_read_outstanding, want);
+            assert!(matches!(p.spec.topology, TopologyChoice::Inline(_)));
+        }
+    }
+
+    #[test]
+    fn parallel_ordered_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [0, 1, 3, 8] {
+            let out = parallel_ordered(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let want: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, want, "jobs={jobs}");
+        }
+        assert!(parallel_ordered(&Vec::<u8>::new(), 4, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn registry_runs_sweeps_with_the_default_runner() {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(ScenarioEntry {
+            name: "unit_sweep",
+            summary: "grid over the fluid harvest scenario",
+            build: || {
+                ScenarioKind::Sweep(SweepSpec {
+                    name: "unit_sweep".into(),
+                    description: String::new(),
+                    base: super::fluid_spec(),
+                    axes: vec![SweepAxis::HorizonUs {
+                        values: vec![100, 200],
+                    }],
+                })
+            },
+        });
+        match reg.run("unit_sweep") {
+            Some(Ok(ScenarioRun::Sweep(outcome))) => {
+                assert_eq!(outcome.points.len(), 2);
+                assert!(outcome.points.iter().all(|p| p.report.outcome().is_some()));
+            }
+            _ => panic!("sweep entry should run"),
+        }
+    }
+}
+
 #[test]
 fn constant_demand_compiles_to_the_offered_path() {
     let spec = event_spec();

@@ -12,18 +12,30 @@
 //! 2. the remaining capacity is split among the rest in proportion to
 //!    demand — the aggressive sender's extra in-flight pressure wins a
 //!    proportionally larger share of the traffic-oblivious FIFO arbiter.
+//!
+//! The over-subscriber split runs as *proportional progressive filling*:
+//! pin the flows of the most-constrained link at their proportional share,
+//! release the capacity they no longer need on their other links, and
+//! repeat with the remaining flows. Restarting after every pin is what
+//! keeps each saturated link fully utilized — a one-shot scaling would
+//! strand the capacity freed by flows bottlenecked elsewhere.
 
 /// Computes the sender-driven equilibrium allocation.
 ///
 /// * `demands[i]` — flow `i`'s offered rate (any consistent unit); use
 ///   `f64::INFINITY` for an unthrottled flow.
 /// * `flow_links[i]` — indices into `capacities` of the links flow `i`
-///   crosses.
+///   crosses. An **empty** link list means the flow does not touch the
+///   shared fabric: a finite demand is granted verbatim and an unthrottled
+///   (infinite-demand) flow gets `0.0`, since no link bounds it — never
+///   the old `f64::MAX / 4` sentinel.
 /// * `capacities[l]` — link `l`'s capacity.
 ///
 /// Returns per-flow rates: feasible on every link, never above demand,
-/// max-min-protective for below-fair-share flows, and demand-proportional
-/// among the over-subscribers on each saturated link.
+/// max-min-protective for below-fair-share flows, demand-proportional
+/// among the over-subscribers on each saturated link, and
+/// work-conserving — a saturated link crossed by an unthrottled flow is
+/// fully utilized.
 pub fn proportional_allocate(
     demands: &[f64],
     flow_links: &[Vec<usize>],
@@ -46,75 +58,114 @@ pub fn proportional_allocate(
     let mut residual = capacities.to_vec();
     for i in 0..n {
         if satisfied[i] {
-            rate[i] = demands[i];
+            rate[i] = demands[i].max(0.0);
             for &l in &flow_links[i] {
-                residual[l] = (residual[l] - demands[i]).max(0.0);
+                residual[l] = (residual[l] - rate[i]).max(0.0);
             }
         }
     }
 
     // Phase B: the rest split the residual capacity proportionally to
-    // demand via damped fixed-point scaling.
-    let rest: Vec<usize> = (0..n).filter(|&i| !satisfied[i]).collect();
-    if rest.is_empty() {
-        return rate;
-    }
-    let mut r: Vec<f64> = rest
-        .iter()
-        .map(|&i| {
-            if demands[i].is_finite() {
-                demands[i]
-            } else {
-                flow_links[i]
-                    .iter()
-                    .map(|&l| residual[l])
-                    .fold(f64::INFINITY, f64::min)
-                    .min(f64::MAX / 4.0)
-            }
-        })
+    // demand via proportional progressive filling. Each round pins the
+    // flows of the tightest over-subscribed link at their proportional
+    // share and treats them as satisfied, so capacity they release on
+    // their *other* links is redistributed to the remaining flows in the
+    // next round instead of being stranded (work conservation).
+    //
+    // Unthrottled fabric-less flows (infinite demand, no links) stay at
+    // 0.0: nothing bounds them, so no finite rate is meaningful.
+    let mut active: Vec<usize> = (0..n)
+        .filter(|&i| !satisfied[i] && !flow_links[i].is_empty())
         .collect();
-    for _ in 0..64 {
-        let mut usage = vec![0.0; capacities.len()];
-        for (k, &i) in rest.iter().enumerate() {
-            for &l in &flow_links[i] {
-                usage[l] += r[k];
-            }
-        }
-        let mut scale = vec![1.0f64; capacities.len()];
-        let mut worst = 1.0f64;
-        for (l, &u) in usage.iter().enumerate() {
-            if u > residual[l] && u > 0.0 {
-                scale[l] = residual[l] / u;
-                worst = worst.min(scale[l]);
-            }
-        }
-        if worst >= 1.0 - 1e-12 {
+    // Each round pins at least one flow, so n rounds always suffice.
+    for _ in 0..=n {
+        if active.is_empty() {
             break;
         }
-        for (k, &i) in rest.iter().enumerate() {
-            let s = flow_links[i]
-                .iter()
-                .map(|&l| scale[l])
-                .fold(1.0f64, f64::min);
-            r[k] *= s;
+        // Pinning weight: the demand (finite) or the tightest remaining
+        // residual (unthrottled).
+        let w: Vec<f64> = active
+            .iter()
+            .map(|&i| {
+                if demands[i].is_finite() {
+                    demands[i].max(0.0)
+                } else {
+                    flow_links[i]
+                        .iter()
+                        .map(|&l| residual[l])
+                        .fold(f64::INFINITY, f64::min)
+                }
+            })
+            .collect();
+        let mut usage = vec![0.0; capacities.len()];
+        for (k, &i) in active.iter().enumerate() {
+            for &l in &flow_links[i] {
+                usage[l] += w[k];
+            }
         }
-    }
-    for (k, &i) in rest.iter().enumerate() {
-        rate[i] = if demands[i].is_finite() {
-            r[k].min(demands[i])
-        } else {
-            r[k]
+        // The most-constrained link decides who gets pinned this round.
+        let mut worst = 1.0f64;
+        let mut bottleneck = None;
+        for (l, &u) in usage.iter().enumerate() {
+            if u > residual[l] && u > 0.0 {
+                let s = residual[l] / u;
+                if s < worst {
+                    worst = s;
+                    bottleneck = Some(l);
+                }
+            }
+        }
+        let Some(bl) = bottleneck else {
+            // No link over-subscribed: every remaining flow takes its
+            // full weight.
+            for (k, &i) in active.iter().enumerate() {
+                rate[i] = w[k];
+                for &l in &flow_links[i] {
+                    residual[l] = (residual[l] - w[k]).max(0.0);
+                }
+            }
+            break;
         };
+        let mut remaining = Vec::with_capacity(active.len());
+        for (k, &i) in active.iter().enumerate() {
+            if flow_links[i].contains(&bl) {
+                let r = w[k] * worst;
+                rate[i] = r;
+                for &l in &flow_links[i] {
+                    residual[l] = (residual[l] - r).max(0.0);
+                }
+            } else {
+                remaining.push(i);
+            }
+        }
+        active = remaining;
     }
     rate
 }
 
 /// Max-min fair rates by progressive filling (demand-capped).
+///
+/// A flow with an **empty** link list does not touch the shared fabric:
+/// a finite demand is returned verbatim and an unthrottled
+/// (infinite-demand) flow gets `0.0` — no link bounds it, so no finite
+/// "fair" rate exists, and the old `f64::MAX / 4` sentinel leaked absurd
+/// throughputs into downstream reports.
 pub fn max_min(demands: &[f64], flow_links: &[Vec<usize>], capacities: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), flow_links.len());
     let n = demands.len();
     let mut rate = vec![0.0f64; n];
     let mut frozen: Vec<bool> = demands.iter().map(|&d| d <= 0.0).collect();
     let mut residual = capacities.to_vec();
+    for i in 0..n {
+        if flow_links[i].is_empty() && !frozen[i] {
+            rate[i] = if demands[i].is_finite() {
+                demands[i]
+            } else {
+                0.0
+            };
+            frozen[i] = true;
+        }
+    }
 
     for _ in 0..=n {
         let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
@@ -256,5 +307,49 @@ mod tests {
         let rates = max_min(&[5.0, f64::INFINITY], &[vec![0], vec![0]], &[30.0]);
         assert!((rates[0] - 5.0).abs() < 1e-9);
         assert!((rates[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_conservation_after_cross_link_throttle() {
+        // Three flows, two links. Flow 0 wants 50 through links 0 and 1
+        // but link 0 caps it at 10; flow 2 keeps its modest 5. The old
+        // one-shot scaling computed flow 1's share while flow 0 still
+        // claimed 50 on link 1 and never redistributed after flow 0 fell
+        // to 10, stranding ~23 GB/s of link 1. §3.5: the unthrottled
+        // competitor takes exactly the unused bandwidth.
+        let demands = [50.0, f64::INFINITY, 5.0];
+        let links = [vec![0, 1], vec![1], vec![1]];
+        let caps = [10.0, 100.0];
+        let rates = proportional_allocate(&demands, &links, &caps);
+        assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[2] - 5.0).abs() < 1e-6, "{rates:?}");
+        assert!(
+            (rates[1] - 85.0).abs() < 1e-6,
+            "link 1 capacity stranded: {rates:?}"
+        );
+        let used: f64 = rates.iter().sum();
+        assert!((used - 100.0).abs() < 1e-6, "link 1 under-utilized: {used}");
+    }
+
+    #[test]
+    fn empty_link_list_is_demand_or_zero() {
+        // A fabric-less finite flow keeps its demand; a fabric-less
+        // unthrottled flow gets 0, not the f64::MAX / 4 sentinel. Flows
+        // on real links are unaffected.
+        let demands = [5.0, f64::INFINITY, f64::INFINITY];
+        let links = [vec![], vec![], vec![0]];
+        let rates = proportional_allocate(&demands, &links, &[10.0]);
+        assert!((rates[0] - 5.0).abs() < 1e-9, "{rates:?}");
+        assert_eq!(rates[1], 0.0, "{rates:?}");
+        assert!((rates[2] - 10.0).abs() < 1e-6, "{rates:?}");
+
+        let fair = max_min(&demands, &links, &[10.0]);
+        assert!((fair[0] - 5.0).abs() < 1e-9, "{fair:?}");
+        assert_eq!(fair[1], 0.0, "{fair:?}");
+        assert!(fair[2] <= 10.0 + 1e-9, "{fair:?}");
+        assert!(
+            rates.iter().chain(&fair).all(|&r| r < 1e12),
+            "sentinel leaked: {rates:?} {fair:?}"
+        );
     }
 }

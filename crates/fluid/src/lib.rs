@@ -31,6 +31,6 @@ pub mod alloc;
 pub mod metrics;
 pub mod sim;
 
-pub use alloc::proportional_allocate;
+pub use alloc::{max_min, proportional_allocate};
 pub use metrics::harvest_time_ms;
 pub use sim::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim, Instability};

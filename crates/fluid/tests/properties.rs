@@ -1,0 +1,111 @@
+//! Property-based tests for the sender-driven equilibrium allocator.
+//!
+//! §3.5's contract, checked over random instances: rates are feasible on
+//! every link, never exceed demand, and every saturated link is *work
+//! conserving* — a flow that wants more than it got must be pinned by some
+//! fully-utilized link it crosses, never left short on a link with spare
+//! capacity.
+
+use chiplet_fluid::{max_min, proportional_allocate};
+use proptest::prelude::*;
+
+/// A random allocation instance: link capacities plus per-flow demands
+/// (None = unthrottled) and non-empty link subsets.
+fn arb_instance() -> impl Strategy<Value = (Vec<f64>, Vec<Option<f64>>, Vec<Vec<usize>>)> {
+    (
+        prop::collection::vec(1.0f64..100.0, 1..5),
+        prop::collection::vec(
+            (
+                prop::option::of(0.5f64..120.0),
+                prop::collection::vec(0usize..64, 1..4),
+            ),
+            1..8,
+        ),
+    )
+        .prop_map(|(caps, raw_flows)| {
+            let n_links = caps.len();
+            let mut demands = Vec::new();
+            let mut links = Vec::new();
+            for (demand, raw) in raw_flows {
+                let mut ls: Vec<usize> = raw.into_iter().map(|l| l % n_links).collect();
+                ls.sort_unstable();
+                ls.dedup();
+                demands.push(demand);
+                links.push(ls);
+            }
+            (caps, demands, links)
+        })
+}
+
+fn usage_per_link(caps: &[f64], links: &[Vec<usize>], rates: &[f64]) -> Vec<f64> {
+    let mut usage = vec![0.0; caps.len()];
+    for (ls, &r) in links.iter().zip(rates) {
+        for &l in ls {
+            usage[l] += r;
+        }
+    }
+    usage
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Rates never exceed any link capacity and never exceed demand.
+    #[test]
+    fn feasible_and_demand_bounded((caps, demands, links) in arb_instance()) {
+        let d: Vec<f64> = demands.iter().map(|o| o.unwrap_or(f64::INFINITY)).collect();
+        let rates = proportional_allocate(&d, &links, &caps);
+        for (i, &r) in rates.iter().enumerate() {
+            prop_assert!(r >= 0.0, "flow {i} negative: {r}");
+            prop_assert!(r <= d[i] + 1e-6, "flow {i}: rate {r} above demand {}", d[i]);
+        }
+        let usage = usage_per_link(&caps, &links, &rates);
+        for (l, (&u, &c)) in usage.iter().zip(&caps).enumerate() {
+            prop_assert!(u <= c + 1e-6 * (1.0 + c), "link {l}: usage {u} above capacity {c}");
+        }
+    }
+
+    /// Work conservation: a flow allocated less than its demand must cross
+    /// a saturated link — equivalently, no link with spare capacity has a
+    /// flow on it that is throttled solely by the allocator. In particular
+    /// every saturated link crossed by an unthrottled flow is fully used.
+    #[test]
+    fn work_conserving((caps, demands, links) in arb_instance()) {
+        let d: Vec<f64> = demands.iter().map(|o| o.unwrap_or(f64::INFINITY)).collect();
+        let rates = proportional_allocate(&d, &links, &caps);
+        let usage = usage_per_link(&caps, &links, &rates);
+        let saturated: Vec<bool> = usage
+            .iter()
+            .zip(&caps)
+            .map(|(&u, &c)| u >= c - 1e-6 * (1.0 + c))
+            .collect();
+        for (i, &r) in rates.iter().enumerate() {
+            let wants_more = r < d[i] - 1e-6;
+            if wants_more {
+                prop_assert!(
+                    links[i].iter().any(|&l| saturated[l]),
+                    "flow {i} (demand {}, rate {r}) is short with all links unsaturated: \
+                     usage {usage:?} caps {caps:?}",
+                    d[i]
+                );
+            }
+        }
+    }
+
+    /// The max-min phase alone is also feasible and demand-bounded, and
+    /// never emits the old f64::MAX / 4 unbounded sentinel.
+    #[test]
+    fn max_min_feasible((caps, demands, links) in arb_instance()) {
+        let d: Vec<f64> = demands.iter().map(|o| o.unwrap_or(f64::INFINITY)).collect();
+        let fair = max_min(&d, &links, &caps);
+        for (i, &f) in fair.iter().enumerate() {
+            prop_assert!(f >= 0.0);
+            prop_assert!(f <= d[i] + 1e-6);
+            prop_assert!(f < 1e12, "flow {i}: unbounded sentinel {f}");
+        }
+        let usage = usage_per_link(&caps, &links, &fair);
+        for (l, (&u, &c)) in usage.iter().zip(&caps).enumerate() {
+            prop_assert!(u <= c + 1e-6 * (1.0 + c), "link {l}: {u} > {c}");
+        }
+    }
+}

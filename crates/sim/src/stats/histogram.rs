@@ -140,21 +140,30 @@ impl LatencyHistogram {
     /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
     ///
     /// Returns the upper edge of the bucket containing the quantile rank,
-    /// clamped to the exact observed maximum, so the reported value is within
-    /// one bucket width (≈3%) above the true order statistic and never below
-    /// the bucket that contains it.
+    /// clamped to the exact observed `[min, max]` range, so the reported
+    /// value is within one bucket width (≈3%) above the true order
+    /// statistic, never below the bucket that contains it, and never
+    /// outside what was actually recorded: `quantile(1.0)` is exactly the
+    /// observed maximum and `quantile(0.0)` exactly the observed minimum
+    /// (the raw bucket edge could overstate either by the bucket's
+    /// relative error).
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
         if self.total == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(SimDuration::from_nanos(self.min_ns));
+        }
         // Rank of the target order statistic, 1-based.
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(SimDuration::from_nanos(Self::upper_of(i).min(self.max_ns)));
+                return Some(SimDuration::from_nanos(
+                    Self::upper_of(i).clamp(self.min_ns, self.max_ns),
+                ));
             }
         }
         Some(SimDuration::from_nanos(self.max_ns))
@@ -271,6 +280,38 @@ mod tests {
         let h = h_from(&[999_937]); // awkward non-power-of-two
         assert_eq!(h.quantile(1.0).unwrap().as_nanos(), 999_937);
         assert_eq!(h.p999().unwrap().as_nanos(), 999_937);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_the_sample() {
+        let h = h_from(&[777_215]);
+        for q in [0.0, 0.001, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                h.quantile(q).unwrap().as_nanos(),
+                777_215,
+                "q={q} strayed from the only sample"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_zero_is_exact_min() {
+        // 1000's bucket has upper edge 1023; q=0 must report the recorded
+        // minimum, not the bucket edge.
+        let h = h_from(&[1000, 2000, 3000]);
+        assert_eq!(h.quantile(0.0).unwrap().as_nanos(), 1000);
+        assert_eq!(h.quantile(1.0).unwrap().as_nanos(), 3000);
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range() {
+        // Two samples in the same bucket: every quantile must land inside
+        // [min, max] even though the shared bucket edge exceeds both.
+        let h = h_from(&[1000, 1001]);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.quantile(q).unwrap().as_nanos();
+            assert!((1000..=1001).contains(&v), "q={q}: {v} outside [1000,1001]");
+        }
     }
 
     #[test]

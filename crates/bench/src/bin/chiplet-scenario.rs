@@ -26,6 +26,7 @@ use std::process::ExitCode;
 
 use chiplet_bench::scenarios::{paper_registry, render_report, render_sweep};
 use chiplet_bench::TextTable;
+use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec, SweepRunner, SweepSpec};
 
 const USAGE: &str = "usage: chiplet-scenario <COMMAND>
@@ -34,11 +35,18 @@ commands:
   show <name>              print a built-in spec or sweep as JSON
   run <name|file.json>     run a built-in or a ScenarioSpec JSON file
       [--json]             print the structured report instead of text
+      [--metrics PATH|-]   dump OpenMetrics telemetry (with -, the human
+                           report moves to stderr so stdout stays pure)
+      [--metrics-all]      include volatile execution metrics in the dump
   sweep <name|file.json>   expand and run a SweepSpec across worker threads
       [--jobs N]           worker threads (default: one per core)
       [--no-cache]         skip the on-disk result cache
       [--cache-dir DIR]    cache directory (default: results/cache)
-      [--json]             print the aggregate SweepOutcome as JSON";
+      [--json]             print the aggregate SweepOutcome as JSON
+      [--metrics PATH|-]   dump OpenMetrics telemetry, as for run
+      [--metrics-all]      include volatile execution metrics in the dump
+  lint-metrics <PATH|->    validate an OpenMetrics dump (EOF terminator,
+                           TYPE-before-sample, no duplicate series)";
 
 /// Command-line options shared across subcommands.
 struct Opts {
@@ -46,6 +54,39 @@ struct Opts {
     jobs: usize,
     cache: bool,
     cache_dir: PathBuf,
+    metrics: Option<String>,
+    metrics_all: bool,
+}
+
+impl Opts {
+    /// Human-facing output: stdout normally, stderr when the OpenMetrics
+    /// dump owns stdout (`--metrics -`).
+    fn emit(&self, text: &str) {
+        if self.metrics.as_deref() == Some("-") {
+            eprint!("{text}");
+        } else {
+            print!("{text}");
+        }
+    }
+
+    /// Writes the registry's OpenMetrics dump to the `--metrics` target.
+    fn write_metrics(&self, m: &MetricsRegistry) -> Result<(), String> {
+        let Some(target) = &self.metrics else {
+            return Ok(());
+        };
+        let text = if self.metrics_all {
+            m.to_openmetrics_with_volatile()
+        } else {
+            m.to_openmetrics()
+        };
+        if target == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(target, &text).map_err(|e| format!("writing {target}: {e}"))?;
+            eprintln!("wrote OpenMetrics dump to {target}");
+        }
+        Ok(())
+    }
 }
 
 fn list() {
@@ -88,23 +129,32 @@ fn show(name: &str) -> Result<(), String> {
 }
 
 fn run(target: &str, opts: &Opts) -> Result<(), String> {
+    let mut metrics = MetricsRegistry::new();
     // A JSON file takes priority; anything else is a registry name.
     if target.ends_with(".json") || std::path::Path::new(target).is_file() {
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
         let spec = ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?;
-        let report = spec.run().map_err(|e| e.to_string())?;
-        if opts.json {
-            println!("{}", report.to_json());
+        let report = if opts.metrics.is_some() {
+            spec.run_with_metrics(&mut metrics)
         } else {
-            print!("{}", render_report(&report));
+            spec.run()
         }
-        return Ok(());
+        .map_err(|e| e.to_string())?;
+        if opts.json {
+            opts.emit(&format!("{}\n", report.to_json()));
+        } else {
+            opts.emit(&render_report(&report));
+        }
+        return opts.write_metrics(&metrics);
     }
     let reg = paper_registry();
-    let outcome = reg
-        .run(target)
-        .ok_or_else(|| format!("unknown scenario '{target}' (try `chiplet-scenario list`)"))?
-        .map_err(|e| e.to_string())?;
+    let outcome = if opts.metrics.is_some() {
+        reg.run_with_metrics(target, &mut metrics)
+    } else {
+        reg.run(target)
+    }
+    .ok_or_else(|| format!("unknown scenario '{target}' (try `chiplet-scenario list`)"))?
+    .map_err(|e| e.to_string())?;
     match outcome {
         ScenarioRun::Text(text) => {
             if opts.json {
@@ -113,24 +163,24 @@ fn run(target: &str, opts: &Opts) -> Result<(), String> {
                      applies to declarative spec scenarios"
                 ));
             }
-            print!("{text}");
+            opts.emit(&text);
         }
         ScenarioRun::Report(report) => {
             if opts.json {
-                println!("{}", report.to_json());
+                opts.emit(&format!("{}\n", report.to_json()));
             } else {
-                print!("{}", render_report(&report));
+                opts.emit(&render_report(&report));
             }
         }
         ScenarioRun::Sweep(outcome) => {
             if opts.json {
-                println!("{}", outcome.to_json());
+                opts.emit(&format!("{}\n", outcome.to_json()));
             } else {
-                print!("{}", render_sweep(&outcome));
+                opts.emit(&render_sweep(&outcome));
             }
         }
     }
-    Ok(())
+    opts.write_metrics(&metrics)
 }
 
 fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
@@ -155,17 +205,44 @@ fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
         jobs: opts.jobs,
         cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
     };
-    let (outcome, stats) = runner.run(&spec).map_err(|e| e.to_string())?;
+    let mut metrics = MetricsRegistry::new();
+    let (outcome, stats) = if opts.metrics.is_some() {
+        runner.run_with_metrics(&spec, &mut metrics)
+    } else {
+        runner.run(&spec)
+    }
+    .map_err(|e| e.to_string())?;
     eprintln!(
         "sweep {}: {} points ({} executed, {} cached)",
         spec.name, stats.total, stats.executed, stats.cached
     );
     if opts.json {
-        println!("{}", outcome.to_json());
+        opts.emit(&format!("{}\n", outcome.to_json()));
     } else {
-        print!("{}", render_sweep(&outcome));
+        opts.emit(&render_sweep(&outcome));
     }
-    Ok(())
+    opts.write_metrics(&metrics)
+}
+
+/// Validates an OpenMetrics dump with the workspace linter.
+fn lint_metrics(path: &str) -> Result<(), String> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    match chiplet_net::lint_openmetrics(&text) {
+        Ok(()) => {
+            eprintln!("{path}: OK ({} lines)", text.lines().count());
+            Ok(())
+        }
+        Err(errors) => Err(errors.join("\n")),
+    }
 }
 
 fn dispatch() -> Result<(), String> {
@@ -176,6 +253,8 @@ fn dispatch() -> Result<(), String> {
         jobs: 0,
         cache: true,
         cache_dir: PathBuf::from("results/cache"),
+        metrics: None,
+        metrics_all: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -192,8 +271,15 @@ fn dispatch() -> Result<(), String> {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
                 opts.cache_dir = PathBuf::from(v);
             }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path (or -)")?;
+                opts.metrics = Some(v.clone());
+            }
+            "--metrics-all" => opts.metrics_all = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
-            s if s.starts_with('-') => return Err(format!("unknown flag {s}\n{USAGE}")),
+            s if s.starts_with('-') && s != "-" => {
+                return Err(format!("unknown flag {s}\n{USAGE}"))
+            }
             s => positional.push(s),
         }
     }
@@ -205,6 +291,7 @@ fn dispatch() -> Result<(), String> {
         ["show", name] => show(name),
         ["run", target] => run(target, &opts),
         ["sweep", target] => sweep(target, &opts),
+        ["lint-metrics", path] => lint_metrics(path),
         _ => Err(USAGE.to_string()),
     }
 }

@@ -30,6 +30,7 @@ use chiplet_topology::{CoreId, DimmPosition, PlatformSpec, Topology};
 
 const USAGE: &str = "usage: chiplet-trace [SCENARIO] [--platform 7302|9634] \
 [--sampling N] [--horizon US] [--window US] [--chrome FILE] [--sysfs DIR] [--seed N] [--spec]
+       chiplet-trace top <METRICS|->   (hottest links/flows from an OpenMetrics dump)
 scenarios: ccd-read (default), near-chase, two-flows, cxl-read, socket-read";
 
 struct Args {
@@ -150,7 +151,124 @@ fn flows(
     })
 }
 
+/// Renders the `top` view: hottest links and flows of a metrics dump.
+///
+/// Links rank by `chiplet_link_bytes_total` summed over direction; flows
+/// rank by `chiplet_flow_bytes_total` + `fluid_flow_bytes_total`, with the
+/// P99 latency pulled from the `chiplet_flow_latency_ns` summary when the
+/// event engine measured one.
+fn render_top(text: &str) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    use std::fmt::Write;
+
+    let samples = chiplet_net::parse_openmetrics(text)?;
+    let qualifier = |s: &chiplet_net::metrics::MetricSample| {
+        s.label("scenario").unwrap_or_default().to_string()
+    };
+    let mut links: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut flows: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut p99: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for s in &samples {
+        match s.name.as_str() {
+            "chiplet_link_bytes_total" => {
+                let Some(link) = s.label("link_id") else {
+                    continue;
+                };
+                *links.entry((qualifier(s), link.to_string())).or_default() += s.value;
+            }
+            "chiplet_flow_bytes_total" | "fluid_flow_bytes_total" => {
+                let Some(flow) = s.label("flow") else {
+                    continue;
+                };
+                *flows.entry((qualifier(s), flow.to_string())).or_default() += s.value;
+            }
+            "chiplet_flow_latency_ns" if s.label("quantile") == Some("0.99") => {
+                if let Some(flow) = s.label("flow") {
+                    p99.insert((qualifier(s), flow.to_string()), s.value);
+                }
+            }
+            _ => {}
+        }
+    }
+    if links.is_empty() && flows.is_empty() {
+        return Err(
+            "no chiplet_link_bytes/chiplet_flow_bytes/fluid_flow_bytes series \
+                    in the dump (was it produced with --metrics?)"
+                .into(),
+        );
+    }
+    let ranked = |m: &BTreeMap<(String, String), f64>| {
+        let mut v: Vec<((String, String), f64)> = m.iter().map(|(k, &b)| (k.clone(), b)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    };
+    let mut out = String::new();
+    if !links.is_empty() {
+        let _ = writeln!(out, "hottest links:");
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:<12} {:>14}  scenario",
+            "#", "link", "bytes"
+        );
+        for (i, ((scenario, link), bytes)) in ranked(&links).into_iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:<12} {:>14.0}  {}",
+                i + 1,
+                link,
+                bytes,
+                scenario
+            );
+        }
+    }
+    if !flows.is_empty() {
+        if !links.is_empty() {
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "hottest flows:");
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:<22} {:>14}  {:>12}  scenario",
+            "#", "flow", "bytes", "p99 ns"
+        );
+        for (i, (key, bytes)) in ranked(&flows).into_iter().enumerate() {
+            let lat = p99.get(&key).map_or("-".to_string(), |l| format!("{l:.0}"));
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:<22} {:>14.0}  {:>12}  {}",
+                i + 1,
+                key.1,
+                bytes,
+                lat,
+                key.0
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn run_top(path: &str) -> Result<(), String> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    print!("{}", render_top(&text)?);
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    if std::env::args().nth(1).as_deref() == Some("top") {
+        let path = std::env::args()
+            .nth(2)
+            .ok_or_else(|| format!("top needs a metrics file (or -)\n{USAGE}"))?;
+        return run_top(&path);
+    }
     let args = parse_args()?;
     let platform_name = match args.platform.as_str() {
         "7302" => "epyc_7302",
@@ -173,6 +291,7 @@ fn run() -> Result<(), String> {
             deterministic_memory: false,
             trace_window: Some(SimDuration::from_micros(args.window_us.max(1))),
             trace_sampling: Some(args.sampling.max(1)),
+            metrics_window: None,
         }),
         fluid: None,
         flows: flows(&platform, &topo, &args.scenario)?,

@@ -18,7 +18,7 @@ use chiplet_topology::{CoreId, PlatformSpec, Topology};
 use crate::{f1, TextTable};
 
 /// Renders the study (identical to the former `ablation_monolithic` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -15,7 +15,7 @@ use chiplet_topology::{PlatformSpec, Topology};
 use crate::{f1, TextTable};
 
 /// Renders the study (identical to the former `ablation_traffic` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

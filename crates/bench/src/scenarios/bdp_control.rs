@@ -91,7 +91,7 @@ fn study(out: &mut String, label: &str, target: TargetSpec) {
 }
 
 /// Renders the study (identical to the former `bdp_control` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

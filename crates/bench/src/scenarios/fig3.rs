@@ -69,7 +69,7 @@ fn panel(topo: &Topology, scenario: LinkScenario, label: &str) -> String {
 }
 
 /// Renders the full figure (identical to the former `fig3` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let t7302 = Topology::build(&PlatformSpec::epyc_7302());
     let t9634 = Topology::build(&PlatformSpec::epyc_9634());
 

@@ -71,7 +71,7 @@ fn panel(out: &mut String, topo: &Topology, link: CompeteLink) {
 }
 
 /// Renders the full figure (identical to the former `fig4` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

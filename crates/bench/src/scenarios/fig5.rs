@@ -11,8 +11,9 @@
 use std::fmt::Write;
 
 use chiplet_fluid::harvest_time_ms;
+use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{
-    run_specs, BackendKind, FluidLinkSpec, FluidOptions, ScenarioFlow, ScenarioReport,
+    run_specs_with_metrics, BackendKind, FluidLinkSpec, FluidOptions, ScenarioFlow, ScenarioReport,
     ScenarioSpec, TopologyChoice,
 };
 use chiplet_sim::{Bandwidth, DemandSchedule, SimDuration, SimTime};
@@ -121,8 +122,9 @@ fn panel(out: &mut String, name: &str, report: &ScenarioReport, link: &str) {
     let _ = writeln!(out);
 }
 
-/// Renders the full figure (identical to the former `fig5` binary).
-pub fn render() -> String {
+/// Renders the full figure (identical to the former `fig5` binary) and
+/// records each panel's fluid-engine telemetry into `metrics`.
+pub fn render(metrics: &mut MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -132,7 +134,7 @@ pub fn render() -> String {
     // The three panels are independent runs: execute them across worker
     // threads, then render in figure order.
     let specs = [spec_if_9634(), spec_plink_9634(), spec_if_7302()];
-    let reports = run_specs(&specs, 0).expect("fig5 specs resolve");
+    let reports = run_specs_with_metrics(&specs, 0, metrics).expect("fig5 specs resolve");
     panel(&mut out, "9634 IF", &reports[0], "if_9634");
     panel(&mut out, "9634 P-Link", &reports[1], "plink_9634");
     panel(&mut out, "7302 IF", &reports[2], "if_7302");

@@ -94,7 +94,7 @@ fn panel(topo: &Topology, domain: InterferenceDomain) -> String {
 }
 
 /// Renders the full figure (identical to the former `fig6` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 6: read/write interference on the EPYC 9634.\n");
     let topo = Topology::build(&PlatformSpec::epyc_9634());

@@ -63,7 +63,7 @@ fn cxl_socket_bandwidth(flit_bytes: u32) -> (f64, f64) {
 }
 
 /// Renders the study (identical to the former `flit_study` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

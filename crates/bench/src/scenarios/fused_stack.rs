@@ -73,7 +73,7 @@ fn run_storm(policy: TrafficPolicy, rx_dimms: Vec<u32>) -> (f64, f64) {
 }
 
 /// Renders the study (identical to the former `fused_stack` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let spec = PlatformSpec::epyc_9634().with_nic(NicSpec::gbe400());
     let mut out = String::new();
     let _ = writeln!(out, "Fused-stack study: {} + 400 GbE NIC\n", spec.name);

@@ -27,6 +27,7 @@ pub mod table3;
 
 use std::fmt::Write;
 
+use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{
     ScenarioEntry, ScenarioKind, ScenarioRegistry, ScenarioReport, ScenarioRun, SweepOutcome,
 };
@@ -124,8 +125,20 @@ pub fn render_sweep(outcome: &SweepOutcome) -> String {
 /// Panics on an unknown name or a spec that doesn't resolve — built-ins
 /// always do; the `chiplet-scenario` CLI handles user input gracefully.
 pub fn render_named(name: &str) -> String {
+    render_named_with_metrics(name, &mut MetricsRegistry::new())
+}
+
+/// [`render_named`], but folding the run's telemetry into `metrics` —
+/// specs and sweeps run through the metric-aware scenario layer, studies
+/// record whatever they instrument.
+///
+/// # Panics
+///
+/// Panics on an unknown name or a spec that doesn't resolve, like
+/// [`render_named`].
+pub fn render_named_with_metrics(name: &str, metrics: &mut MetricsRegistry) -> String {
     match paper_registry()
-        .run(name)
+        .run_with_metrics(name, metrics)
         .unwrap_or_else(|| panic!("'{name}' is a registered scenario"))
         .unwrap_or_else(|e| panic!("built-in scenario '{name}' resolves: {e}"))
     {

@@ -23,7 +23,7 @@ fn run_point(config: NocConfig, pattern: TrafficPattern, rate: f64) -> NocStats 
 }
 
 /// Renders the study (identical to the former `noc_study` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -67,7 +67,7 @@ fn run_stream(spec: ScenarioSpec) -> (f64, f64) {
 }
 
 /// Renders the study (identical to the former `numa_study` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let spec = PlatformSpec::dual_epyc_7302();
     let topo = Topology::build(&spec);
     let cfg = EngineConfig::deterministic();

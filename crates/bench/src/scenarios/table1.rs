@@ -8,7 +8,7 @@ use chiplet_topology::PlatformSpec;
 use crate::TextTable;
 
 /// Renders the table (identical to the former `table1` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let specs = [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()];
     let mut t = TextTable::new(vec![
         "Parameters".to_string(),

@@ -32,7 +32,7 @@ fn paper_value(row: &str) -> (&'static str, &'static str) {
 }
 
 /// Renders the table (identical to the former `table2` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let cfg = EngineConfig::deterministic();
     let platforms = [
         Topology::build(&PlatformSpec::epyc_7302()),

@@ -12,7 +12,7 @@ use chiplet_topology::{PlatformSpec, Topology};
 use crate::{rw, TextTable};
 
 /// Renders the table (identical to the former `table3` binary).
-pub fn render() -> String {
+pub fn render(_metrics: &mut chiplet_net::metrics::MetricsRegistry) -> String {
     let cfg = EngineConfig::deterministic();
     let t7302 = Topology::build(&PlatformSpec::epyc_7302());
     let t9634 = Topology::build(&PlatformSpec::epyc_9634());

@@ -7,17 +7,32 @@
 //! files are the user-facing custom-scenario examples from the README —
 //! they must parse, run on their backend, and be seed-stable.
 
-use chiplet_bench::scenarios::render_named;
+use chiplet_bench::scenarios::{render_named, render_named_with_metrics};
+use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{BackendKind, ScenarioSpec};
 
 const FIG3_GOLDEN: &str = include_str!("../../../tests/golden/fig3.txt");
 const FIG5_GOLDEN: &str = include_str!("../../../tests/golden/fig5.txt");
+const FIG5_METRICS_GOLDEN: &str = include_str!("../../../tests/golden/fig5_metrics.txt");
 const EVENT_EXAMPLE: &str = include_str!("../../../examples/scenarios/ccd_vs_cxl.json");
 const FLUID_EXAMPLE: &str = include_str!("../../../examples/scenarios/link_share.json");
 
 #[test]
 fn fig5_matches_the_pre_refactor_binary() {
     assert_eq!(render_named("fig5"), FIG5_GOLDEN);
+}
+
+#[test]
+fn fig5_openmetrics_dump_is_pinned() {
+    // The exact stdout of `chiplet-scenario run fig5 --metrics -`: label
+    // sets are sorted before encoding and every value is sim-time-derived,
+    // so the dump is byte-stable across runs, worker counts, and machines.
+    let mut metrics = MetricsRegistry::new();
+    let text = render_named_with_metrics("fig5", &mut metrics);
+    assert_eq!(text, FIG5_GOLDEN, "report text is metrics-invariant");
+    let dump = metrics.to_openmetrics();
+    chiplet_net::lint_openmetrics(&dump).expect("dump passes the OpenMetrics lint");
+    assert_eq!(dump, FIG5_METRICS_GOLDEN);
 }
 
 #[test]

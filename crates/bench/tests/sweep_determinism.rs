@@ -3,6 +3,7 @@
 //! order, and cache state.
 
 use chiplet_bench::scenarios::sweeps;
+use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::SweepRunner;
 
 /// The 24-point event-engine sweep (`fig3_sweep`) produces byte-identical
@@ -38,4 +39,27 @@ fn fluid_sweep_bytes_are_worker_count_invariant() {
     let (again, _) = SweepRunner::with_jobs(8).run(&sweep).expect("repeat run");
     assert_eq!(serial.to_json(), wide.to_json());
     assert_eq!(wide.to_json(), again.to_json());
+}
+
+/// The instrumented runner's OpenMetrics dump is byte-identical for
+/// `--jobs 1` vs `--jobs 8`: wall times and pool stats are volatile-only,
+/// and the deterministic per-point gauges derive from the outcome alone.
+#[test]
+fn sweep_metrics_dump_is_worker_count_invariant() {
+    let sweep = sweeps::fig5_sweep();
+    let dump = |jobs| {
+        let mut m = MetricsRegistry::new();
+        SweepRunner::with_jobs(jobs)
+            .run_with_metrics(&sweep, &mut m)
+            .expect("instrumented run");
+        m.to_openmetrics()
+    };
+    let (serial, wide) = (dump(1), dump(8));
+    assert_eq!(serial, wide, "metrics dump must not depend on --jobs");
+    chiplet_net::lint_openmetrics(&serial).expect("dump passes the lint");
+    assert!(serial.contains("sweep_flow_achieved_gb_s{"));
+    assert!(
+        !serial.contains("sweep_point_wall_seconds"),
+        "wall time is volatile and must stay out of the default dump"
+    );
 }

@@ -84,6 +84,11 @@ pub struct EngineConfig {
     /// the same sample set. The result carries a
     /// [`crate::trace::TraceReport`].
     pub trace_sampling: Option<u32>,
+    /// Attach a [`crate::metrics::MetricsRegistry`] windowing histograms
+    /// at this sim-time width: per-link bytes/waits and per-flow
+    /// bytes/latency/completions land in it alongside the profiler, and
+    /// the result carries the registry for OpenMetrics exposition.
+    pub metrics_window: Option<SimDuration>,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +103,7 @@ impl Default for EngineConfig {
             profile: false,
             trace_window: None,
             trace_sampling: None,
+            metrics_window: None,
         }
     }
 }
@@ -141,6 +147,13 @@ impl EngineConfig {
     /// (builder style). `n` is clamped to at least 1.
     pub fn with_trace_sampling(mut self, n: u32) -> Self {
         self.trace_sampling = Some(n.max(1));
+        self
+    }
+
+    /// Enables the metrics registry, windowing sketches at `window` of
+    /// sim time (builder style).
+    pub fn with_metrics(mut self, window: SimDuration) -> Self {
+        self.metrics_window = Some(window);
         self
     }
 }
@@ -239,6 +252,8 @@ pub struct RunResult {
     pub profile: Option<crate::profiler::ProfileReport>,
     /// Sampled span traces, when [`EngineConfig::trace_sampling`] was set.
     pub trace: Option<TraceReport>,
+    /// The metrics registry, when [`EngineConfig::metrics_window`] was set.
+    pub metrics: Option<crate::metrics::MetricsRegistry>,
 }
 
 impl RunResult {
@@ -280,6 +295,11 @@ pub struct Engine<'t> {
     /// Per-capacity-point bandwidth/backlog series (`trace_window`),
     /// indexed link-id first, then sockets, then CXL ports.
     point_traces: Option<Vec<PointSeries>>,
+    /// The metrics registry (`metrics_window`), fed at every admission and
+    /// completion; `point_labels` names capacity points in the same
+    /// link-then-socket-then-CXL order as `point_traces`.
+    metrics: Option<crate::metrics::MetricsRegistry>,
+    point_labels: Vec<String>,
 }
 
 /// Windowed time series for one capacity point.
@@ -361,7 +381,11 @@ impl<'t> Engine<'t> {
         let cxl_model = cfg.cxl.unwrap_or(DramServiceModel::cxl());
         let rng = DetRng::seed_from_u64(cfg.seed);
         let cache = CacheHierarchy::from_spec(&spec.cache);
-        let profiler = cfg.profile.then(crate::profiler::Profiler::new);
+        // The profiler's sketch hashers derive from the run seed, so the
+        // same seed yields a byte-identical ProfileReport.
+        let profiler = cfg
+            .profile
+            .then(|| crate::profiler::Profiler::with_seed(cfg.seed));
         let trace_rng = rng.derive(TRACE_RNG_LABEL);
         let spans = cfg
             .trace_sampling
@@ -370,6 +394,21 @@ impl<'t> Engine<'t> {
         let point_traces = cfg
             .trace_window
             .map(|w| (0..n_points).map(|_| PointSeries::new(w)).collect());
+        let metrics = cfg.metrics_window.map(|w| {
+            let mut m = crate::metrics::MetricsRegistry::with_window(w);
+            describe_engine_metrics(&mut m);
+            m
+        });
+        let point_labels = if metrics.is_some() {
+            let mut v: Vec<String> = (0..topo.links().len())
+                .map(|l| format!("link{l}"))
+                .collect();
+            v.extend((0..noc.len()).map(|sk| format!("noc{sk}")));
+            v.extend((0..cxl_ports.len()).map(|c| format!("cxl{c}")));
+            v
+        } else {
+            Vec::new()
+        };
 
         Engine {
             topo,
@@ -412,6 +451,8 @@ impl<'t> Engine<'t> {
             spans,
             trace_rng,
             point_traces,
+            metrics,
+            point_labels,
         }
     }
 
@@ -934,6 +975,20 @@ impl<'t> Engine<'t> {
             }
             s.depth.record(at, adm.wait_ns + adm.service_ns);
         }
+        if let Some(m) = self.metrics.as_mut() {
+            let idx = match point {
+                StageRef::Link(l) => l as usize,
+                StageRef::SocketNoc(sk) => self.channels.len() + sk as usize,
+                StageRef::CxlPort(c) => self.channels.len() + self.noc.len() + c as usize,
+            };
+            let labels = [
+                ("link_id", self.point_labels[idx].as_str()),
+                ("dir", if is_write { "write" } else { "read" }),
+            ];
+            let at = SimTime::from_nanos(now_ns as u64);
+            m.counter_add_at("chiplet_link_bytes", &labels, at, bytes as f64);
+            m.observe("chiplet_link_wait_ns", &labels, at, adm.wait_ns);
+        }
         // Hop record: the wait is queueing behind earlier admissions; the
         // latency-contributing service here is the device variability
         // (serialization is part of the unloaded propagation segment).
@@ -1048,6 +1103,15 @@ impl<'t> Engine<'t> {
                 *self.matrix.entry((matrix_src, matrix_dest)).or_insert(0) += LINE;
                 if let Some(p) = self.profiler.as_mut() {
                     p.observe(FlowId(flow), matrix_src, matrix_dest, LINE, lat);
+                }
+                if let Some(m) = self.metrics.as_mut() {
+                    let labels = [("flow", self.flows[flow as usize].spec.name.as_str())];
+                    let at = SimTime::from_nanos(now_ns as u64);
+                    m.counter_add_at("chiplet_flow_completions", &labels, at, 1.0);
+                    if counts_payload {
+                        m.counter_add_at("chiplet_flow_bytes", &labels, at, LINE as f64);
+                    }
+                    m.observe("chiplet_flow_latency_ns", &labels, at, lat);
                 }
             }
         }
@@ -1399,9 +1463,43 @@ impl<'t> Engine<'t> {
             let (spans, dropped) = c.into_parts();
             TraceReport::from_spans(self.cfg.trace_sampling.unwrap_or(1), spans, dropped)
         });
+        let mut metrics = self.metrics;
+        if let Some(m) = metrics.as_mut() {
+            for f in &flows {
+                m.gauge_set(
+                    "chiplet_flow_achieved_gb_s",
+                    &[("flow", f.name.as_str())],
+                    f.achieved.as_gb_per_s(),
+                );
+            }
+            for lt in &links {
+                let label = match lt.point {
+                    CapacityPoint::Link { link, .. } => format!("link{link}"),
+                    CapacityPoint::SocketNoc { socket } => format!("noc{socket}"),
+                    CapacityPoint::CxlPort { ccd } => format!("cxl{ccd}"),
+                };
+                for (dir, stats) in [("read", &lt.read), ("write", &lt.write)] {
+                    if stats.admissions > 0 {
+                        m.gauge_set(
+                            "chiplet_link_utilization",
+                            &[("link_id", label.as_str()), ("dir", dir)],
+                            stats.utilization,
+                        );
+                    }
+                }
+            }
+            if let Some(p) = self.profiler.as_ref() {
+                m.counter_add(
+                    "chiplet_profile_evicted_flows",
+                    &[],
+                    p.evicted_flows() as f64,
+                );
+            }
+        }
         RunResult {
             profile,
             trace,
+            metrics,
             telemetry: TelemetryReport {
                 platform: self.topo.spec().name.clone(),
                 window,
@@ -1472,6 +1570,52 @@ fn link_telemetry(point: CapacityPoint, ch: &DirectionalChannel, window_ns: f64)
         write_trace: Vec::new(),
         depth_trace: Vec::new(),
     }
+}
+
+/// Declares the event engine's metric families (names, kinds, help text)
+/// so every dump carries the schema even for families that stay sparse.
+fn describe_engine_metrics(m: &mut crate::metrics::MetricsRegistry) {
+    use crate::metrics::MetricKind;
+    m.describe(
+        "chiplet_link_bytes",
+        MetricKind::Counter,
+        "Bytes admitted at a capacity point, by direction.",
+    );
+    m.describe(
+        "chiplet_link_wait_ns",
+        MetricKind::Histogram,
+        "Queueing wait per admission at a capacity point, ns.",
+    );
+    m.describe(
+        "chiplet_flow_bytes",
+        MetricKind::Counter,
+        "Payload bytes completed per flow inside the measured window.",
+    );
+    m.describe(
+        "chiplet_flow_completions",
+        MetricKind::Counter,
+        "Transactions completed per flow inside the measured window.",
+    );
+    m.describe(
+        "chiplet_flow_latency_ns",
+        MetricKind::Histogram,
+        "End-to-end transaction latency per flow, ns.",
+    );
+    m.describe(
+        "chiplet_flow_achieved_gb_s",
+        MetricKind::Gauge,
+        "Achieved flow bandwidth over the measured window, GB/s.",
+    );
+    m.describe(
+        "chiplet_link_utilization",
+        MetricKind::Gauge,
+        "Capacity-point utilization over the measured window, by direction.",
+    );
+    m.describe(
+        "chiplet_profile_evicted_flows",
+        MetricKind::Counter,
+        "Flows evicted from the profiler's bounded per-flow sketch map.",
+    );
 }
 
 /// Convenience: pointer-chase latency from a core to a DIMM (the Table 2

@@ -913,3 +913,76 @@ fn demand_schedule_is_deterministic_per_seed() {
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
 }
+
+#[test]
+fn profile_reports_are_byte_identical_per_seed() {
+    let topo = topo_9634();
+    let run = || {
+        let mut engine = Engine::new(&topo, EngineConfig::default().with_seed(11).with_profile());
+        engine.add_flow(
+            FlowSpec::reads(
+                "a",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        engine.add_flow(
+            FlowSpec::reads("b", vec![CoreId(30)], Target::all_dimms(&topo)).build(&topo),
+        );
+        let result = engine.run(SimTime::from_micros(30));
+        result.profile.expect("profiling enabled").to_json()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn metrics_registry_captures_flows_links_and_is_deterministic() {
+    let topo = topo_9634();
+    let run = || {
+        let mut engine = Engine::new(
+            &topo,
+            EngineConfig::default()
+                .with_seed(3)
+                .with_profile()
+                .with_metrics(chiplet_sim::SimDuration::from_micros(2)),
+        );
+        engine.add_flow(
+            FlowSpec::reads(
+                "probe",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        engine.run(SimTime::from_micros(30))
+    };
+    let result = run();
+    let m = result.metrics.as_ref().expect("metrics enabled");
+    let bytes = m
+        .counter_value("chiplet_flow_bytes", &[("flow", "probe")])
+        .expect("flow bytes recorded");
+    assert_eq!(
+        bytes as u64, result.flows[0].bytes,
+        "registry matches telemetry"
+    );
+    let lat = m
+        .histogram("chiplet_flow_latency_ns", &[("flow", "probe")])
+        .expect("latency recorded");
+    assert_eq!(lat.count(), result.flows[0].completed);
+    assert!(lat.windows().count() > 1, "multiple sim-time windows");
+    assert!(
+        m.gauge_value("chiplet_flow_achieved_gb_s", &[("flow", "probe")])
+            .expect("achieved gauge")
+            > 0.0
+    );
+    // Some capacity point saw traffic.
+    assert!(m
+        .family("chiplet_link_bytes")
+        .is_some_and(|f| f.series_count() > 0));
+    // Byte-identical exposition run-to-run.
+    let a = run().metrics.unwrap().to_openmetrics();
+    let b = run().metrics.unwrap().to_openmetrics();
+    assert_eq!(a, b);
+    crate::metrics::lint_openmetrics(&a).expect("engine dump lints clean");
+}

@@ -34,6 +34,10 @@
 //! * [`sketch`] — probabilistic profiling structures (§4 #5): Count-Min
 //!   sketch and SpaceSaving heavy hitters for bounded-memory per-flow
 //!   telemetry.
+//! * [`metrics`] — the unified **metrics registry** (§4 #5's exposition
+//!   half): counters, gauges, and windowed quantile-sketch histograms with
+//!   label sets, fed by every engine and the sweep runner, encoded as
+//!   OpenMetrics text.
 //! * [`scenario`] — the **declarative scenario layer**: experiments as
 //!   JSON-serializable [`ScenarioSpec`]s run through a [`Backend`] trait by
 //!   either this crate's event engine or `chiplet_fluid`'s fluid sim, both
@@ -69,6 +73,7 @@ pub mod engine;
 pub mod export;
 pub mod flow;
 pub mod matrix;
+pub mod metrics;
 pub mod profiler;
 pub mod scenario;
 pub mod sketch;
@@ -81,6 +86,9 @@ pub use engine::{Engine, EngineConfig, RunResult};
 pub use export::export_sysfs;
 pub use flow::{FlowId, FlowSpec, Target};
 pub use matrix::TrafficMatrix;
+pub use metrics::{
+    lint_openmetrics, parse_openmetrics, MetricKind, MetricsRegistry, WindowedSketch,
+};
 pub use profiler::{ProfileReport, Profiler};
 pub use scenario::{
     Backend, EventEngineBackend, FluidBackend, ScenarioRegistry, ScenarioReport, ScenarioSpec,

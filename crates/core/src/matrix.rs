@@ -86,6 +86,11 @@ impl TrafficMatrix {
     /// traffic (every source spreads over destinations in the same
     /// proportions) and an approximation otherwise — the tomography
     /// baseline of Medina et al. and Vardi.
+    ///
+    /// Empty marginals never divide by zero: an all-zero counter set
+    /// returns the zero matrix, and an idle CCD (zero row) or untouched
+    /// destination (zero column) estimates 0 for every cell it touches —
+    /// no NaN can reach the output.
     pub fn gravity_estimate(row_sums: &[u64], col_sums: &[u64]) -> TrafficMatrix {
         let rows = row_sums.len() as u32;
         let cols = col_sums.len() as u32;
@@ -216,5 +221,27 @@ mod tests {
     fn empty_gravity_is_zero() {
         let est = TrafficMatrix::gravity_estimate(&[0, 0], &[0, 0]);
         assert_eq!(est.total(), 0);
+    }
+
+    #[test]
+    fn gravity_handles_an_idle_ccd() {
+        // CCD 1 is idle (zero row) and UMC 2 untouched (zero column): its
+        // estimates must be exactly zero — never NaN — and the active
+        // marginals preserved.
+        let mut truth = TrafficMatrix::zeros(3, 3);
+        truth.add(0, 0, 600);
+        truth.add(0, 1, 200);
+        truth.add(2, 0, 300);
+        truth.add(2, 1, 100);
+        let est = TrafficMatrix::gravity_estimate(&truth.row_sums(), &truth.col_sums());
+        for j in 0..3 {
+            assert_eq!(est.get(1, j), 0, "idle CCD row must estimate zero");
+        }
+        for i in 0..3 {
+            assert_eq!(est.get(i, 2), 0, "untouched UMC column must estimate zero");
+        }
+        assert_eq!(est.row_sums(), truth.row_sums());
+        assert_eq!(est.col_sums(), truth.col_sums());
+        assert_eq!(est.relative_error(&truth), 0.0, "product-form here");
     }
 }

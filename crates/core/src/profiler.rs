@@ -19,12 +19,20 @@
 //!
 //! [`EngineConfig::profile`]: crate::engine::EngineConfig::profile
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::flow::FlowId;
 use crate::sketch::{CountMinSketch, QuantileSketch, SpaceSaving};
+
+/// The most per-flow latency sketches the profiler keeps at once.
+///
+/// When a new flow arrives at the cap, the coldest tracked flow (fewest
+/// samples; smallest `FlowId` on ties) is evicted, SpaceSaving-style, and
+/// [`ProfileReport::evicted_flows`] counts the evictions — the map stays
+/// bounded no matter how many flows a workload churns through.
+pub const PER_FLOW_CAP: usize = 64;
 
 /// Per-transaction profiling state.
 #[derive(Debug)]
@@ -32,7 +40,8 @@ pub struct Profiler {
     bytes_by_pair: CountMinSketch,
     heavy: SpaceSaving<(u32, u32)>,
     latency: QuantileSketch,
-    per_flow: HashMap<FlowId, QuantileSketch>,
+    per_flow: BTreeMap<FlowId, QuantileSketch>,
+    evicted_flows: u64,
     records: u64,
 }
 
@@ -44,13 +53,20 @@ impl Default for Profiler {
 
 impl Profiler {
     /// Creates a profiler with default accuracies (1% byte error, 16 heavy
-    /// hitters, 1% latency quantile error).
+    /// hitters, 1% latency quantile error) and the default sketch seed 0.
     pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// Creates a profiler whose Count-Min hashers derive from `seed`:
+    /// identical seeds make [`ProfileReport`] byte-identical run-to-run.
+    pub fn with_seed(seed: u64) -> Self {
         Profiler {
-            bytes_by_pair: CountMinSketch::with_error(0.01, 0.01),
+            bytes_by_pair: CountMinSketch::with_error_seeded(0.01, 0.01, seed),
             heavy: SpaceSaving::new(16),
             latency: QuantileSketch::new(0.01),
-            per_flow: HashMap::new(),
+            per_flow: BTreeMap::new(),
+            evicted_flows: 0,
             records: 0,
         }
     }
@@ -61,10 +77,25 @@ impl Profiler {
         self.bytes_by_pair.update(&(src, dest), bytes);
         self.heavy.update((src, dest), bytes);
         self.latency.record(latency_ns);
+        if !self.per_flow.contains_key(&flow) && self.per_flow.len() >= PER_FLOW_CAP {
+            let coldest = self
+                .per_flow
+                .iter()
+                .min_by(|a, b| a.1.count().cmp(&b.1.count()).then_with(|| a.0.cmp(b.0)))
+                .map(|(&f, _)| f)
+                .expect("per_flow is non-empty at the cap");
+            self.per_flow.remove(&coldest);
+            self.evicted_flows += 1;
+        }
         self.per_flow
             .entry(flow)
             .or_insert_with(|| QuantileSketch::new(0.01))
             .record(latency_ns);
+    }
+
+    /// Flows evicted from the bounded per-flow sketch map so far.
+    pub fn evicted_flows(&self) -> u64 {
+        self.evicted_flows
     }
 
     /// Transactions observed.
@@ -103,6 +134,7 @@ impl Profiler {
             global_p99_ns: self.latency.quantile(0.99).unwrap_or(0.0),
             global_p999_ns: self.latency.quantile(0.999).unwrap_or(0.0),
             flows,
+            evicted_flows: self.evicted_flows,
             memory_bytes: self.bytes_by_pair.memory_bytes()
                 + self.latency.memory_bytes()
                 + self
@@ -156,6 +188,9 @@ pub struct ProfileReport {
     pub global_p999_ns: f64,
     /// Per-flow quantiles.
     pub flows: Vec<FlowProfile>,
+    /// Flows evicted from the bounded per-flow map ([`PER_FLOW_CAP`]).
+    #[serde(default)]
+    pub evicted_flows: u64,
     /// Total sketch memory, bytes — bounded regardless of traffic.
     pub memory_bytes: usize,
 }
@@ -221,6 +256,48 @@ mod tests {
         }
         let r = p.report();
         assert!(r.memory_bytes < 512 * 1024, "{} bytes", r.memory_bytes);
+    }
+
+    #[test]
+    fn per_flow_map_is_bounded_with_eviction() {
+        let mut p = Profiler::new();
+        // One hot flow, then a churn of cold one-sample flows.
+        for _ in 0..1000 {
+            p.observe(FlowId(0), 0, 0, 64, 100.0);
+        }
+        for i in 1..=500u32 {
+            p.observe(FlowId(i), 0, 0, 64, 200.0);
+        }
+        let r = p.report();
+        assert!(
+            r.flows.len() <= PER_FLOW_CAP,
+            "{} flows kept",
+            r.flows.len()
+        );
+        assert_eq!(r.evicted_flows, 500 - (PER_FLOW_CAP as u64 - 1));
+        // The hot flow survives the churn — only coldest flows are evicted.
+        assert!(r
+            .flows
+            .iter()
+            .any(|f| f.flow == FlowId(0) && f.samples == 1000));
+    }
+
+    #[test]
+    fn identical_seeds_give_byte_identical_reports() {
+        let run = |seed| {
+            let mut p = Profiler::with_seed(seed);
+            for i in 0..20_000u64 {
+                p.observe(
+                    FlowId((i % 5) as u32),
+                    (i % 9) as u32,
+                    (i % 11) as u32,
+                    64,
+                    100.0 + (i % 300) as f64,
+                );
+            }
+            p.report().to_json()
+        };
+        assert_eq!(run(42), run(42));
     }
 
     #[test]

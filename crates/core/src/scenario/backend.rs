@@ -6,7 +6,8 @@ use chiplet_topology::Topology;
 
 use super::report::{FlowReport, ScenarioOutcome, ScenarioReport};
 use super::spec::{ScenarioError, ScenarioSpec};
-use crate::engine::{Engine, RunResult};
+use crate::engine::{Engine, EngineConfig, RunResult};
+use crate::metrics::MetricsRegistry;
 
 /// A scenario executor: compiles a [`ScenarioSpec`] for one of the
 /// workspace's engines and returns the common [`ScenarioReport`].
@@ -18,6 +19,19 @@ pub trait Backend {
     /// a platform that can't exercise the scenario yields
     /// `Ok(ScenarioReport::Unsupported { .. })` instead.
     fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError>;
+
+    /// Runs the scenario and merges its telemetry into `metrics`, labelled
+    /// with `backend` and `scenario` so several runs share one registry.
+    /// The default is a plain [`Backend::run`] that records nothing — a
+    /// backend that produces telemetry overrides this.
+    fn run_with_metrics(
+        &self,
+        spec: &ScenarioSpec,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let _ = metrics;
+        self.run(spec)
+    }
 }
 
 /// Runs scenarios on the transaction-level event engine.
@@ -42,19 +56,29 @@ impl EventEngineBackend {
     /// Runs the spec and returns the engine's native result alongside the
     /// resolved topology (for callers that post-process telemetry).
     pub fn run_raw(spec: &ScenarioSpec) -> Result<(RunResult, Topology), ScenarioError> {
+        Self::run_raw_with(spec, spec.engine_config())
+    }
+
+    /// The metrics window used when a spec enables metrics without naming
+    /// one: horizon / 32, floored at a nanosecond.
+    pub fn default_metrics_window(spec: &ScenarioSpec) -> SimDuration {
+        SimDuration::from_nanos((spec.horizon.as_nanos() / 32).max(1))
+    }
+
+    fn run_raw_with(
+        spec: &ScenarioSpec,
+        cfg: EngineConfig,
+    ) -> Result<(RunResult, Topology), ScenarioError> {
         let topo = spec.topology.resolve()?;
-        let result = Self::instantiate(spec, &topo)?.run(spec.horizon);
+        let mut engine = Engine::new(&topo, cfg);
+        for flow in &spec.flows {
+            engine.add_flow(spec.compile_flow(flow, &topo)?);
+        }
+        let result = engine.run(spec.horizon);
         Ok((result, topo))
     }
-}
 
-impl Backend for EventEngineBackend {
-    fn name(&self) -> &'static str {
-        "event"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
-        let (result, topo) = Self::run_raw(spec)?;
+    fn report(spec: &ScenarioSpec, result: &RunResult, topo: &Topology) -> ScenarioReport {
         let flows = spec
             .flows
             .iter()
@@ -74,14 +98,41 @@ impl Backend for EventEngineBackend {
                 trace: ft.trace.clone(),
             })
             .collect();
-        Ok(ScenarioReport::Completed(ScenarioOutcome {
+        ScenarioReport::Completed(ScenarioOutcome {
             scenario: spec.name.clone(),
-            backend: self.name().into(),
+            backend: "event".into(),
             platform: topo.spec().name.clone(),
             seed: spec.seed_or_default(),
             horizon: spec.horizon,
             flows,
-        }))
+        })
+    }
+}
+
+impl Backend for EventEngineBackend {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        let (result, topo) = Self::run_raw(spec)?;
+        Ok(Self::report(spec, &result, &topo))
+    }
+
+    fn run_with_metrics(
+        &self,
+        spec: &ScenarioSpec,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let mut cfg = spec.engine_config();
+        if cfg.metrics_window.is_none() {
+            cfg.metrics_window = Some(Self::default_metrics_window(spec));
+        }
+        let (result, topo) = Self::run_raw_with(spec, cfg)?;
+        if let Some(m) = &result.metrics {
+            metrics.merge_labeled(m, &[("backend", self.name()), ("scenario", &spec.name)]);
+        }
+        Ok(Self::report(spec, &result, &topo))
     }
 }
 
@@ -103,14 +154,9 @@ impl FluidBackend {
         };
         fluid.links.iter().map(|l| l.resolve()).collect()
     }
-}
 
-impl Backend for FluidBackend {
-    fn name(&self) -> &'static str {
-        "fluid"
-    }
-
-    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+    /// Builds the sim plus its effective step and sampling interval.
+    fn build(spec: &ScenarioSpec) -> Result<(FluidSim, SimDuration, SimDuration), ScenarioError> {
         let links = Self::links(spec)?;
         let n_links = links.len();
         let mut sim = FluidSim::new(links);
@@ -139,8 +185,13 @@ impl Backend for FluidBackend {
         let opts = spec.fluid.as_ref().expect("links() checked presence");
         let dt = opts.dt.unwrap_or(Self::DEFAULT_DT);
         let sample = opts.sample.unwrap_or(Self::DEFAULT_SAMPLE);
-        let traces = sim.run(spec.horizon, dt, sample, spec.seed_or_default());
+        Ok((sim, dt, sample))
+    }
 
+    fn report(
+        spec: &ScenarioSpec,
+        traces: Vec<Vec<chiplet_sim::stats::TracePoint>>,
+    ) -> Result<ScenarioReport, ScenarioError> {
         let platform = spec.topology.platform()?.name;
         let flows = spec
             .flows
@@ -172,11 +223,71 @@ impl Backend for FluidBackend {
             .collect();
         Ok(ScenarioReport::Completed(ScenarioOutcome {
             scenario: spec.name.clone(),
-            backend: self.name().into(),
+            backend: "fluid".into(),
             platform,
             seed: spec.seed_or_default(),
             horizon: spec.horizon,
             flows,
         }))
+    }
+}
+
+/// Declares the fluid engine's metric families on a registry, so an
+/// instrumented run emits `# HELP` text even for families that stay empty.
+pub fn describe_fluid_metrics(m: &mut MetricsRegistry) {
+    use crate::metrics::MetricKind;
+    m.describe(
+        "fluid_ticks",
+        MetricKind::Counter,
+        "Integration epochs the fluid engine stepped through.",
+    );
+    m.describe(
+        "fluid_flow_bytes",
+        MetricKind::Counter,
+        "Bytes a fluid flow moved, integrated from its allocated rate.",
+    );
+    m.describe(
+        "fluid_flow_rate_gb_s",
+        MetricKind::Histogram,
+        "Per-epoch allocated rate of a fluid flow, GB/s.",
+    );
+    m.describe(
+        "fluid_harvest_ramp_ticks",
+        MetricKind::Counter,
+        "Epochs a flow spent ramping toward a higher equilibrium rate.",
+    );
+    m.describe(
+        "fluid_flow_final_rate_gb_s",
+        MetricKind::Gauge,
+        "A fluid flow's allocated rate at the end of the run, GB/s.",
+    );
+}
+
+impl Backend for FluidBackend {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        let (sim, dt, sample) = Self::build(spec)?;
+        let traces = sim.run(spec.horizon, dt, sample, spec.seed_or_default());
+        Self::report(spec, traces)
+    }
+
+    fn run_with_metrics(
+        &self,
+        spec: &ScenarioSpec,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let (sim, dt, sample) = Self::build(spec)?;
+        let mut inner = MetricsRegistry::with_window(sample);
+        describe_fluid_metrics(&mut inner);
+        let traces =
+            sim.run_instrumented(spec.horizon, dt, sample, spec.seed_or_default(), &mut inner);
+        metrics.merge_labeled(
+            &inner,
+            &[("backend", self.name()), ("scenario", &spec.name)],
+        );
+        Self::report(spec, traces)
     }
 }

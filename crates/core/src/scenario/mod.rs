@@ -34,7 +34,7 @@ mod sweep;
 #[cfg(test)]
 mod tests;
 
-pub use backend::{Backend, EventEngineBackend, FluidBackend};
+pub use backend::{describe_fluid_metrics, Backend, EventEngineBackend, FluidBackend};
 pub use registry::{ScenarioEntry, ScenarioKind, ScenarioRegistry, ScenarioRun};
 pub use report::{FlowReport, ScenarioOutcome, ScenarioReport};
 pub use spec::{
@@ -42,6 +42,6 @@ pub use spec::{
     ScenarioFlow, ScenarioSpec, TargetSpec, TopologyChoice,
 };
 pub use sweep::{
-    parallel_ordered, run_specs, SweepAxis, SweepOutcome, SweepPoint, SweepPointResult,
-    SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
+    parallel_ordered, run_specs, run_specs_with_metrics, SweepAxis, SweepOutcome, SweepPoint,
+    SweepPointResult, SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
 };

@@ -15,6 +15,7 @@
 use super::report::ScenarioReport;
 use super::spec::{ScenarioError, ScenarioSpec};
 use super::sweep::{SweepOutcome, SweepRunner, SweepSpec};
+use crate::metrics::MetricsRegistry;
 
 /// What a registry entry builds.
 // Entries are built one at a time and consumed immediately; the size gap
@@ -23,8 +24,10 @@ use super::sweep::{SweepOutcome, SweepRunner, SweepSpec};
 pub enum ScenarioKind {
     /// A declarative spec, run on its configured backend.
     Spec(ScenarioSpec),
-    /// A composite study returning rendered text.
-    Study(fn() -> String),
+    /// A composite study returning rendered text. The study records any
+    /// telemetry it produces into the registry it's handed (a throwaway
+    /// one under [`ScenarioRegistry::run`]).
+    Study(fn(&mut MetricsRegistry) -> String),
     /// A declarative parameter sweep over a base spec.
     Sweep(SweepSpec),
 }
@@ -93,9 +96,28 @@ impl ScenarioRegistry {
         let entry = self.get(name)?;
         Some(match (entry.build)() {
             ScenarioKind::Spec(spec) => spec.run().map(ScenarioRun::Report),
-            ScenarioKind::Study(f) => Ok(ScenarioRun::Text(f())),
+            ScenarioKind::Study(f) => Ok(ScenarioRun::Text(f(&mut MetricsRegistry::new()))),
             ScenarioKind::Sweep(sweep) => SweepRunner::default()
                 .run(&sweep)
+                .map(|(outcome, _)| ScenarioRun::Sweep(outcome)),
+        })
+    }
+
+    /// Like [`ScenarioRegistry::run`], but folds the run's telemetry into
+    /// `metrics`: specs run through the metric-aware backends, studies
+    /// record into the shared registry directly, and sweeps add per-point
+    /// gauges plus volatile execution counters.
+    pub fn run_with_metrics(
+        &self,
+        name: &str,
+        metrics: &mut MetricsRegistry,
+    ) -> Option<Result<ScenarioRun, ScenarioError>> {
+        let entry = self.get(name)?;
+        Some(match (entry.build)() {
+            ScenarioKind::Spec(spec) => spec.run_with_metrics(metrics).map(ScenarioRun::Report),
+            ScenarioKind::Study(f) => Ok(ScenarioRun::Text(f(metrics))),
+            ScenarioKind::Sweep(sweep) => SweepRunner::default()
+                .run_with_metrics(&sweep, metrics)
                 .map(|(outcome, _)| ScenarioRun::Sweep(outcome)),
         })
     }
@@ -111,12 +133,12 @@ mod tests {
         reg.register(ScenarioEntry {
             name: "a",
             summary: "first",
-            build: || ScenarioKind::Study(|| "A".into()),
+            build: || ScenarioKind::Study(|_| "A".into()),
         });
         reg.register(ScenarioEntry {
             name: "b",
             summary: "second",
-            build: || ScenarioKind::Study(|| "B".into()),
+            build: || ScenarioKind::Study(|_| "B".into()),
         });
         assert_eq!(reg.entries().len(), 2);
         assert_eq!(reg.entries()[0].name, "a");
@@ -136,7 +158,7 @@ mod tests {
         let entry = || ScenarioEntry {
             name: "x",
             summary: "",
-            build: || ScenarioKind::Study(String::new),
+            build: || ScenarioKind::Study(|_| String::new()),
         };
         reg.register(entry());
         reg.register(entry());

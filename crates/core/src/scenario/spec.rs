@@ -234,6 +234,11 @@ pub struct EngineOptions {
     /// Span-level hop tracing: sample 1 in N transactions.
     #[serde(default)]
     pub trace_sampling: Option<u32>,
+    /// Metrics-registry window width (sim time). Absent = no registry when
+    /// running plain, or horizon/32 when running with metrics. Skipped when
+    /// absent so older specs (and their sweep-point hashes) keep their bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics_window: Option<SimDuration>,
 }
 
 /// A fluid link: a preset name or an inline description.
@@ -334,6 +339,7 @@ impl ScenarioSpec {
             }
             cfg.trace_window = opts.trace_window;
             cfg.trace_sampling = opts.trace_sampling;
+            cfg.metrics_window = opts.metrics_window;
         }
         cfg
     }
@@ -433,6 +439,24 @@ impl ScenarioSpec {
         match self.backend {
             BackendKind::Event => super::EventEngineBackend.run(self),
             BackendKind::Fluid => super::FluidBackend.run(self),
+        }
+    }
+
+    /// Runs the scenario and folds its telemetry into `metrics`, with
+    /// `scenario` and `backend` labels distinguishing this run's series.
+    /// Metric values are derived from sim time only, so repeated calls
+    /// against a fresh registry produce byte-identical
+    /// [`MetricsRegistry::to_openmetrics`] dumps.
+    ///
+    /// [`MetricsRegistry::to_openmetrics`]: crate::metrics::MetricsRegistry::to_openmetrics
+    pub fn run_with_metrics(
+        &self,
+        metrics: &mut crate::metrics::MetricsRegistry,
+    ) -> Result<super::ScenarioReport, ScenarioError> {
+        use super::Backend;
+        match self.backend {
+            BackendKind::Event => super::EventEngineBackend.run_with_metrics(self, metrics),
+            BackendKind::Fluid => super::FluidBackend.run_with_metrics(self, metrics),
         }
     }
 }

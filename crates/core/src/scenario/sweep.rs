@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use super::report::ScenarioReport;
 use super::spec::{ScenarioError, ScenarioSpec, TopologyChoice};
+use crate::metrics::{MetricKind, MetricsRegistry};
 
 /// Hard cap on the number of points one sweep may expand to.
 pub const MAX_POINTS: usize = 10_000;
@@ -372,12 +373,125 @@ impl SweepRunner {
     /// them in expansion order, byte-identical for any worker count.
     pub fn run(&self, sweep: &SweepSpec) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let points = sweep.expand()?;
+        let (execs, _peak) = self.execute(&points);
+        Self::collect(sweep, points, execs).map(|(outcome, stats, _)| (outcome, stats))
+    }
+
+    /// Like [`SweepRunner::run`], but instruments the sweep into `metrics`:
+    ///
+    /// * deterministic per-point gauges derived from the outcome itself —
+    ///   `sweep_flow_achieved_gb_s` and `sweep_flow_mean_latency_ns`,
+    ///   labelled `{sweep, sweep_point, flow}` — byte-identical for any
+    ///   worker count or cache state;
+    /// * **volatile** execution counters (excluded from the default
+    ///   OpenMetrics dump): `sweep_cache_hits`, `sweep_cache_misses`,
+    ///   `sweep_point_wall_seconds`, `sweep_pool_occupancy_peak`, and
+    ///   `sweep_jobs`.
+    pub fn run_with_metrics(
+        &self,
+        sweep: &SweepSpec,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
+        let points = sweep.expand()?;
+        let (execs, peak) = self.execute(&points);
+        let (outcome, stats, walls) = Self::collect(sweep, points, execs)?;
+
+        metrics.describe(
+            "sweep_flow_achieved_gb_s",
+            MetricKind::Gauge,
+            "Achieved bandwidth of one flow at one sweep point, GB/s.",
+        );
+        metrics.describe(
+            "sweep_flow_mean_latency_ns",
+            MetricKind::Gauge,
+            "Mean end-to-end latency of one flow at one sweep point, ns.",
+        );
+        for point in &outcome.points {
+            let Some(o) = point.report.outcome() else {
+                continue;
+            };
+            for fr in &o.flows {
+                let labels = [
+                    ("sweep", outcome.sweep.as_str()),
+                    ("sweep_point", point.label.as_str()),
+                    ("flow", fr.name.as_str()),
+                ];
+                metrics.gauge_set("sweep_flow_achieved_gb_s", &labels, fr.achieved_gb_s);
+                if let Some(lat) = fr.mean_latency_ns {
+                    metrics.gauge_set("sweep_flow_mean_latency_ns", &labels, lat);
+                }
+            }
+        }
+
+        metrics.describe_volatile(
+            "sweep_cache_hits",
+            MetricKind::Counter,
+            "Sweep points served from the on-disk result cache.",
+        );
+        metrics.describe_volatile(
+            "sweep_cache_misses",
+            MetricKind::Counter,
+            "Sweep points executed on an engine this run.",
+        );
+        metrics.describe_volatile(
+            "sweep_point_wall_seconds",
+            MetricKind::Gauge,
+            "Wall-clock time one sweep point took (cache hits included).",
+        );
+        metrics.describe_volatile(
+            "sweep_pool_occupancy_peak",
+            MetricKind::Gauge,
+            "Most sweep points in flight at once in the worker pool.",
+        );
+        metrics.describe_volatile(
+            "sweep_jobs",
+            MetricKind::Gauge,
+            "Effective worker-thread count of the sweep run.",
+        );
+        let sweep_label = [("sweep", outcome.sweep.as_str())];
+        metrics.counter_add("sweep_cache_hits", &sweep_label, stats.cached as f64);
+        metrics.counter_add("sweep_cache_misses", &sweep_label, stats.executed as f64);
+        metrics.gauge_set("sweep_pool_occupancy_peak", &sweep_label, peak as f64);
+        metrics.gauge_set(
+            "sweep_jobs",
+            &sweep_label,
+            effective_jobs(self.jobs, stats.total) as f64,
+        );
+        for (point, wall) in outcome.points.iter().zip(walls) {
+            metrics.gauge_set(
+                "sweep_point_wall_seconds",
+                &[
+                    ("sweep", outcome.sweep.as_str()),
+                    ("sweep_point", point.label.as_str()),
+                ],
+                wall,
+            );
+        }
+        Ok((outcome, stats))
+    }
+
+    /// Runs the expanded points through the worker pool, returning per-point
+    /// results (report, cache flag, wall seconds) plus the pool's peak
+    /// occupancy.
+    #[allow(clippy::type_complexity)]
+    fn execute(
+        &self,
+        points: &[SweepPoint],
+    ) -> (
+        Vec<Result<(ScenarioReport, bool, f64), ScenarioError>>,
+        usize,
+    ) {
         if let Some(dir) = &self.cache_dir {
             // Best-effort: an unwritable cache degrades to uncached runs.
             let _ = std::fs::create_dir_all(dir);
         }
-        let results: Vec<Result<(ScenarioReport, bool), ScenarioError>> =
-            parallel_ordered(&points, self.jobs, |_, point| {
+        let occupancy = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let results = parallel_ordered(points, self.jobs, |_, point| {
+            let depth = occupancy.fetch_add(1, Ordering::Relaxed) + 1;
+            peak.fetch_max(depth, Ordering::Relaxed);
+            let started = std::time::Instant::now();
+            let outcome = (|| {
                 if let Some(dir) = &self.cache_dir {
                     if let Some(report) = load_cached(dir, &point.hash) {
                         return Ok((report, true));
@@ -388,19 +502,35 @@ impl SweepRunner {
                     let _ = std::fs::write(cache_path(dir, &point.hash), report.to_json());
                 }
                 Ok((report, false))
-            });
+            })();
+            occupancy.fetch_sub(1, Ordering::Relaxed);
+            outcome.map(|(report, cached)| (report, cached, started.elapsed().as_secs_f64()))
+        });
+        (results, peak.load(Ordering::Relaxed))
+    }
+
+    /// Folds executed points into the aggregate outcome, stats, and the
+    /// per-point wall times (expansion order).
+    #[allow(clippy::type_complexity)]
+    fn collect(
+        sweep: &SweepSpec,
+        points: Vec<SweepPoint>,
+        execs: Vec<Result<(ScenarioReport, bool, f64), ScenarioError>>,
+    ) -> Result<(SweepOutcome, SweepStats, Vec<f64>), ScenarioError> {
         let mut stats = SweepStats {
             total: points.len(),
             ..Default::default()
         };
         let mut out = Vec::with_capacity(points.len());
-        for (point, result) in points.into_iter().zip(results) {
-            let (report, cached) = result?;
+        let mut walls = Vec::with_capacity(points.len());
+        for (point, result) in points.into_iter().zip(execs) {
+            let (report, cached, wall) = result?;
             if cached {
                 stats.cached += 1;
             } else {
                 stats.executed += 1;
             }
+            walls.push(wall);
             out.push(SweepPointResult {
                 label: point.label,
                 hash: point.hash,
@@ -413,6 +543,7 @@ impl SweepRunner {
                 points: out,
             },
             stats,
+            walls,
         ))
     }
 }
@@ -475,6 +606,27 @@ pub fn run_specs(
     parallel_ordered(specs, jobs, |_, spec| spec.run())
         .into_iter()
         .collect()
+}
+
+/// Runs a batch of specs in parallel, each against a private registry, then
+/// merges the registries into `metrics` **in input order** — the merged
+/// dump is byte-identical for any `jobs` value.
+pub fn run_specs_with_metrics(
+    specs: &[ScenarioSpec],
+    jobs: usize,
+    metrics: &mut MetricsRegistry,
+) -> Result<Vec<ScenarioReport>, ScenarioError> {
+    let results = parallel_ordered(specs, jobs, |_, spec| {
+        let mut local = MetricsRegistry::new();
+        spec.run_with_metrics(&mut local).map(|r| (r, local))
+    });
+    let mut reports = Vec::with_capacity(specs.len());
+    for result in results {
+        let (report, local) = result?;
+        metrics.merge_labeled(&local, &[]);
+        reports.push(report);
+    }
+    Ok(reports)
 }
 
 fn effective_jobs(jobs: usize, items: usize) -> usize {

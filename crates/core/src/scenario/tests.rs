@@ -332,12 +332,14 @@ mod json_roundtrip_props {
             prop::bool::ANY,
             prop::option::of(1u64..100_000),
             prop::option::of(1u32..64),
+            prop::option::of(1u64..100_000),
         )
-            .prop_map(|(warmup, det, tw, ts)| EngineOptions {
+            .prop_map(|(warmup, det, tw, ts, mw)| EngineOptions {
                 warmup: warmup.map(SimDuration::from_nanos),
                 deterministic_memory: det,
                 trace_window: tw.map(SimDuration::from_nanos),
                 trace_sampling: ts,
+                metrics_window: mw.map(SimDuration::from_nanos),
             })
     }
 
@@ -680,4 +682,87 @@ fn constant_demand_compiles_to_the_offered_path() {
     let flow = spec.compile_flow(&spec.flows[0], &topo).unwrap();
     assert!(flow.offered.is_none());
     assert!(flow.demand.is_some());
+}
+
+mod metric_runs {
+    use super::*;
+    use crate::metrics::{lint_openmetrics, MetricsRegistry};
+
+    #[test]
+    fn event_backend_metrics_are_deterministic_and_labelled() {
+        let dump = || {
+            let mut m = MetricsRegistry::new();
+            event_spec().run_with_metrics(&mut m).unwrap();
+            m.to_openmetrics()
+        };
+        let (a, b) = (dump(), dump());
+        assert_eq!(a, b, "same spec + seed must dump identical bytes");
+        lint_openmetrics(&a).unwrap();
+        assert!(a.contains(r#"scenario="unit_event""#));
+        assert!(a.contains(r#"backend="event""#));
+        assert!(a.contains("chiplet_flow_completions_total{"));
+        assert!(a.contains("chiplet_flow_latency_ns{"));
+    }
+
+    #[test]
+    fn fluid_backend_metrics_count_every_epoch() {
+        let mut m = MetricsRegistry::new();
+        fluid_spec().run_with_metrics(&mut m).unwrap();
+        let labels = [("backend", "fluid"), ("scenario", "unit_fluid")];
+        // 200 ms horizon at dt = 1 ms.
+        assert_eq!(m.counter_value("fluid_ticks", &labels), Some(200.0));
+        let per_flow = [
+            ("backend", "fluid"),
+            ("flow", "greedy"),
+            ("scenario", "unit_fluid"),
+        ];
+        assert!(m.counter_value("fluid_flow_bytes", &per_flow).unwrap() > 0.0);
+        lint_openmetrics(&m.to_openmetrics()).unwrap();
+    }
+
+    #[test]
+    fn run_specs_with_metrics_is_jobs_invariant() {
+        let mut second = fluid_spec();
+        second.name = "unit_fluid_b".into();
+        let specs = vec![fluid_spec(), second];
+        let dump = |jobs| {
+            let mut m = MetricsRegistry::new();
+            let reports = run_specs_with_metrics(&specs, jobs, &mut m).unwrap();
+            (m.to_openmetrics(), reports)
+        };
+        let (m1, r1) = dump(1);
+        let (m4, r4) = dump(4);
+        assert_eq!(m1, m4, "metrics must not depend on worker count");
+        assert_eq!(r1, r4);
+        assert!(m1.contains(r#"scenario="unit_fluid_b""#));
+    }
+
+    #[test]
+    fn sweep_metrics_split_deterministic_from_volatile() {
+        let sweep = SweepSpec {
+            name: "unit_metric_sweep".into(),
+            description: String::new(),
+            base: fluid_spec(),
+            axes: vec![SweepAxis::DemandGbS {
+                flow: "capped".into(),
+                values: vec![Some(2.0), None],
+            }],
+        };
+        let dump = |jobs| {
+            let mut m = MetricsRegistry::new();
+            SweepRunner::with_jobs(jobs)
+                .run_with_metrics(&sweep, &mut m)
+                .unwrap();
+            (m.to_openmetrics(), m.to_openmetrics_with_volatile())
+        };
+        let (d1, v1) = dump(1);
+        let (d4, _) = dump(4);
+        assert_eq!(d1, d4, "default dump must not depend on worker count");
+        lint_openmetrics(&d1).unwrap();
+        assert!(d1.contains("sweep_flow_achieved_gb_s{"));
+        assert!(!d1.contains("sweep_point_wall_seconds"));
+        assert!(v1.contains("sweep_point_wall_seconds{"));
+        assert!(v1.contains("sweep_jobs{"));
+        assert!(v1.contains("sweep_cache_misses_total{"));
+    }
 }

@@ -12,8 +12,55 @@
 //! * [`SpaceSaving`] — the top-k heavy hitters with guaranteed inclusion of
 //!   every key above `total / capacity`.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// The splitmix64 finalizer — the same mixing discipline the sweep runner
+/// uses for per-point seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded FNV-1a `BuildHasher`: deterministic across runs and platforms,
+/// unlike `RandomState`, so sketches built from the same seed produce
+/// byte-identical reports.
+#[derive(Debug, Clone, Copy)]
+struct SeededFnv {
+    seed: u64,
+}
+
+impl BuildHasher for SeededFnv {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher {
+            state: 0xcbf2_9ce4_8422_2325 ^ self.seed,
+        }
+    }
+}
+
+/// FNV-1a over the written bytes, with a splitmix64 finalizer to spread
+/// the low-entropy keys (small integers) Count-Min rows index with.
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher {
+    state: u64,
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+}
 
 /// A DDSketch-style quantile sketch with relative-error guarantee.
 ///
@@ -140,33 +187,60 @@ pub struct CountMinSketch {
     width: usize,
     depth: usize,
     counters: Vec<u64>,
-    hashers: Vec<RandomState>,
+    hashers: Vec<SeededFnv>,
     total: u64,
 }
 
 impl CountMinSketch {
     /// Creates a sketch with error bound `epsilon` (relative to the total
-    /// count) at confidence `1 − delta`.
+    /// count) at confidence `1 − delta`, hashing with the default seed 0.
     ///
     /// # Panics
     ///
     /// Panics for out-of-range parameters.
     pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        Self::with_error_seeded(epsilon, delta, 0)
+    }
+
+    /// Like [`CountMinSketch::with_error`], deriving the per-row hash
+    /// functions from an explicit seed (splitmix64 stream), so identical
+    /// seeds give identical estimates run-to-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range parameters.
+    pub fn with_error_seeded(epsilon: f64, delta: f64, seed: u64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
         assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
         let width = (std::f64::consts::E / epsilon).ceil() as usize;
         let depth = (1.0 / delta).ln().ceil() as usize;
-        Self::new(width.max(1), depth.max(1))
+        Self::with_seed(width.max(1), depth.max(1), seed)
     }
 
-    /// Creates a sketch with explicit dimensions.
+    /// Creates a sketch with explicit dimensions and the default seed 0.
     pub fn new(width: usize, depth: usize) -> Self {
+        Self::with_seed(width, depth, 0)
+    }
+
+    /// Creates a sketch with explicit dimensions, its row hashers drawn
+    /// from a splitmix64 stream of `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn with_seed(width: usize, depth: usize, seed: u64) -> Self {
         assert!(width > 0 && depth > 0, "dimensions must be positive");
+        let mut stream = seed;
         CountMinSketch {
             width,
             depth,
             counters: vec![0; width * depth],
-            hashers: (0..depth).map(|_| RandomState::new()).collect(),
+            hashers: (0..depth)
+                .map(|_| {
+                    stream = splitmix64(stream);
+                    SeededFnv { seed: stream }
+                })
+                .collect(),
             total: 0,
         }
     }
@@ -206,14 +280,17 @@ impl CountMinSketch {
 }
 
 /// SpaceSaving heavy-hitter tracking with a fixed number of slots.
+///
+/// Keys are `Ord` so that eviction and the heavy-hitter ordering break
+/// count ties by key — fully deterministic, per the repo's contract.
 #[derive(Debug, Clone)]
-pub struct SpaceSaving<K: Eq + Hash + Clone> {
+pub struct SpaceSaving<K: Ord + Clone> {
     capacity: usize,
-    counts: HashMap<K, u64>,
+    counts: BTreeMap<K, u64>,
     total: u64,
 }
 
-impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+impl<K: Ord + Clone> SpaceSaving<K> {
     /// Creates a tracker with `capacity` slots. Every key whose true count
     /// exceeds `total / capacity` is guaranteed to be present.
     ///
@@ -224,13 +301,14 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         assert!(capacity > 0, "capacity must be positive");
         SpaceSaving {
             capacity,
-            counts: HashMap::with_capacity(capacity + 1),
+            counts: BTreeMap::new(),
             total: 0,
         }
     }
 
     /// Adds `count` to `key`, evicting the smallest slot when full (the
     /// newcomer inherits the evicted count — SpaceSaving's overestimate).
+    /// Eviction ties go to the smallest key.
     pub fn update(&mut self, key: K, count: u64) {
         self.total += count;
         if let Some(c) = self.counts.get_mut(&key) {
@@ -241,22 +319,21 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             self.counts.insert(key, count);
             return;
         }
-        // Evict the minimum; deterministic tie-break is unnecessary for the
-        // guarantee but keeps behavior stable enough for tests.
         let (min_key, min_count) = self
             .counts
             .iter()
-            .min_by_key(|(_, &c)| c)
+            .min_by(|a, b| a.1.cmp(b.1).then_with(|| a.0.cmp(b.0)))
             .map(|(k, &c)| (k.clone(), c))
             .expect("tracker is non-empty when full");
         self.counts.remove(&min_key);
         self.counts.insert(key, min_count + count);
     }
 
-    /// The tracked keys with their (over-)estimates, heaviest first.
+    /// The tracked keys with their (over-)estimates, heaviest first
+    /// (count descending, then key ascending).
     pub fn heavy_hitters(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
-        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 
@@ -320,6 +397,31 @@ mod tests {
         cm.update(&1u64, 1000);
         // A different key collides with probability ~1/1024 per row.
         assert!(cm.estimate(&999_999u64) <= 1000);
+    }
+
+    #[test]
+    fn count_min_is_deterministic_for_a_seed() {
+        let build = |seed| {
+            let mut cm = CountMinSketch::with_error_seeded(0.01, 0.01, seed);
+            for i in 0..5000u32 {
+                cm.update(&(i % 311), u64::from(i % 5) + 1);
+            }
+            (0..311u32).map(|k| cm.estimate(&k)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(7), build(7));
+        // Different seeds give different hash layouts (collisions move).
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn space_saving_eviction_breaks_ties_by_smallest_key() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(5u32, 3);
+        ss.update(9u32, 3);
+        // Full; the newcomer evicts the tied minimum with the smaller key.
+        ss.update(1u32, 1);
+        let hh = ss.heavy_hitters();
+        assert_eq!(hh, vec![(1, 4), (9, 3)]);
     }
 
     #[test]

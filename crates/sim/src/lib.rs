@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod schedule;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use metrics::{MetricsSink, NullSink};
 pub use rng::DetRng;
 pub use schedule::DemandSchedule;
 pub use time::{SimDuration, SimTime};

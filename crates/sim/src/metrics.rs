@@ -1,0 +1,92 @@
+//! The metrics-producer interface.
+//!
+//! Every engine in the workspace reports runtime telemetry through
+//! [`MetricsSink`]: named counters, gauges, and sim-time-stamped
+//! observations with label sets. The trait lives in this domain-free crate
+//! so producers below `chiplet_net` (the fluid engine, future NoC models)
+//! can be instrumented without a dependency on the registry that collects
+//! the samples — `chiplet_net::metrics::MetricsRegistry` implements it.
+//!
+//! Timestamps are **simulated** time, never wall clock: a sink may window
+//! observations at fixed sim-time boundaries and stay deterministic for a
+//! given seed.
+
+use crate::time::SimTime;
+
+/// A consumer of metric samples.
+///
+/// Label slices are borrowed `(key, value)` pairs; implementations must
+/// treat two label sets with the same pairs in any order as the same
+/// series. Names follow Prometheus conventions (`snake_case`, unit
+/// suffix); counter families are exposed with an `_total` sample suffix by
+/// the OpenMetrics encoder, so the name itself carries no suffix.
+pub trait MetricsSink {
+    /// Adds `v` (≥ 0) to a counter series.
+    fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64);
+
+    /// Adds `v` to a counter series, attributing it to the sim-time window
+    /// containing `at`. The default forwards to [`MetricsSink::counter_add`]
+    /// (no windowing).
+    fn counter_add_at(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64) {
+        let _ = at;
+        self.counter_add(name, labels, v);
+    }
+
+    /// Sets a gauge series to `v`.
+    fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64);
+
+    /// Records one observation of `v` at sim time `at` into a histogram
+    /// (quantile-sketch) series.
+    fn observe(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64);
+}
+
+/// A sink that drops every sample — the default for uninstrumented runs,
+/// costing one virtual call per sample and nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn counter_add(&mut self, _name: &str, _labels: &[(&str, &str)], _v: f64) {}
+
+    fn gauge_set(&mut self, _name: &str, _labels: &[(&str, &str)], _v: f64) {}
+
+    fn observe(&mut self, _name: &str, _labels: &[(&str, &str)], _at: SimTime, _v: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder(Vec<(String, f64)>);
+
+    impl MetricsSink for Recorder {
+        fn counter_add(&mut self, name: &str, _labels: &[(&str, &str)], v: f64) {
+            self.0.push((name.to_string(), v));
+        }
+
+        fn gauge_set(&mut self, name: &str, _labels: &[(&str, &str)], v: f64) {
+            self.0.push((name.to_string(), v));
+        }
+
+        fn observe(&mut self, name: &str, _labels: &[(&str, &str)], _at: SimTime, v: f64) {
+            self.0.push((name.to_string(), v));
+        }
+    }
+
+    #[test]
+    fn default_counter_add_at_forwards() {
+        let mut r = Recorder::default();
+        r.counter_add_at("bytes", &[], SimTime::from_micros(3), 64.0);
+        assert_eq!(r.0, vec![("bytes".to_string(), 64.0)]);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        s.counter_add("a", &[("k", "v")], 1.0);
+        s.counter_add_at("a", &[], SimTime::ZERO, 1.0);
+        s.gauge_set("b", &[], 2.0);
+        s.observe("c", &[], SimTime::ZERO, 3.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! CI perf-regression gate: compares a fresh `CRITERION_JSON` run against
+//! the committed `BENCH_engine.json` baseline.
+//!
+//! ```text
+//! bench-check <fresh.jsonl> [baseline.json] [--max-regression <frac>]
+//! ```
+//!
+//! The fresh file holds one JSON object per line (as emitted by the
+//! vendored criterion with `CRITERION_JSON=<path>`); the baseline maps
+//! bench ids to `{"before_mean_ns": …, "after_mean_ns": …}`. A bench
+//! regresses when its fresh mean exceeds the baseline `after_mean_ns` by
+//! more than the allowed fraction (default 0.25). Benches absent from the
+//! baseline are reported but never fail the job, so adding a bench does
+//! not require re-pinning in the same change.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            let v = it.next().expect("--max-regression needs a value");
+            max_regression = v.parse().expect("--max-regression must be a number");
+        } else {
+            paths.push(a);
+        }
+    }
+    let fresh_path = paths.first().copied().unwrap_or_else(|| {
+        eprintln!("usage: bench-check <fresh.jsonl> [baseline.json] [--max-regression <frac>]");
+        std::process::exit(2);
+    });
+    let baseline_path = paths.get(1).copied().unwrap_or("BENCH_engine.json");
+
+    let fresh_text =
+        std::fs::read_to_string(fresh_path).unwrap_or_else(|e| panic!("reading {fresh_path}: {e}"));
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+    let baseline: Value =
+        serde_json::from_str(&baseline_text).expect("baseline must be valid JSON");
+    let benches = baseline
+        .get("benches")
+        .expect("baseline must carry a \"benches\" object");
+
+    let mut failures = 0u32;
+    let mut checked = 0u32;
+    for line in fresh_text.lines().filter(|l| !l.trim().is_empty()) {
+        let row: Value = serde_json::from_str(line).expect("fresh line must be valid JSON");
+        let id = row
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("fresh row needs an id");
+        let mean = row
+            .get("mean_ns")
+            .and_then(Value::as_f64)
+            .expect("fresh row needs mean_ns");
+        let Some(pinned) = benches
+            .get(id)
+            .and_then(|b| b.get("after_mean_ns"))
+            .and_then(Value::as_f64)
+        else {
+            println!("  new   {id}: {mean:.0} ns (no baseline, not gated)");
+            continue;
+        };
+        checked += 1;
+        let ratio = mean / pinned;
+        if ratio > 1.0 + max_regression {
+            failures += 1;
+            println!(
+                "  FAIL  {id}: {mean:.0} ns vs pinned {pinned:.0} ns ({:+.1}% > {:.0}% allowed)",
+                (ratio - 1.0) * 100.0,
+                max_regression * 100.0
+            );
+        } else {
+            println!(
+                "  ok    {id}: {mean:.0} ns vs pinned {pinned:.0} ns ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+
+    if checked == 0 {
+        eprintln!("bench-check: no fresh bench overlapped the baseline — wrong file?");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!("bench-check: {failures} bench(es) regressed beyond the allowed envelope");
+        return ExitCode::FAILURE;
+    }
+    println!("bench-check: {checked} bench(es) within the envelope");
+    ExitCode::SUCCESS
+}

@@ -23,12 +23,14 @@
 
 pub mod plan;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chiplet_fabric::{Dir, DirectionalChannel, SlotLimiter};
 use chiplet_mem::{AccessOutcome, CacheHierarchy, DramServiceModel, Pattern};
 use chiplet_sim::stats::{BandwidthTrace, GaugeTrace, LatencyHistogram, SpanCollector};
-use chiplet_sim::{Bandwidth, ByteSize, DetRng, EventQueue, SimDuration, SimTime};
+use chiplet_sim::{
+    Bandwidth, ByteSize, DetRng, EventQueue, SeriesHandle, SeriesKind, SimDuration, SimTime,
+};
 use chiplet_topology::{CoreId, DimmId, PlatformKind, Topology};
 
 use crate::flow::{FlowId, FlowSpec, Target};
@@ -36,7 +38,7 @@ use crate::telemetry::{
     CapacityPoint, DirStats, FlowTelemetry, LinkTelemetry, MatrixCell, TelemetryReport,
 };
 use crate::trace::{HopClass, TraceReport};
-use crate::traffic::{FlowDemand, ResourceKey, TrafficPolicy};
+use crate::traffic::{DenseAllocScratch, ResourceArena, ResourceKey, TrafficPolicy};
 use plan::{StagePlan, StageRef};
 
 const LINE: u64 = 64;
@@ -223,6 +225,14 @@ struct FlowRuntime {
     budget_max: u32,
     in_flight: u32,
     budget_blocked: Vec<u32>,
+    /// Interned resource footprint for allocator-backed policies: dense
+    /// arena index → fraction of the flow's rate crossing that point.
+    /// Built once at admission; empty under hardware/BDP policies.
+    footprint: Vec<(u32, f64)>,
+    /// Lazily resolved metric series handles (flow-labelled families).
+    h_completions: Option<SeriesHandle>,
+    h_bytes: Option<SeriesHandle>,
+    h_latency: Option<SeriesHandle>,
     /// Mean inter-issue gap per core, ns; 0 = unthrottled.
     gap_mean_ns: f64,
     /// Mean unloaded path latency, ns (the BDP controller's reference).
@@ -280,7 +290,16 @@ pub struct Engine<'t> {
     cores: Vec<CoreState>,
     txns: Vec<Txn>,
     free_txns: Vec<u32>,
-    matrix: HashMap<(u32, u32), u64>,
+    /// Dense traffic matrix, row-major: `matrix[src * matrix_cols + dest]`.
+    /// Rows are compute chiplets then NICs; columns UMCs then CXL devices.
+    matrix: Vec<u64>,
+    matrix_cols: usize,
+    /// Dense resource arena for the traffic-manager allocator: every
+    /// capacity point crossed by any admitted flow, interned at admission.
+    arena: ResourceArena,
+    /// Reusable allocator state; epochs whose active set and demand bits
+    /// match the previous solve skip the solver entirely.
+    policy: PolicyScratch,
     dram_model: DramServiceModel,
     cxl_model: DramServiceModel,
     horizon_ns: f64,
@@ -300,6 +319,24 @@ pub struct Engine<'t> {
     /// link-then-socket-then-CXL order as `point_traces`.
     metrics: Option<crate::metrics::MetricsRegistry>,
     point_labels: Vec<String>,
+    /// Lazily resolved `(bytes, wait)` series handles per capacity point ×
+    /// direction (`[read, write]`); empty when metrics are off.
+    link_handles: Vec<[Option<(SeriesHandle, SeriesHandle)>; 2]>,
+}
+
+/// Reusable buffers for the traffic-manager recomputation path plus the
+/// incremental-epoch memo. Steady-state epochs allocate nothing.
+#[derive(Default)]
+struct PolicyScratch {
+    active: Vec<u32>,
+    demands: Vec<f64>,
+    rates: Vec<Bandwidth>,
+    dense: DenseAllocScratch,
+    /// Active set and demand bit patterns of the last solved epoch; when
+    /// both match, the equilibrium — and every gap — is unchanged.
+    last_active: Vec<u32>,
+    last_demand_bits: Vec<u64>,
+    valid: bool,
 }
 
 /// Windowed time series for one capacity point.
@@ -409,6 +446,17 @@ impl<'t> Engine<'t> {
         } else {
             Vec::new()
         };
+        let link_handles = if metrics.is_some() {
+            vec![[None, None]; n_points]
+        } else {
+            Vec::new()
+        };
+        // Matrix rows: compute chiplets then NIC DMA engines; columns
+        // cover both DIMM indices and `umc_count + device` CXL dests.
+        let matrix_rows = (topo.ccd_total() + topo.nic_count()) as usize;
+        let matrix_cols = (topo
+            .dimm_count()
+            .max(spec.mem.umc_count + topo.cxl_device_count())) as usize;
 
         Engine {
             topo,
@@ -441,7 +489,10 @@ impl<'t> Engine<'t> {
             ],
             txns: Vec::new(),
             free_txns: Vec::new(),
-            matrix: HashMap::new(),
+            matrix: vec![0; matrix_rows * matrix_cols],
+            matrix_cols,
+            arena: ResourceArena::new(),
+            policy: PolicyScratch::default(),
             dram_model,
             cxl_model,
             horizon_ns: 0.0,
@@ -453,6 +504,7 @@ impl<'t> Engine<'t> {
             point_traces,
             metrics,
             point_labels,
+            link_handles,
         }
     }
 
@@ -561,6 +613,38 @@ impl<'t> Engine<'t> {
             Some(_) => demand_gap(spec.demand_per_issuer_at(spec.start)),
         };
 
+        // Allocator-backed policies: intern the flow's resource footprint
+        // into the dense arena once, here, instead of re-deriving it from
+        // plans × stages at every reallocation epoch. Interleaving spreads
+        // the flow evenly over its plans, so a point crossed by k of the
+        // flow's n plans carries k/n of its rate.
+        let footprint = match self.cfg.policy {
+            TrafficPolicy::MaxMinFair
+            | TrafficPolicy::WeightedFair { .. }
+            | TrafficPolicy::RateLimit { .. } => {
+                let dir = if spec.op.is_write() {
+                    Dir::Write
+                } else {
+                    Dir::Read
+                };
+                let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+                for p in &plans {
+                    for s in &p.stages {
+                        if let Some(cap) = self.capacity_of(s.point, dir) {
+                            let idx = self.arena.set_capacity(resource_key(s.point, dir), cap);
+                            *counts.entry(idx).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let n_plans = plans.len().max(1) as f64;
+                counts
+                    .into_iter()
+                    .map(|(idx, c)| (idx, c as f64 / n_plans))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
         self.flows.push(FlowRuntime {
             spec,
             plans,
@@ -569,6 +653,10 @@ impl<'t> Engine<'t> {
             budget_max,
             in_flight: 0,
             budget_blocked: Vec::new(),
+            footprint,
+            h_completions: None,
+            h_bytes: None,
+            h_latency: None,
             gap_mean_ns,
             mean_unloaded_ns,
             adaptive_rate: None,
@@ -643,19 +731,21 @@ impl<'t> Engine<'t> {
         }
 
         // Demand-schedule piece boundaries: each one re-paces the flow's
-        // issuers (after any same-instant policy recomputation).
-        for fi in 0..self.flows.len() {
-            let Some(sched) = self.flows[fi].spec.demand.clone() else {
+        // issuers (after any same-instant policy recomputation). Split
+        // borrows (flows shared, queue exclusive) keep this clone-free.
+        let flows = &self.flows;
+        let queue = &mut self.queue;
+        for (fi, f) in flows.iter().enumerate() {
+            let Some(sched) = f.spec.demand.as_ref() else {
                 continue;
             };
-            let start = self.flows[fi].spec.start;
-            let stop = self.flows[fi].spec.stop_or(horizon);
-            let mut t = start;
+            let stop = f.spec.stop_or(horizon);
+            let mut t = f.spec.start;
             while let Some(next) = sched.next_change_after(t) {
                 if next >= stop {
                     break;
                 }
-                self.queue.push(next, Event::Demand { flow: fi as u32 });
+                queue.push(next, Event::Demand { flow: fi as u32 });
                 t = next;
             }
         }
@@ -981,13 +1071,28 @@ impl<'t> Engine<'t> {
                 StageRef::SocketNoc(sk) => self.channels.len() + sk as usize,
                 StageRef::CxlPort(c) => self.channels.len() + self.noc.len() + c as usize,
             };
-            let labels = [
-                ("link_id", self.point_labels[idx].as_str()),
-                ("dir", if is_write { "write" } else { "read" }),
-            ];
+            // Resolve the point's series handles at first admission (so
+            // the registry sees the same series set and creation order as
+            // the string path), then record through the dense slots.
+            let di = usize::from(is_write);
+            let (h_bytes, h_wait) = match self.link_handles[idx][di] {
+                Some(h) => h,
+                None => {
+                    let labels = [
+                        ("link_id", self.point_labels[idx].as_str()),
+                        ("dir", if is_write { "write" } else { "read" }),
+                    ];
+                    let h = (
+                        m.series_handle(SeriesKind::Counter, "chiplet_link_bytes", &labels),
+                        m.series_handle(SeriesKind::Histogram, "chiplet_link_wait_ns", &labels),
+                    );
+                    self.link_handles[idx][di] = Some(h);
+                    h
+                }
+            };
             let at = SimTime::from_nanos(now_ns as u64);
-            m.counter_add_at("chiplet_link_bytes", &labels, at, bytes as f64);
-            m.observe("chiplet_link_wait_ns", &labels, at, adm.wait_ns);
+            m.counter_add_at_handle(h_bytes, at, bytes as f64);
+            m.observe_handle(h_wait, at, adm.wait_ns);
         }
         // Hop record: the wait is queueing behind earlier admissions; the
         // latency-contributing service here is the device variability
@@ -1100,18 +1205,40 @@ impl<'t> Engine<'t> {
                 } else {
                     ccd
                 };
-                *self.matrix.entry((matrix_src, matrix_dest)).or_insert(0) += LINE;
+                self.matrix[matrix_src as usize * self.matrix_cols + matrix_dest as usize] += LINE;
                 if let Some(p) = self.profiler.as_mut() {
                     p.observe(FlowId(flow), matrix_src, matrix_dest, LINE, lat);
                 }
                 if let Some(m) = self.metrics.as_mut() {
-                    let labels = [("flow", self.flows[flow as usize].spec.name.as_str())];
+                    let f = &mut self.flows[flow as usize];
+                    let name = f.spec.name.as_str();
                     let at = SimTime::from_nanos(now_ns as u64);
-                    m.counter_add_at("chiplet_flow_completions", &labels, at, 1.0);
+                    let h = *f.h_completions.get_or_insert_with(|| {
+                        m.series_handle(
+                            SeriesKind::Counter,
+                            "chiplet_flow_completions",
+                            &[("flow", name)],
+                        )
+                    });
+                    m.counter_add_at_handle(h, at, 1.0);
                     if counts_payload {
-                        m.counter_add_at("chiplet_flow_bytes", &labels, at, LINE as f64);
+                        let h = *f.h_bytes.get_or_insert_with(|| {
+                            m.series_handle(
+                                SeriesKind::Counter,
+                                "chiplet_flow_bytes",
+                                &[("flow", name)],
+                            )
+                        });
+                        m.counter_add_at_handle(h, at, LINE as f64);
                     }
-                    m.observe("chiplet_flow_latency_ns", &labels, at, lat);
+                    let h = *f.h_latency.get_or_insert_with(|| {
+                        m.series_handle(
+                            SeriesKind::Histogram,
+                            "chiplet_flow_latency_ns",
+                            &[("flow", name)],
+                        )
+                    });
+                    m.observe_handle(h, at, lat);
                 }
             }
         }
@@ -1160,63 +1287,27 @@ impl<'t> Engine<'t> {
     }
 
     fn recompute_policy(&mut self, now_ns: f64, horizon: SimTime) {
-        // Demands and resource sets of flows active at `now`.
-        let active: Vec<usize> = (0..self.flows.len())
-            .filter(|&i| {
-                let f = &self.flows[i];
-                (f.outcome.is_fabric_bound() || f.spec.nic.is_some())
-                    && (f.spec.start.as_nanos() as f64) <= now_ns
-                    && now_ns < f.spec.stop_or(horizon).as_nanos() as f64
-            })
-            .collect();
+        // Flows active at `now`, in a buffer reused across epochs.
+        let mut active = std::mem::take(&mut self.policy.active);
+        active.clear();
+        active.extend((0..self.flows.len() as u32).filter(|&i| {
+            let f = &self.flows[i as usize];
+            (f.outcome.is_fabric_bound() || f.spec.nic.is_some())
+                && (f.spec.start.as_nanos() as f64) <= now_ns
+                && now_ns < f.spec.stop_or(horizon).as_nanos() as f64
+        }));
         if active.is_empty() {
+            self.policy.active = active;
             return;
         }
 
-        let mut capacities: HashMap<ResourceKey, f64> = HashMap::new();
-        let demands: Vec<FlowDemand> = active
-            .iter()
-            .map(|&i| {
-                let f = &self.flows[i];
-                let dir = if f.spec.op.is_write() {
-                    Dir::Write
-                } else {
-                    Dir::Read
-                };
-                // Traffic fraction per capacity point: interleaving spreads
-                // the flow evenly over its plans, so a point crossed by k of
-                // the flow's n plans carries k/n of its rate.
-                let mut counts: HashMap<ResourceKey, u32> = HashMap::new();
-                for p in &f.plans {
-                    for s in &p.stages {
-                        let key = resource_key(s.point, dir);
-                        if let Some(cap) = self.capacity_of(s.point, dir) {
-                            capacities.entry(key).or_insert(cap);
-                            *counts.entry(key).or_insert(0) += 1;
-                        }
-                    }
-                }
-                let n_plans = f.plans.len().max(1) as f64;
-                let mut resources: Vec<(ResourceKey, f64)> = counts
-                    .into_iter()
-                    .map(|(k, c)| (k, c as f64 / n_plans))
-                    .collect();
-                resources.sort_by_key(|&(k, _)| k);
-                FlowDemand {
-                    demand: f
-                        .spec
-                        .demand_at(SimTime::from_nanos(now_ns as u64))
-                        .map_or(f64::INFINITY, |b| b.as_bytes_per_s()),
-                    weight: 1.0,
-                    resources,
-                }
-            })
-            .collect();
-
+        // BDP-adaptive control is a closed loop over measured latency; it
+        // never consults demands or capacities, so handle it before any
+        // allocator work.
         if let TrafficPolicy::BdpAdaptive { latency_factor, .. } = self.cfg.policy {
             // AIMD on each active flow's rate against its latency target.
             for &i in &active {
-                let f = &mut self.flows[i];
+                let f = &mut self.flows[i as usize];
                 let measured = if f.win_lat_n > 0 {
                     f.win_lat_sum_ns / f.win_lat_n as f64
                 } else {
@@ -1246,22 +1337,79 @@ impl<'t> Engine<'t> {
                     f64::INFINITY
                 };
             }
+            self.policy.active = active;
             return;
         }
 
-        if let Some(rates) = self.cfg.policy.allocate(&demands, &capacities) {
+        // Demand vector in active order; footprints and capacities were
+        // interned at admission, so this is the only per-epoch derivation.
+        let mut demands = std::mem::take(&mut self.policy.demands);
+        demands.clear();
+        demands.extend(active.iter().map(|&i| {
+            self.flows[i as usize]
+                .spec
+                .demand_at(SimTime::from_nanos(now_ns as u64))
+                .map_or(f64::INFINITY, |b| b.as_bytes_per_s())
+        }));
+
+        // Incremental epoch: same active set, bit-identical demands ⇒ the
+        // equilibrium — and every gap it implies — is unchanged; skip the
+        // solve. Gaps are only written here for allocator-backed policies,
+        // so the memo can never go stale between epochs.
+        let p = &mut self.policy;
+        if p.valid
+            && p.last_active == active
+            && p.last_demand_bits.len() == demands.len()
+            && p.last_demand_bits
+                .iter()
+                .zip(&demands)
+                .all(|(&b, d)| b == d.to_bits())
+        {
+            p.active = active;
+            p.demands = demands;
+            return;
+        }
+        p.last_active.clear();
+        p.last_active.extend_from_slice(&active);
+        p.last_demand_bits.clear();
+        p.last_demand_bits
+            .extend(demands.iter().map(|d| d.to_bits()));
+        p.valid = true;
+
+        let mut rates = std::mem::take(&mut self.policy.rates);
+        let mut dense = std::mem::take(&mut self.policy.dense);
+        let solved = {
+            let footprints: Vec<&[(u32, f64)]> = active
+                .iter()
+                .map(|&i| self.flows[i as usize].footprint.as_slice())
+                .collect();
+            self.cfg.policy.allocate_dense(
+                &demands,
+                &footprints,
+                self.arena.capacities(),
+                &mut dense,
+                &mut rates,
+            )
+        };
+        if solved {
             for (k, &i) in active.iter().enumerate() {
-                let issuers = self.flows[i].spec.issuer_count() as f64;
+                let f = &mut self.flows[i as usize];
+                let issuers = f.spec.issuer_count() as f64;
                 let per_issuer = Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
                 // A zero allocation (zero-demand schedule piece) pauses the
                 // flow rather than unthrottling it.
-                self.flows[i].gap_mean_ns = if per_issuer.is_positive() {
+                f.gap_mean_ns = if per_issuer.is_positive() {
                     gap_from_rate(Some(per_issuer))
                 } else {
                     f64::INFINITY
                 };
             }
         }
+        let p = &mut self.policy;
+        p.active = active;
+        p.demands = demands;
+        p.rates = rates;
+        p.dense = dense;
     }
 
     /// A flow's demand schedule entered a new piece: under the hardware
@@ -1448,12 +1596,19 @@ impl<'t> Engine<'t> {
             links.push(lt);
         }
 
-        let mut matrix: Vec<MatrixCell> = self
+        // Row-major iteration yields cells already sorted by (ccd, dest);
+        // zero cells are skipped to match the sparse accumulation of old.
+        let matrix: Vec<MatrixCell> = self
             .matrix
             .iter()
-            .map(|(&(ccd, dest), &bytes)| MatrixCell { ccd, dest, bytes })
+            .enumerate()
+            .filter(|&(_, &bytes)| bytes > 0)
+            .map(|(i, &bytes)| MatrixCell {
+                ccd: (i / self.matrix_cols) as u32,
+                dest: (i % self.matrix_cols) as u32,
+                bytes,
+            })
             .collect();
-        matrix.sort_by_key(|c| (c.ccd, c.dest));
 
         let profile = self
             .profiler

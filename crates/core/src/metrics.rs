@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use chiplet_sim::{MetricsSink, SimDuration, SimTime};
+use chiplet_sim::{MetricsSink, SeriesHandle, SeriesKind, SimDuration, SimTime};
 
 use crate::sketch::QuantileSketch;
 
@@ -264,12 +264,17 @@ enum SeriesValue {
 }
 
 /// One named metric family: a kind, help text, and its series.
+///
+/// Series *values* live in the registry's dense slot arena; the family
+/// maps each sorted label set to its slot index, so hot-path recording
+/// through a [`SeriesHandle`] is a single `Vec` index while iteration (and
+/// the OpenMetrics exposition) stays `BTreeMap`-ordered and deterministic.
 #[derive(Debug, Clone)]
 pub struct MetricFamily {
     kind: MetricKind,
     help: String,
     volatile: bool,
-    series: BTreeMap<LabelSet, SeriesValue>,
+    series: BTreeMap<LabelSet, u32>,
 }
 
 impl MetricFamily {
@@ -301,6 +306,8 @@ impl MetricFamily {
 pub struct MetricsRegistry {
     window: SimDuration,
     families: BTreeMap<String, MetricFamily>,
+    /// The dense series arena; family maps index into it.
+    slots: Vec<SeriesValue>,
 }
 
 impl Default for MetricsRegistry {
@@ -326,6 +333,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             window,
             families: BTreeMap::new(),
+            slots: Vec::new(),
         }
     }
 
@@ -374,30 +382,98 @@ impl MetricsRegistry {
     }
 
     fn family_mut(&mut self, name: &str, kind: MetricKind) -> &mut MetricFamily {
-        let fam = self
-            .families
-            .entry(name.to_string())
-            .or_insert_with(|| MetricFamily {
-                kind,
-                help: String::new(),
-                volatile: false,
-                series: BTreeMap::new(),
-            });
-        assert!(
-            fam.kind == kind,
-            "metric family '{name}' used with two kinds"
-        );
-        fam
+        family_mut(&mut self.families, name, kind)
+    }
+
+    /// The slot index for `(name, kind, labels)`, creating the family and
+    /// an `init()`-valued slot on first touch.
+    fn slot_for(
+        &mut self,
+        name: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        init: impl FnOnce() -> SeriesValue,
+    ) -> u32 {
+        let fam = family_mut(&mut self.families, name, kind);
+        let slots = &mut self.slots;
+        *fam.series.entry(label_set(labels)).or_insert_with(|| {
+            let idx = u32::try_from(slots.len()).expect("series arena overflow");
+            slots.push(init());
+            idx
+        })
+    }
+
+    /// Resolves `(kind, name, labels)` to a dense handle, creating the
+    /// series (zero-valued / empty) if absent. Recording through the
+    /// handle skips the per-sample name lookup and label-set allocation of
+    /// the string methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the family already exists with a different kind.
+    pub fn series_handle(
+        &mut self,
+        kind: SeriesKind,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> SeriesHandle {
+        let window = self.window;
+        let (mk, init): (MetricKind, fn(SimDuration) -> SeriesValue) = match kind {
+            SeriesKind::Counter => (MetricKind::Counter, |_| SeriesValue::Counter {
+                total: 0.0,
+                windows: CounterWindows::default(),
+            }),
+            SeriesKind::Gauge => (MetricKind::Gauge, |_| SeriesValue::Gauge(0.0)),
+            SeriesKind::Histogram => (MetricKind::Histogram, |w| {
+                SeriesValue::Histogram(WindowedSketch::new(w))
+            }),
+        };
+        SeriesHandle(self.slot_for(name, mk, labels, || init(window)))
+    }
+
+    /// Adds `v` to the counter slot behind `h`.
+    pub fn counter_add_handle(&mut self, h: SeriesHandle, v: f64) {
+        match &mut self.slots[h.0 as usize] {
+            SeriesValue::Counter { total, .. } => *total += v,
+            _ => panic!("handle {h:?} is not a counter"),
+        }
+    }
+
+    /// Adds `v` to the counter slot behind `h`, windowed at `at`.
+    pub fn counter_add_at_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        let window_ns = self.window.as_nanos();
+        match &mut self.slots[h.0 as usize] {
+            SeriesValue::Counter { total, windows } => {
+                *total += v;
+                windows.add(window_ns, at, v);
+            }
+            _ => panic!("handle {h:?} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge slot behind `h` to `v`.
+    pub fn gauge_set_handle(&mut self, h: SeriesHandle, v: f64) {
+        match &mut self.slots[h.0 as usize] {
+            SeriesValue::Gauge(g) => *g = v,
+            _ => panic!("handle {h:?} is not a gauge"),
+        }
+    }
+
+    /// Records one observation into the histogram slot behind `h`.
+    pub fn observe_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        match &mut self.slots[h.0 as usize] {
+            SeriesValue::Histogram(sk) => sk.record(at, v),
+            _ => panic!("handle {h:?} is not a histogram"),
+        }
     }
 
     /// Adds `v` to a counter series.
     pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
-        let key = label_set(labels);
-        let fam = self.family_mut(name, MetricKind::Counter);
-        match fam.series.entry(key).or_insert(SeriesValue::Counter {
+        let idx = self.slot_for(name, MetricKind::Counter, labels, || SeriesValue::Counter {
             total: 0.0,
             windows: CounterWindows::default(),
-        }) {
+        });
+        match &mut self.slots[idx as usize] {
             SeriesValue::Counter { total, .. } => *total += v,
             _ => unreachable!("family_mut checked the kind"),
         }
@@ -407,12 +483,11 @@ impl MetricsRegistry {
     /// window containing `at`.
     pub fn counter_add_at(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64) {
         let window_ns = self.window.as_nanos();
-        let key = label_set(labels);
-        let fam = self.family_mut(name, MetricKind::Counter);
-        match fam.series.entry(key).or_insert(SeriesValue::Counter {
+        let idx = self.slot_for(name, MetricKind::Counter, labels, || SeriesValue::Counter {
             total: 0.0,
             windows: CounterWindows::default(),
-        }) {
+        });
+        match &mut self.slots[idx as usize] {
             SeriesValue::Counter { total, windows } => {
                 *total += v;
                 windows.add(window_ns, at, v);
@@ -423,21 +498,17 @@ impl MetricsRegistry {
 
     /// Sets a gauge series to `v`.
     pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
-        let key = label_set(labels);
-        let fam = self.family_mut(name, MetricKind::Gauge);
-        fam.series.insert(key, SeriesValue::Gauge(v));
+        let idx = self.slot_for(name, MetricKind::Gauge, labels, || SeriesValue::Gauge(0.0));
+        self.slots[idx as usize] = SeriesValue::Gauge(v);
     }
 
     /// Records one observation into a windowed-histogram series.
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64) {
         let window = self.window;
-        let key = label_set(labels);
-        let fam = self.family_mut(name, MetricKind::Histogram);
-        match fam
-            .series
-            .entry(key)
-            .or_insert_with(|| SeriesValue::Histogram(WindowedSketch::new(window)))
-        {
+        let idx = self.slot_for(name, MetricKind::Histogram, labels, || {
+            SeriesValue::Histogram(WindowedSketch::new(window))
+        });
+        match &mut self.slots[idx as usize] {
             SeriesValue::Histogram(sk) => sk.record(at, v),
             _ => unreachable!("family_mut checked the kind"),
         }
@@ -450,21 +521,23 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         sketch: &WindowedSketch,
     ) {
-        let key = label_set(labels);
-        let fam = self.family_mut(name, MetricKind::Histogram);
-        match fam
-            .series
-            .entry(key)
-            .or_insert_with(|| SeriesValue::Histogram(WindowedSketch::new(sketch.window())))
-        {
+        let idx = self.slot_for(name, MetricKind::Histogram, labels, || {
+            SeriesValue::Histogram(WindowedSketch::new(sketch.window()))
+        });
+        match &mut self.slots[idx as usize] {
             SeriesValue::Histogram(sk) => sk.merge(sketch),
             _ => unreachable!("family_mut checked the kind"),
         }
     }
 
+    fn slot(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesValue> {
+        let idx = *self.families.get(name)?.series.get(&label_set(labels))?;
+        Some(&self.slots[idx as usize])
+    }
+
     /// A counter series' total, if it exists.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.families.get(name)?.series.get(&label_set(labels))? {
+        match self.slot(name, labels)? {
             SeriesValue::Counter { total, .. } => Some(*total),
             _ => None,
         }
@@ -472,7 +545,7 @@ impl MetricsRegistry {
 
     /// A gauge series' value, if it exists.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self.families.get(name)?.series.get(&label_set(labels))? {
+        match self.slot(name, labels)? {
             SeriesValue::Gauge(v) => Some(*v),
             _ => None,
         }
@@ -480,7 +553,7 @@ impl MetricsRegistry {
 
     /// A histogram series' windowed sketch, if it exists.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&WindowedSketch> {
-        match self.families.get(name)?.series.get(&label_set(labels))? {
+        match self.slot(name, labels)? {
             SeriesValue::Histogram(sk) => Some(sk),
             _ => None,
         }
@@ -503,13 +576,16 @@ impl MetricsRegistry {
                 dst.help = fam.help.clone();
             }
             dst.volatile = dst.volatile || fam.volatile;
-            for (labels, value) in &fam.series {
+            for (labels, &src_idx) in &fam.series {
+                let value = &other.slots[src_idx as usize];
                 let mut key = labels.clone();
                 key.extend(extra.iter().map(|&(k, v)| (k.to_string(), v.to_string())));
                 key.sort();
                 let dst = self.families.get_mut(name).expect("family exists");
-                match (
-                    dst.series.entry(key).or_insert_with(|| match value {
+                let slots = &mut self.slots;
+                let idx = *dst.series.entry(key).or_insert_with(|| {
+                    let idx = u32::try_from(slots.len()).expect("series arena overflow");
+                    slots.push(match value {
                         SeriesValue::Counter { .. } => SeriesValue::Counter {
                             total: 0.0,
                             windows: CounterWindows::default(),
@@ -518,9 +594,10 @@ impl MetricsRegistry {
                         SeriesValue::Histogram(sk) => SeriesValue::Histogram(
                             WindowedSketch::with_alpha(sk.window(), sk.alpha()),
                         ),
-                    }),
-                    value,
-                ) {
+                    });
+                    idx
+                });
+                match (&mut self.slots[idx as usize], value) {
                     (
                         SeriesValue::Counter { total, windows },
                         SeriesValue::Counter {
@@ -562,36 +639,56 @@ impl MetricsRegistry {
             encode_family_header(&mut out, name, fam.kind, &fam.help);
             match fam.kind {
                 MetricKind::Counter => {
-                    for (labels, value) in &fam.series {
-                        let SeriesValue::Counter { total, .. } = value else {
+                    for (labels, &idx) in &fam.series {
+                        let SeriesValue::Counter { total, .. } = &self.slots[idx as usize] else {
                             unreachable!("counter family holds counters");
                         };
                         sample_line(&mut out, &format!("{name}_total"), labels, &[], *total);
                     }
-                    encode_counter_windows(&mut out, name, fam);
+                    encode_counter_windows(&mut out, name, fam, &self.slots);
                 }
                 MetricKind::Gauge => {
-                    for (labels, value) in &fam.series {
-                        let SeriesValue::Gauge(v) = value else {
+                    for (labels, &idx) in &fam.series {
+                        let SeriesValue::Gauge(v) = &self.slots[idx as usize] else {
                             unreachable!("gauge family holds gauges");
                         };
                         sample_line(&mut out, name, labels, &[], *v);
                     }
                 }
                 MetricKind::Histogram => {
-                    for (labels, value) in &fam.series {
-                        let SeriesValue::Histogram(sk) = value else {
+                    for (labels, &idx) in &fam.series {
+                        let SeriesValue::Histogram(sk) = &self.slots[idx as usize] else {
                             unreachable!("histogram family holds histograms");
                         };
                         encode_summary(&mut out, name, labels, &[], sk.total(), sk.sum());
                     }
-                    encode_histogram_windows(&mut out, name, fam);
+                    encode_histogram_windows(&mut out, name, fam, &self.slots);
                 }
             }
         }
         out.push_str("# EOF\n");
         out
     }
+}
+
+fn family_mut<'a>(
+    families: &'a mut BTreeMap<String, MetricFamily>,
+    name: &str,
+    kind: MetricKind,
+) -> &'a mut MetricFamily {
+    let fam = families
+        .entry(name.to_string())
+        .or_insert_with(|| MetricFamily {
+            kind,
+            help: String::new(),
+            volatile: false,
+            series: BTreeMap::new(),
+        });
+    assert!(
+        fam.kind == kind,
+        "metric family '{name}' used with two kinds"
+    );
+    fam
 }
 
 impl MetricsSink for MetricsRegistry {
@@ -609,6 +706,31 @@ impl MetricsSink for MetricsRegistry {
 
     fn observe(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64) {
         MetricsRegistry::observe(self, name, labels, at, v);
+    }
+
+    fn series_handle(
+        &mut self,
+        kind: SeriesKind,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<SeriesHandle> {
+        Some(MetricsRegistry::series_handle(self, kind, name, labels))
+    }
+
+    fn counter_add_handle(&mut self, h: SeriesHandle, v: f64) {
+        MetricsRegistry::counter_add_handle(self, h, v);
+    }
+
+    fn counter_add_at_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        MetricsRegistry::counter_add_at_handle(self, h, at, v);
+    }
+
+    fn gauge_set_handle(&mut self, h: SeriesHandle, v: f64) {
+        MetricsRegistry::gauge_set_handle(self, h, v);
+    }
+
+    fn observe_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        MetricsRegistry::observe_handle(self, h, at, v);
     }
 }
 
@@ -630,11 +752,10 @@ fn encode_family_header(out: &mut String, name: &str, kind: MetricKind, help: &s
     }
 }
 
-fn encode_counter_windows(out: &mut String, name: &str, fam: &MetricFamily) {
-    let windowed = fam
-        .series
-        .values()
-        .any(|s| matches!(s, SeriesValue::Counter { windows, .. } if !windows.buckets.is_empty()));
+fn encode_counter_windows(out: &mut String, name: &str, fam: &MetricFamily, slots: &[SeriesValue]) {
+    let windowed = fam.series.values().any(|&i| {
+        matches!(&slots[i as usize], SeriesValue::Counter { windows, .. } if !windows.buckets.is_empty())
+    });
     if !windowed {
         return;
     }
@@ -645,8 +766,8 @@ fn encode_counter_windows(out: &mut String, name: &str, fam: &MetricFamily) {
         MetricKind::Gauge,
         &format!("Per-sim-time-window increments of {name}."),
     );
-    for (labels, value) in &fam.series {
-        let SeriesValue::Counter { windows, .. } = value else {
+    for (labels, &idx) in &fam.series {
+        let SeriesValue::Counter { windows, .. } = &slots[idx as usize] else {
             unreachable!("counter family holds counters");
         };
         for &(idx, v) in &windows.buckets {
@@ -656,11 +777,15 @@ fn encode_counter_windows(out: &mut String, name: &str, fam: &MetricFamily) {
     }
 }
 
-fn encode_histogram_windows(out: &mut String, name: &str, fam: &MetricFamily) {
-    let windowed = fam
-        .series
-        .values()
-        .any(|s| matches!(s, SeriesValue::Histogram(sk) if sk.windows.iter().any(|(_, q)| q.count() > 0)));
+fn encode_histogram_windows(
+    out: &mut String,
+    name: &str,
+    fam: &MetricFamily,
+    slots: &[SeriesValue],
+) {
+    let windowed = fam.series.values().any(|&i| {
+        matches!(&slots[i as usize], SeriesValue::Histogram(sk) if sk.windows.iter().any(|(_, q)| q.count() > 0))
+    });
     if !windowed {
         return;
     }
@@ -671,8 +796,8 @@ fn encode_histogram_windows(out: &mut String, name: &str, fam: &MetricFamily) {
         MetricKind::Histogram,
         &format!("Per-sim-time-window sketch snapshots of {name}."),
     );
-    for (labels, value) in &fam.series {
-        let SeriesValue::Histogram(sk) = value else {
+    for (labels, &idx) in &fam.series {
+        let SeriesValue::Histogram(sk) = &slots[idx as usize] else {
             unreachable!("histogram family holds histograms");
         };
         for (start, q) in sk.windows() {

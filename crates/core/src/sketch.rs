@@ -476,7 +476,7 @@ mod tests {
         for &v in &values {
             s.record(v);
         }
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
             let rank = ((q * values.len() as f64).ceil() as usize).max(1);
             let exact = values[rank - 1];

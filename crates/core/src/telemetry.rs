@@ -195,8 +195,7 @@ impl TelemetryReport {
             let ub = b.read.utilization.max(b.write.utilization);
             // `max_by` keeps the last maximal element, so on equal
             // utilization rank the lower sort key as the greater one.
-            ua.partial_cmp(&ub)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            ua.total_cmp(&ub)
                 .then_with(|| b.point.sort_key().cmp(&a.point.sort_key()))
         })
     }

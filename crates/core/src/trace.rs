@@ -229,8 +229,7 @@ impl TraceReport {
             .enumerate()
             .filter(|(_, a)| a.count > 0)
             .map(|(i, mut a)| {
-                a.totals
-                    .sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+                a.totals.sort_by(f64::total_cmp);
                 let p99_idx =
                     ((a.totals.len() as f64 * 0.99).ceil() as usize).clamp(1, a.totals.len()) - 1;
                 let n = a.count as f64;

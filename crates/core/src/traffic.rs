@@ -69,40 +69,145 @@ pub enum TrafficPolicy {
     },
 }
 
-/// Progressive-filling max-min allocation.
+/// A dense interner for [`ResourceKey`]s: each distinct key gets a `u32`
+/// index into a flat capacity table, built once per scenario so the
+/// per-epoch allocators index `Vec<f64>` instead of hashing keys.
 ///
-/// Raises every unfrozen flow's rate at equal speed (scaled by weight)
-/// until a capacity point saturates; flows crossing it freeze at their
-/// current level; repeats until all flows are frozen or satisfied.
-/// Returns per-flow rates in the same order as `flows`.
-///
-/// Capacities and demands are in bytes/s (any consistent unit works).
-pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey, f64>) -> Vec<f64> {
-    let n = flows.len();
-    let mut rate = vec![0.0f64; n];
-    let mut frozen = vec![false; n];
-    // Remaining capacity per resource.
-    let mut remaining: HashMap<ResourceKey, f64> = capacities.clone();
+/// Uncapped points carry `f64::INFINITY` capacity — arithmetic on an
+/// infinite entry (debits, headroom ratios, exhaustion checks) behaves
+/// exactly like the old `HashMap` paths that skipped absent keys, so the
+/// dense solvers are bit-identical to the map-based ones.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceArena {
+    index: HashMap<ResourceKey, u32>,
+    keys: Vec<ResourceKey>,
+    capacities: Vec<f64>,
+}
 
-    // Flows with zero demand are trivially frozen.
-    for (i, f) in flows.iter().enumerate() {
-        if f.demand <= 0.0 {
-            frozen[i] = true;
+impl ResourceArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dense index for `key`, interning it (uncapped) on first sight.
+    pub fn intern(&mut self, key: ResourceKey) -> u32 {
+        match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = u32::try_from(self.keys.len()).expect("resource arena overflow");
+                self.index.insert(key, i);
+                self.keys.push(key);
+                self.capacities.push(f64::INFINITY);
+                i
+            }
         }
     }
 
+    /// Interns `key` and pins its capacity.
+    pub fn set_capacity(&mut self, key: ResourceKey, cap: f64) -> u32 {
+        let i = self.intern(key);
+        self.capacities[i as usize] = cap;
+        i
+    }
+
+    /// The dense index of `key`, if interned.
+    pub fn get(&self, key: ResourceKey) -> Option<u32> {
+        self.index.get(&key).copied()
+    }
+
+    /// The key behind a dense index.
+    pub fn key(&self, idx: u32) -> ResourceKey {
+        self.keys[idx as usize]
+    }
+
+    /// The flat capacity table, indexed by dense index.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Reusable buffers for [`weighted_allocate_dense`]; steady-state epochs
+/// allocate nothing once these have grown to the instance size.
+#[derive(Debug, Clone, Default)]
+pub struct DenseAllocScratch {
+    frozen: Vec<bool>,
+    remaining: Vec<f64>,
+    load: Vec<f64>,
+    touched: Vec<u32>,
+    weights: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+/// Progressive-filling weighted max-min over dense-indexed resources — the
+/// allocation core behind [`weighted_allocate`].
+///
+/// * `demands[i]` / `weights[i]` — flow `i`'s offered rate and weight;
+/// * `footprints[i]` — flow `i`'s capacity points as
+///   `(dense index, fraction)` pairs indexing `capacities`;
+/// * `capacities` — the flat table (`f64::INFINITY` = uncapped);
+/// * `out` — receives per-flow rates (cleared first).
+///
+/// Rates are bit-identical to the `HashMap`-keyed path: the water-level
+/// delta is a min-reduction (order-independent and exact) and every
+/// accumulation runs in flow order over per-slot values.
+pub fn weighted_allocate_dense(
+    demands: &[f64],
+    weights: &[f64],
+    footprints: &[&[(u32, f64)]],
+    capacities: &[f64],
+    scratch: &mut DenseAllocScratch,
+    out: &mut Vec<f64>,
+) {
+    let n = demands.len();
+    assert_eq!(n, weights.len());
+    assert_eq!(n, footprints.len());
+    let rate = out;
+    rate.clear();
+    rate.resize(n, 0.0);
+    let DenseAllocScratch {
+        frozen,
+        remaining,
+        load,
+        touched,
+        ..
+    } = scratch;
+    frozen.clear();
+    // Flows with zero demand are trivially frozen.
+    frozen.extend(demands.iter().map(|&d| d <= 0.0));
+    remaining.clear();
+    remaining.extend_from_slice(capacities);
+    load.clear();
+    load.resize(capacities.len(), 0.0);
+
     for _round in 0..=n {
         // Active weighted load per resource (weight × traffic fraction).
-        let mut load: HashMap<ResourceKey, f64> = HashMap::new();
-        for (i, f) in flows.iter().enumerate() {
+        // `touched` lists the slots written this round (duplicates are
+        // harmless: min-reduction and re-zeroing are idempotent).
+        for &r in touched.iter() {
+            load[r as usize] = 0.0;
+        }
+        touched.clear();
+        for i in 0..n {
             if frozen[i] {
                 continue;
             }
-            for &(r, frac) in &f.resources {
-                *load.entry(r).or_insert(0.0) += f.weight * frac;
+            for &(r, frac) in footprints[i] {
+                load[r as usize] += weights[i] * frac;
+                touched.push(r);
             }
         }
-        if load.is_empty() {
+        if touched.is_empty() {
             break;
         }
 
@@ -110,24 +215,24 @@ pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey,
         //   (a) some active flow reaches its demand,
         //   (b) some resource exhausts its remaining capacity.
         let mut delta = f64::INFINITY;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && f.demand.is_finite() {
-                delta = delta.min((f.demand - rate[i]) / f.weight);
+        for i in 0..n {
+            if !frozen[i] && demands[i].is_finite() {
+                delta = delta.min((demands[i] - rate[i]) / weights[i]);
             }
         }
-        for (r, w) in &load {
-            let rem = remaining.get(r).copied().unwrap_or(f64::INFINITY);
-            if *w > 0.0 {
-                delta = delta.min(rem / w);
+        for &r in touched.iter() {
+            let w = load[r as usize];
+            if w > 0.0 {
+                delta = delta.min(remaining[r as usize] / w);
             }
         }
         if !delta.is_finite() {
             // All remaining flows are unthrottled and cross no finite
             // resource: they are unconstrained; leave at +inf conceptually,
             // represented by a huge rate.
-            for (i, f) in flows.iter().enumerate() {
+            for i in 0..n {
                 if !frozen[i] {
-                    rate[i] = f.demand.min(f64::MAX / 4.0);
+                    rate[i] = demands[i].min(f64::MAX / 4.0);
                     frozen[i] = true;
                 }
             }
@@ -136,28 +241,25 @@ pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey,
         let delta = delta.max(0.0);
 
         // Raise and debit.
-        for (i, f) in flows.iter().enumerate() {
+        for i in 0..n {
             if frozen[i] {
                 continue;
             }
-            rate[i] += delta * f.weight;
-            for &(r, frac) in &f.resources {
-                if let Some(rem) = remaining.get_mut(&r) {
-                    *rem -= delta * f.weight * frac;
-                }
+            rate[i] += delta * weights[i];
+            for &(r, frac) in footprints[i] {
+                remaining[r as usize] -= delta * weights[i] * frac;
             }
         }
 
         // Freeze flows that met demand or sit on an exhausted resource.
-        for (i, f) in flows.iter().enumerate() {
+        for i in 0..n {
             if frozen[i] {
                 continue;
             }
-            let met = f.demand.is_finite() && rate[i] >= f.demand - 1e-9;
-            let stuck = f
-                .resources
+            let met = demands[i].is_finite() && rate[i] >= demands[i] - 1e-9;
+            let stuck = footprints[i]
                 .iter()
-                .any(|&(r, _)| remaining.get(&r).is_some_and(|rem| *rem <= 1e-9));
+                .any(|&(r, _)| remaining[r as usize] <= 1e-9);
             if met || stuck {
                 frozen[i] = true;
             }
@@ -166,7 +268,46 @@ pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey,
             break;
         }
     }
-    rate
+}
+
+/// Progressive-filling max-min allocation.
+///
+/// Raises every unfrozen flow's rate at equal speed (scaled by weight)
+/// until a capacity point saturates; flows crossing it freeze at their
+/// current level; repeats until all flows are frozen or satisfied.
+/// Returns per-flow rates in the same order as `flows`.
+///
+/// Capacities and demands are in bytes/s (any consistent unit works).
+/// This is the interning wrapper over [`weighted_allocate_dense`]: it
+/// builds a throwaway [`ResourceArena`] per call, so hot paths should
+/// intern once and call the dense entry point directly.
+pub fn weighted_allocate(flows: &[FlowDemand], capacities: &HashMap<ResourceKey, f64>) -> Vec<f64> {
+    let mut arena = ResourceArena::new();
+    let footprints: Vec<Vec<(u32, f64)>> = flows
+        .iter()
+        .map(|f| {
+            f.resources
+                .iter()
+                .map(|&(r, frac)| (arena.intern(r), frac))
+                .collect()
+        })
+        .collect();
+    for (&key, &cap) in capacities {
+        arena.set_capacity(key, cap);
+    }
+    let demands: Vec<f64> = flows.iter().map(|f| f.demand).collect();
+    let weights: Vec<f64> = flows.iter().map(|f| f.weight).collect();
+    let footprint_refs: Vec<&[(u32, f64)]> = footprints.iter().map(Vec::as_slice).collect();
+    let mut out = Vec::new();
+    weighted_allocate_dense(
+        &demands,
+        &weights,
+        &footprint_refs,
+        arena.capacities(),
+        &mut DenseAllocScratch::default(),
+        &mut out,
+    );
+    out
 }
 
 /// Plain max-min (all weights 1).
@@ -214,6 +355,58 @@ impl TrafficPolicy {
                     })
                     .collect(),
             ),
+        }
+    }
+
+    /// The dense-path equivalent of [`TrafficPolicy::allocate`]: demands
+    /// and pre-interned footprints instead of [`FlowDemand`]s, a flat
+    /// capacity table instead of a map, reusable `scratch`, rates written
+    /// into `out`. Returns `false` (leaving `out` untouched) when the
+    /// policy leaves the hardware in charge. Rates are bit-identical to
+    /// the map-based path.
+    pub fn allocate_dense(
+        &self,
+        demands: &[f64],
+        footprints: &[&[(u32, f64)]],
+        capacities: &[f64],
+        scratch: &mut DenseAllocScratch,
+        out: &mut Vec<Bandwidth>,
+    ) -> bool {
+        let solve = |scratch: &mut DenseAllocScratch,
+                     out: &mut Vec<Bandwidth>,
+                     fill: &dyn Fn(usize) -> f64| {
+            let mut weights = std::mem::take(&mut scratch.weights);
+            weights.clear();
+            weights.extend((0..demands.len()).map(fill));
+            let mut rates = std::mem::take(&mut scratch.rates);
+            weighted_allocate_dense(
+                demands, &weights, footprints, capacities, scratch, &mut rates,
+            );
+            out.clear();
+            out.extend(rates.iter().copied().map(Bandwidth::from_bytes_per_s));
+            scratch.weights = weights;
+            scratch.rates = rates;
+        };
+        match self {
+            TrafficPolicy::HardwareDefault | TrafficPolicy::BdpAdaptive { .. } => false,
+            TrafficPolicy::MaxMinFair => {
+                solve(scratch, out, &|_| 1.0);
+                true
+            }
+            TrafficPolicy::WeightedFair { weights } => {
+                solve(scratch, out, &|i| {
+                    weights.get(i).copied().unwrap_or(1.0).max(1e-9)
+                });
+                true
+            }
+            TrafficPolicy::RateLimit { caps_gb_s } => {
+                out.clear();
+                out.extend(demands.iter().enumerate().map(|(i, &d)| {
+                    let cap = caps_gb_s.get(i).copied().unwrap_or(f64::INFINITY) * 1e9;
+                    Bandwidth::from_bytes_per_s(d.min(cap).min(f64::MAX / 4.0))
+                }));
+                true
+            }
         }
     }
 }

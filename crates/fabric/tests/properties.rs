@@ -35,7 +35,7 @@ proptest! {
     ) {
         let mut s = FifoServer::new(Bandwidth::from_gb_per_s(gb));
         let mut sorted = arrivals;
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(t, bytes) in &sorted {
             s.admit(t, bytes);
         }
@@ -100,7 +100,7 @@ proptest! {
     ) {
         let mut b = TokenBucket::new(Bandwidth::from_gb_per_s(gb), burst);
         let mut sorted = events;
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(t, bytes) in &sorted {
             prop_assert!(b.available(t) <= burst as f64 + 1e-9);
             b.consume(t, bytes);
@@ -137,9 +137,9 @@ proptest! {
         let mut with_reads = mk();
         let mut without = mk();
         let mut rs = reads;
-        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rs.sort_by(f64::total_cmp);
         let mut ws = writes;
-        ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ws.sort_by(f64::total_cmp);
         for &t in &rs {
             with_reads.admit(Dir::Read, t, 64);
         }

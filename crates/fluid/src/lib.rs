@@ -31,6 +31,8 @@ pub mod alloc;
 pub mod metrics;
 pub mod sim;
 
-pub use alloc::{max_min, proportional_allocate};
+pub use alloc::{
+    max_min, proportional_allocate, proportional_allocate_into, AllocScratch, IncrementalAllocator,
+};
 pub use metrics::harvest_time_ms;
 pub use sim::{DemandSchedule, FluidFlowSpec, FluidLink, FluidSim, Instability};

@@ -8,10 +8,12 @@
 //! queueing module).
 
 use chiplet_sim::stats::TracePoint;
-use chiplet_sim::{Bandwidth, DetRng, MetricsSink, NullSink, SimDuration, SimTime};
+use chiplet_sim::{
+    Bandwidth, DetRng, MetricsSink, NullSink, SeriesHandle, SeriesKind, SimDuration, SimTime,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::alloc::proportional_allocate;
+use crate::alloc::IncrementalAllocator;
 
 /// Harvest-noise parameters for an unstable link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,57 +184,103 @@ impl FluidSim {
             })
             .collect();
 
+        // Per-flow constants, hoisted out of the tick loop: the ramp
+        // coefficient (the slowest crossed link's τ and the fixed dt give a
+        // fixed exponential step) and the governing instability (first
+        // flagged link crossed, if any).
+        let dt_s = dt.as_secs_f64();
+        let ramp_k: Vec<f64> = self
+            .flows
+            .iter()
+            .map(|f| {
+                let tau = f
+                    .links
+                    .iter()
+                    .map(|&l| self.links[l].harvest_tau.as_secs_f64())
+                    .fold(0.0f64, f64::max);
+                if tau > 0.0 {
+                    1.0 - (-dt_s / tau).exp()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let instability: Vec<Option<Instability>> = self
+            .flows
+            .iter()
+            .map(|f| {
+                f.links
+                    .iter()
+                    .filter_map(|&l| self.links[l].instability)
+                    .next()
+            })
+            .collect();
+        // Link → crossing flows, ascending flow order (the feasibility sum
+        // must accumulate in the same order as before).
+        let mut link_flows: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
+        for (i, links) in flow_links.iter().enumerate() {
+            for &l in links {
+                link_flows[l].push(i);
+            }
+        }
+
         let mut traces: Vec<Vec<TracePoint>> = vec![Vec::new(); n];
         let mut accum = vec![0.0f64; n];
         let mut accum_ticks = 0u64;
         let mut next_sample = SimTime::ZERO + sample;
 
-        let dt_s = dt.as_secs_f64();
+        // Per-tick series, resolved to dense sink handles lazily — at first
+        // sample, so a sink that materializes series on first touch sees
+        // the same creation order as with the string methods. `None` =
+        // unresolved; `Some(None)` = the sink takes strings only.
+        let mut h_ticks: Option<Option<SeriesHandle>> = None;
+        let mut h_ramp: Vec<Option<Option<SeriesHandle>>> = vec![None; n];
+        let mut h_bytes: Vec<Option<Option<SeriesHandle>>> = vec![None; n];
+        let mut h_rate: Vec<Option<Option<SeriesHandle>>> = vec![None; n];
+
+        // Demands are piecewise-constant, so the demand vector — and with it
+        // the equilibrium, a pure function of (demands, topology) — can only
+        // change at a schedule breakpoint. Re-evaluate the schedules only at
+        // the first tick at/after each breakpoint; the incremental allocator
+        // then re-solves only when a demand actually changed bitwise.
+        let mut alloc = IncrementalAllocator::new();
+        let mut demands = vec![0.0f64; n];
+        let mut observed = vec![0.0f64; n];
+        let mut next_change: Option<SimTime> = Some(SimTime::ZERO);
         let mut t = SimTime::ZERO;
         while t < horizon {
-            // Demands at this instant.
-            let demands: Vec<f64> = self
-                .flows
-                .iter()
-                .map(|f| f.demand.at(t).map_or(f64::INFINITY, |b| b.as_gb_per_s()))
-                .collect();
-            let equilibrium = proportional_allocate(&demands, &flow_links, &caps);
+            if next_change.is_some_and(|c| t >= c) {
+                for (d, f) in demands.iter_mut().zip(&self.flows) {
+                    *d = f.demand.at(t).map_or(f64::INFINITY, |b| b.as_gb_per_s());
+                }
+                next_change = self
+                    .flows
+                    .iter()
+                    .filter_map(|f| f.demand.next_change_after(t))
+                    .min();
+            }
+            let equilibrium = alloc.allocate(&demands, &flow_links, &caps);
 
             // Relax toward equilibrium: instant down, τ-limited up.
             for i in 0..n {
                 if equilibrium[i] <= rate[i] {
                     rate[i] = equilibrium[i];
                 } else {
-                    sink.counter_add_at(
-                        "fluid_harvest_ramp_ticks",
-                        &[("flow", self.flows[i].name.as_str())],
-                        t,
-                        1.0,
-                    );
-                    // The slowest crossed link's τ governs the ramp.
-                    let tau = self.flows[i]
-                        .links
-                        .iter()
-                        .map(|&l| self.links[l].harvest_tau.as_secs_f64())
-                        .fold(0.0f64, f64::max);
-                    let k = if tau > 0.0 {
-                        1.0 - (-dt_s / tau).exp()
-                    } else {
-                        1.0
-                    };
-                    rate[i] += (equilibrium[i] - rate[i]) * k;
+                    let labels = [("flow", self.flows[i].name.as_str())];
+                    match *h_ramp[i].get_or_insert_with(|| {
+                        sink.series_handle(SeriesKind::Counter, "fluid_harvest_ramp_ticks", &labels)
+                    }) {
+                        Some(h) => sink.counter_add_at_handle(h, t, 1.0),
+                        None => sink.counter_add_at("fluid_harvest_ramp_ticks", &labels, t, 1.0),
+                    }
+                    rate[i] += (equilibrium[i] - rate[i]) * ramp_k[i];
                 }
             }
 
             // Instability: noisy harvested bandwidth on flagged links.
-            let mut observed = rate.clone();
+            observed.copy_from_slice(&rate);
             for i in 0..n {
-                let inst = self.flows[i]
-                    .links
-                    .iter()
-                    .filter_map(|&l| self.links[l].instability)
-                    .next();
-                if let Some(inst) = inst {
+                if let Some(inst) = instability[i] {
                     let harvested = (rate[i] - equal_share[i]).max(0.0);
                     if harvested > 1e-9 {
                         let eps = rng.next_f64() * 2.0 - 1.0;
@@ -246,25 +294,42 @@ impl FluidSim {
 
             // Enforce feasibility after noise.
             for (l, &cap) in caps.iter().enumerate() {
-                let used: f64 = (0..n)
-                    .filter(|&i| flow_links[i].contains(&l))
-                    .map(|i| observed[i])
-                    .sum();
+                let used: f64 = link_flows[l].iter().map(|&i| observed[i]).sum();
                 if used > cap {
                     let s = cap / used;
-                    for i in (0..n).filter(|&i| flow_links[i].contains(&l)) {
+                    for &i in &link_flows[l] {
                         observed[i] *= s;
                     }
                 }
             }
 
-            sink.counter_add("fluid_ticks", &[], 1.0);
+            match *h_ticks
+                .get_or_insert_with(|| sink.series_handle(SeriesKind::Counter, "fluid_ticks", &[]))
+            {
+                Some(h) => sink.counter_add_handle(h, 1.0),
+                None => sink.counter_add("fluid_ticks", &[], 1.0),
+            }
             for i in 0..n {
                 accum[i] += observed[i];
                 let labels = [("flow", self.flows[i].name.as_str())];
                 // GB/s sustained for dt seconds → bytes this epoch.
-                sink.counter_add_at("fluid_flow_bytes", &labels, t, observed[i] * dt_s * 1e9);
-                sink.observe("fluid_flow_rate_gb_s", &labels, t, observed[i]);
+                match *h_bytes[i].get_or_insert_with(|| {
+                    sink.series_handle(SeriesKind::Counter, "fluid_flow_bytes", &labels)
+                }) {
+                    Some(h) => sink.counter_add_at_handle(h, t, observed[i] * dt_s * 1e9),
+                    None => sink.counter_add_at(
+                        "fluid_flow_bytes",
+                        &labels,
+                        t,
+                        observed[i] * dt_s * 1e9,
+                    ),
+                }
+                match *h_rate[i].get_or_insert_with(|| {
+                    sink.series_handle(SeriesKind::Histogram, "fluid_flow_rate_gb_s", &labels)
+                }) {
+                    Some(h) => sink.observe_handle(h, t, observed[i]),
+                    None => sink.observe("fluid_flow_rate_gb_s", &labels, t, observed[i]),
+                }
             }
             accum_ticks += 1;
             t += dt;

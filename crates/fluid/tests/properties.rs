@@ -6,7 +6,7 @@
 //! fully-utilized link it crosses, never left short on a link with spare
 //! capacity.
 
-use chiplet_fluid::{max_min, proportional_allocate};
+use chiplet_fluid::{max_min, proportional_allocate, IncrementalAllocator};
 use proptest::prelude::*;
 
 /// A random allocation instance: link capacities plus per-flow demands
@@ -106,6 +106,57 @@ proptest! {
         let usage = usage_per_link(&caps, &links, &fair);
         for (l, (&u, &c)) in usage.iter().zip(&caps).enumerate() {
             prop_assert!(u <= c + 1e-6 * (1.0 + c), "link {l}: {u} > {c}");
+        }
+    }
+}
+
+/// Maps a unit sample to an epoch demand: a quarter unthrottled (∞), a
+/// quarter departed/paused (0), the rest a finite offered load.
+fn demand_from_unit(u: f64) -> f64 {
+    if u < 0.25 {
+        f64::INFINITY
+    } else if u < 0.5 {
+        0.0
+    } else {
+        0.5 + (u - 0.5) * 2.0 * 119.5
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The incremental epoch allocator is **bit-identical** to the
+    /// from-scratch solver at every step of a randomized flow
+    /// arrival/departure/demand-change sequence — including steps whose
+    /// demand vector repeats the previous one, where it skips the solve
+    /// and serves the memoized rates. The pool holds a few demand vectors
+    /// (∞ = unthrottled, 0 = departed, finite = offered load); the index
+    /// sequence replays them with repeats, modelling arrivals, departures,
+    /// and demand changes over a fixed flow population.
+    #[test]
+    fn incremental_matches_from_scratch(
+        (caps, flow_slots, links) in arb_instance(),
+        pool_raw in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 8..9), 1..4),
+        seq in prop::collection::vec(0usize..4, 2..16),
+    ) {
+        let n_flows = flow_slots.len();
+        let pool: Vec<Vec<f64>> = pool_raw
+            .iter()
+            .map(|row| row[..n_flows].iter().copied().map(demand_from_unit).collect())
+            .collect();
+        let mut inc = IncrementalAllocator::new();
+        for &s in &seq {
+            let demands = &pool[s % pool.len()];
+            let fresh = proportional_allocate(demands, &links, &caps);
+            let got = inc.allocate(demands, &links, &caps);
+            prop_assert_eq!(got.len(), fresh.len());
+            for (i, (a, b)) in got.iter().zip(&fresh).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "flow {}: incremental {} != from-scratch {}",
+                    i, a, b
+                );
+            }
         }
     }
 }

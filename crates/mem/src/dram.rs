@@ -131,7 +131,7 @@ mod tests {
         let m = DramServiceModel::ddr4();
         let mut rng = DetRng::seed_from_u64(11);
         let mut samples: Vec<f64> = (0..100_000).map(|_| m.extra_service_ns(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let p999 = samples[(samples.len() as f64 * 0.999) as usize];
         assert!(p999 >= m.slow_extra_ns, "p999 extra {p999}");
         let p50 = samples[samples.len() / 2];

@@ -33,7 +33,7 @@ pub mod time;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
-pub use metrics::{MetricsSink, NullSink};
+pub use metrics::{MetricsSink, NullSink, SeriesHandle, SeriesKind};
 pub use rng::DetRng;
 pub use schedule::DemandSchedule;
 pub use time::{SimDuration, SimTime};

@@ -13,6 +13,27 @@
 
 use crate::time::SimTime;
 
+/// The kind of series a [`SeriesHandle`] resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// A monotone total.
+    Counter,
+    /// A last-value sample.
+    Gauge,
+    /// A quantile-sketch distribution.
+    Histogram,
+}
+
+/// An opaque, sink-assigned dense series identifier.
+///
+/// Hot-path producers resolve `(kind, name, labels)` once via
+/// [`MetricsSink::series_handle`] and record through the handle thereafter,
+/// skipping the per-sample name hashing and label-set allocation of the
+/// string methods. Handles are only meaningful to the sink that issued
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesHandle(pub u32);
+
 /// A consumer of metric samples.
 ///
 /// Label slices are borrowed `(key, value)` pairs; implementations must
@@ -20,6 +41,18 @@ use crate::time::SimTime;
 /// series. Names follow Prometheus conventions (`snake_case`, unit
 /// suffix); counter families are exposed with an `_total` sample suffix by
 /// the OpenMetrics encoder, so the name itself carries no suffix.
+///
+/// # Interned series handles
+///
+/// Sinks *may* additionally support dense handles: resolve a series once
+/// with [`MetricsSink::series_handle`], then record through the `*_handle`
+/// methods. The default implementation returns `None` — producers must
+/// fall back to the string methods — so plain sinks (test tallies,
+/// [`NullSink`]) need not change. A sink that returns `Some` from
+/// `series_handle` **must** override every `*_handle` record method; the
+/// defaults drop samples. Producers should resolve handles lazily, at
+/// first sample, so a sink that creates series on first touch observes the
+/// same creation order and set as with the string methods.
 pub trait MetricsSink {
     /// Adds `v` (≥ 0) to a counter series.
     fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64);
@@ -38,6 +71,42 @@ pub trait MetricsSink {
     /// Records one observation of `v` at sim time `at` into a histogram
     /// (quantile-sketch) series.
     fn observe(&mut self, name: &str, labels: &[(&str, &str)], at: SimTime, v: f64);
+
+    /// Resolves `(kind, name, labels)` to a dense handle for repeated
+    /// recording, creating the series if the sink materializes series
+    /// eagerly. `None` (the default) means the sink does not support
+    /// handles and the producer must use the string methods.
+    fn series_handle(
+        &mut self,
+        kind: SeriesKind,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<SeriesHandle> {
+        let _ = (kind, name, labels);
+        None
+    }
+
+    /// Adds `v` (≥ 0) to the counter series behind `h`.
+    fn counter_add_handle(&mut self, h: SeriesHandle, v: f64) {
+        let _ = (h, v);
+    }
+
+    /// Adds `v` to the counter series behind `h`, attributing it to the
+    /// sim-time window containing `at`.
+    fn counter_add_at_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        let _ = at;
+        self.counter_add_handle(h, v);
+    }
+
+    /// Sets the gauge series behind `h` to `v`.
+    fn gauge_set_handle(&mut self, h: SeriesHandle, v: f64) {
+        let _ = (h, v);
+    }
+
+    /// Records one observation into the histogram series behind `h`.
+    fn observe_handle(&mut self, h: SeriesHandle, at: SimTime, v: f64) {
+        let _ = (h, at, v);
+    }
 }
 
 /// A sink that drops every sample — the default for uninstrumented runs,

@@ -7,6 +7,14 @@
 //! max ns per iteration. Invoking the binary with `--test` (as `cargo test`
 //! does for `harness = false` bench targets) runs each body once and skips
 //! measurement, so test runs stay fast.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `CRITERION_QUICK=1` shrinks the warm-up and measurement budget for
+//!   smoke jobs (noisier numbers, ~6× faster walls);
+//! * `CRITERION_JSON=<path>` appends one JSON line per benchmark —
+//!   `{"id":…,"min_ns":…,"mean_ns":…,"max_ns":…,"iterations":…}` — for
+//!   the `bench-check` regression comparator.
 
 use std::time::{Duration, Instant};
 
@@ -66,17 +74,28 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         let smoke = std::env::args().any(|a| a == "--test");
+        let quick = std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+        let (warmup, budget) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(60))
+        } else {
+            (Duration::from_millis(100), Duration::from_millis(400))
+        };
         Criterion {
             mode: if smoke {
                 Mode::Smoke
             } else {
-                Mode::Measure {
-                    warmup: Duration::from_millis(100),
-                    budget: Duration::from_millis(400),
-                }
+                Mode::Measure { warmup, budget }
             },
         }
     }
+}
+
+/// One JSON line for the `CRITERION_JSON` sidecar file.
+fn json_line(id: &str, min_ns: f64, mean_ns: f64, max_ns: f64, iterations: u64) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"min_ns\":{min_ns:.1},\"mean_ns\":{mean_ns:.1},\
+         \"max_ns\":{max_ns:.1},\"iterations\":{iterations}}}"
+    )
 }
 
 impl Criterion {
@@ -109,6 +128,16 @@ impl Criterion {
                 "{id}: [{:.1} ns {:.1} ns {:.1} ns] ({} iterations)",
                 lo, mean, hi, iters
             );
+            if let Some(path) = std::env::var_os("CRITERION_JSON") {
+                use std::io::Write;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    let _ = writeln!(f, "{}", json_line(id, lo, mean, hi, iters));
+                }
+            }
         }
         self
     }
@@ -150,6 +179,16 @@ mod tests {
         b.iter(|| count += 1);
         assert_eq!(count, 1);
         assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let line = json_line("engine/foo", 10.26, 11.5, 13.71, 42);
+        assert_eq!(
+            line,
+            "{\"id\":\"engine/foo\",\"min_ns\":10.3,\"mean_ns\":11.5,\
+             \"max_ns\":13.7,\"iterations\":42}"
+        );
     }
 
     #[test]

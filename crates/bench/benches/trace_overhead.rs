@@ -1,6 +1,11 @@
 //! Criterion benchmarks of span-tracing overhead: the same CCD-wide read
 //! run with tracing off, sampled 1-in-64, and tracing every transaction.
 //! The acceptance target is <10% throughput cost at 1-in-64 sampling.
+//!
+//! The `profile_off` / `profile_on` pair measures the engine's phase
+//! profiler the same way: `profile_off` must track `tracing_off` within
+//! the ratio gate pinned in `BENCH_engine.json` (the disabled profiler is
+//! a branch on a bool, never a clock read).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -11,8 +16,13 @@ use chiplet_sim::{ByteSize, SimTime};
 use chiplet_topology::{CcdId, PlatformSpec, Topology};
 
 fn run_once(topo: &Topology, sampling: Option<u32>) -> u64 {
+    run_once_with(topo, sampling, false)
+}
+
+fn run_once_with(topo: &Topology, sampling: Option<u32>, profile: bool) -> u64 {
     let mut cfg = EngineConfig::deterministic();
     cfg.trace_sampling = sampling;
+    cfg.profile_phases = profile;
     let mut engine = Engine::new(topo, cfg);
     engine.add_flow(
         FlowSpec::reads(
@@ -47,10 +57,26 @@ fn bench_tracing_full(c: &mut Criterion) {
     });
 }
 
+fn bench_profile_off(c: &mut Criterion) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    c.bench_function("trace/ccd_read_20us_profile_off", |b| {
+        b.iter(|| black_box(run_once_with(&topo, None, false)))
+    });
+}
+
+fn bench_profile_on(c: &mut Criterion) {
+    let topo = Topology::build(&PlatformSpec::epyc_7302());
+    c.bench_function("trace/ccd_read_20us_profile_on", |b| {
+        b.iter(|| black_box(run_once_with(&topo, None, true)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_tracing_off,
     bench_tracing_sampled,
-    bench_tracing_full
+    bench_tracing_full,
+    bench_profile_off,
+    bench_profile_on
 );
 criterion_main!(benches);

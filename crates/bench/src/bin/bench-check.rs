@@ -12,6 +12,15 @@
 //! more than the allowed fraction (default 0.25). Benches absent from the
 //! baseline are reported but never fail the job, so adding a bench does
 //! not require re-pinning in the same change.
+//!
+//! The baseline may also carry a `"ratios"` array of
+//! `{"name": …, "num": id, "den": id, "max_ratio": …}` entries. Each one
+//! gates the quotient of two *fresh* `min_ns` values from the same run —
+//! a machine-independent bound (host speed cancels) over the noise-robust
+//! statistic (interference only ever adds time), so it can be far tighter
+//! than the absolute envelope. `--max-regression` does not apply to
+//! ratios; entries whose benches didn't run this time are reported but
+//! never fail the job.
 
 use std::process::ExitCode;
 
@@ -50,6 +59,7 @@ fn main() -> ExitCode {
 
     let mut failures = 0u32;
     let mut checked = 0u32;
+    let mut fresh_mins: Vec<(String, f64)> = Vec::new();
     for line in fresh_text.lines().filter(|l| !l.trim().is_empty()) {
         let row: Value = serde_json::from_str(line).expect("fresh line must be valid JSON");
         let id = row
@@ -60,6 +70,8 @@ fn main() -> ExitCode {
             .get("mean_ns")
             .and_then(Value::as_f64)
             .expect("fresh row needs mean_ns");
+        let min = row.get("min_ns").and_then(Value::as_f64).unwrap_or(mean);
+        fresh_mins.push((id.to_string(), min));
         let Some(pinned) = benches
             .get(id)
             .and_then(|b| b.get("after_mean_ns"))
@@ -82,6 +94,44 @@ fn main() -> ExitCode {
                 "  ok    {id}: {mean:.0} ns vs pinned {pinned:.0} ns ({:+.1}%)",
                 (ratio - 1.0) * 100.0
             );
+        }
+    }
+
+    let lookup = |id: &str| fresh_mins.iter().find(|(i, _)| i == id).map(|&(_, m)| m);
+    for ratio in baseline
+        .get("ratios")
+        .and_then(Value::as_array)
+        .unwrap_or_default()
+    {
+        let name = ratio
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("ratio entry needs a name");
+        let num_id = ratio
+            .get("num")
+            .and_then(Value::as_str)
+            .expect("ratio entry needs a num bench id");
+        let den_id = ratio
+            .get("den")
+            .and_then(Value::as_str)
+            .expect("ratio entry needs a den bench id");
+        let max_ratio = ratio
+            .get("max_ratio")
+            .and_then(Value::as_f64)
+            .expect("ratio entry needs max_ratio");
+        let (Some(num), Some(den)) = (lookup(num_id), lookup(den_id)) else {
+            println!("  skip  ratio {name}: {num_id} / {den_id} (not both in this run)");
+            continue;
+        };
+        checked += 1;
+        let measured = num / den;
+        if measured > max_ratio {
+            failures += 1;
+            println!(
+                "  FAIL  ratio {name}: {num_id}/{den_id} = {measured:.4} > {max_ratio:.4} allowed"
+            );
+        } else {
+            println!("  ok    ratio {name}: {num_id}/{den_id} = {measured:.4} (≤ {max_ratio:.4})");
         }
     }
 

@@ -28,6 +28,7 @@ use chiplet_bench::scenarios::{paper_registry, render_report, render_sweep};
 use chiplet_bench::TextTable;
 use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec, SweepRunner, SweepSpec};
+use chiplet_sim::PhaseProfiler;
 
 const USAGE: &str = "usage: chiplet-scenario <COMMAND>
 commands:
@@ -38,6 +39,8 @@ commands:
       [--metrics PATH|-]   dump OpenMetrics telemetry (with -, the human
                            report moves to stderr so stdout stays pure)
       [--metrics-all]      include volatile execution metrics in the dump
+      [--profile]          print a wall-time phase breakdown to stderr
+                           (file specs also get engine-level phase timers)
   sweep <name|file.json>   expand and run a SweepSpec across worker threads
       [--jobs N]           worker threads (default: one per core)
       [--no-cache]         skip the on-disk result cache
@@ -45,6 +48,7 @@ commands:
       [--json]             print the aggregate SweepOutcome as JSON
       [--metrics PATH|-]   dump OpenMetrics telemetry, as for run
       [--metrics-all]      include volatile execution metrics in the dump
+      [--profile]          print a wall-time phase breakdown to stderr
   lint-metrics <PATH|->    validate an OpenMetrics dump (EOF terminator,
                            TYPE-before-sample, no duplicate series)";
 
@@ -56,6 +60,7 @@ struct Opts {
     cache_dir: PathBuf,
     metrics: Option<String>,
     metrics_all: bool,
+    profile: bool,
 }
 
 impl Opts {
@@ -129,25 +134,55 @@ fn show(name: &str) -> Result<(), String> {
 }
 
 fn run(target: &str, opts: &Opts) -> Result<(), String> {
+    let mut prof = if opts.profile {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
+    let ph_resolve = prof.register("cli/resolve");
+    let ph_run = prof.register("cli/run");
+    let ph_render = prof.register("cli/render");
+    let ph_metrics = prof.register("cli/metrics-write");
+
     let mut metrics = MetricsRegistry::new();
     // A JSON file takes priority; anything else is a registry name.
     if target.ends_with(".json") || std::path::Path::new(target).is_file() {
+        let t0 = prof.start();
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
-        let spec = ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?;
+        let mut spec = ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?;
+        if opts.profile {
+            // Engine-level phase timers land in the volatile metric
+            // families (visible via `--metrics … --metrics-all`).
+            spec.engine
+                .get_or_insert_with(Default::default)
+                .profile_phases = Some(true);
+        }
+        prof.record(ph_resolve, t0);
+        let t0 = prof.start();
         let report = if opts.metrics.is_some() {
             spec.run_with_metrics(&mut metrics)
         } else {
             spec.run()
         }
         .map_err(|e| e.to_string())?;
+        prof.record(ph_run, t0);
+        let t0 = prof.start();
         if opts.json {
             opts.emit(&format!("{}\n", report.to_json()));
         } else {
             opts.emit(&render_report(&report));
         }
-        return opts.write_metrics(&metrics);
+        prof.record(ph_render, t0);
+        let t0 = prof.start();
+        opts.write_metrics(&metrics)?;
+        prof.record(ph_metrics, t0);
+        emit_profile(opts, &prof);
+        return Ok(());
     }
+    let t0 = prof.start();
     let reg = paper_registry();
+    prof.record(ph_resolve, t0);
+    let t0 = prof.start();
     let outcome = if opts.metrics.is_some() {
         reg.run_with_metrics(target, &mut metrics)
     } else {
@@ -155,6 +190,8 @@ fn run(target: &str, opts: &Opts) -> Result<(), String> {
     }
     .ok_or_else(|| format!("unknown scenario '{target}' (try `chiplet-scenario list`)"))?
     .map_err(|e| e.to_string())?;
+    prof.record(ph_run, t0);
+    let t0 = prof.start();
     match outcome {
         ScenarioRun::Text(text) => {
             if opts.json {
@@ -180,10 +217,33 @@ fn run(target: &str, opts: &Opts) -> Result<(), String> {
             }
         }
     }
-    opts.write_metrics(&metrics)
+    prof.record(ph_render, t0);
+    let t0 = prof.start();
+    opts.write_metrics(&metrics)?;
+    prof.record(ph_metrics, t0);
+    emit_profile(opts, &prof);
+    Ok(())
+}
+
+/// Prints the `--profile` phase table to stderr.
+fn emit_profile(opts: &Opts, prof: &PhaseProfiler) {
+    if opts.profile {
+        eprint!("{}", prof.report().table());
+    }
 }
 
 fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
+    let mut prof = if opts.profile {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
+    let ph_resolve = prof.register("cli/resolve");
+    let ph_run = prof.register("cli/run");
+    let ph_render = prof.register("cli/render");
+    let ph_metrics = prof.register("cli/metrics-write");
+
+    let t0 = prof.start();
     let spec = if target.ends_with(".json") || std::path::Path::new(target).is_file() {
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
         SweepSpec::from_json(&text).map_err(|e| e.to_string())?
@@ -201,27 +261,36 @@ fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
             }
         }
     };
+    prof.record(ph_resolve, t0);
     let runner = SweepRunner {
         jobs: opts.jobs,
         cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
     };
     let mut metrics = MetricsRegistry::new();
+    let t0 = prof.start();
     let (outcome, stats) = if opts.metrics.is_some() {
         runner.run_with_metrics(&spec, &mut metrics)
     } else {
         runner.run(&spec)
     }
     .map_err(|e| e.to_string())?;
+    prof.record(ph_run, t0);
     eprintln!(
         "sweep {}: {} points ({} executed, {} cached)",
         spec.name, stats.total, stats.executed, stats.cached
     );
+    let t0 = prof.start();
     if opts.json {
         opts.emit(&format!("{}\n", outcome.to_json()));
     } else {
         opts.emit(&render_sweep(&outcome));
     }
-    opts.write_metrics(&metrics)
+    prof.record(ph_render, t0);
+    let t0 = prof.start();
+    opts.write_metrics(&metrics)?;
+    prof.record(ph_metrics, t0);
+    emit_profile(opts, &prof);
+    Ok(())
 }
 
 /// Validates an OpenMetrics dump with the workspace linter.
@@ -255,6 +324,7 @@ fn dispatch() -> Result<(), String> {
         cache_dir: PathBuf::from("results/cache"),
         metrics: None,
         metrics_all: false,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -276,6 +346,7 @@ fn dispatch() -> Result<(), String> {
                 opts.metrics = Some(v.clone());
             }
             "--metrics-all" => opts.metrics_all = true,
+            "--profile" => opts.profile = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             s if s.starts_with('-') && s != "-" => {
                 return Err(format!("unknown flag {s}\n{USAGE}"))

@@ -1,24 +1,32 @@
 //! `chiplet-trace` — the span-trace inspection utility (§4 #1/#5).
 //!
 //! Runs a named traffic scenario with span-level hop tracing on and prints
-//! the per-hop latency breakdown, or exports the raw spans as Chrome
-//! trace-event JSON (loadable in `chrome://tracing` / ui.perfetto.dev)
-//! and/or the `/proc/chiplet-net` sysfs tree with per-link time series.
+//! the per-hop latency breakdown, a per-flow critical-path decomposition
+//! (`critpath`), or the cross-flow blame matrix (`blame`); exports the raw
+//! spans as Chrome trace-event JSON (loadable in `chrome://tracing` /
+//! ui.perfetto.dev), speedscope profiles, folded flamegraph stacks, and/or
+//! the `/proc/chiplet-net` sysfs tree with per-link time series.
 //!
 //! ```text
-//! chiplet-trace [SCENARIO] [--platform 7302|9634] [--sampling N]
-//!               [--horizon US] [--window US] [--chrome FILE]
+//! chiplet-trace [critpath|blame] [SCENARIO] [--platform 7302|9634]
+//!               [--sampling N] [--horizon US] [--window US] [--json]
+//!               [--chrome FILE] [--speedscope FILE] [--folded FILE]
 //!               [--sysfs DIR] [--seed N]
 //! ```
 //!
 //! Scenarios: `ccd-read` (default), `near-chase`, `two-flows`, `cxl-read`,
-//! `socket-read`. Each is compiled to a declarative
+//! `socket-read`, and `fig3` (the Figure 3 loaded-latency traffic: CCD 0
+//! reading all DIMMs — the trace-enabled analog of the fig3 study's GMI
+//! panel). Each is compiled to a declarative
 //! [`ScenarioSpec`](chiplet_net::scenario::ScenarioSpec) and executed
 //! through the event backend (`--spec` prints the JSON instead of running).
+//! All `critpath`/`blame` output is a pure function of the spans: byte-
+//! deterministic for a given scenario, seed, and sampling rate.
 
 use std::process::ExitCode;
 
 use chiplet_mem::{OpKind, Pattern};
+use chiplet_net::critpath::{point_names, to_speedscope, CritPathReport};
 use chiplet_net::export_sysfs;
 use chiplet_net::scenario::{
     BackendKind, CoreSelect, EngineFlow, EngineOptions, EventEngineBackend, ScenarioFlow,
@@ -28,36 +36,55 @@ use chiplet_sim::{SimDuration, SimTime};
 use chiplet_topology::descriptor::ChipletNetDescriptor;
 use chiplet_topology::{CoreId, DimmPosition, PlatformSpec, Topology};
 
-const USAGE: &str = "usage: chiplet-trace [SCENARIO] [--platform 7302|9634] \
-[--sampling N] [--horizon US] [--window US] [--chrome FILE] [--sysfs DIR] [--seed N] [--spec]
+const USAGE: &str = "usage: chiplet-trace [critpath|blame] [SCENARIO] [--platform 7302|9634] \
+[--sampling N] [--horizon US] [--window US] [--json] [--chrome FILE] [--speedscope FILE] \
+[--folded FILE] [--sysfs DIR] [--seed N] [--spec]
        chiplet-trace top <METRICS|->   (hottest links/flows from an OpenMetrics dump)
-scenarios: ccd-read (default), near-chase, two-flows, cxl-read, socket-read";
+scenarios: ccd-read (default), near-chase, two-flows, cxl-read, socket-read, fig3";
+
+/// What the run prints: the classic per-hop-class breakdown, the per-flow
+/// critical-path decomposition, or the cross-flow blame matrix.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Breakdown,
+    Critpath,
+    Blame,
+}
 
 struct Args {
+    mode: Mode,
     scenario: String,
     platform: String,
     sampling: u32,
     horizon_us: u64,
     window_us: u64,
+    json: bool,
     chrome: Option<String>,
+    speedscope: Option<String>,
+    folded: Option<String>,
     sysfs: Option<String>,
     seed: u64,
     print_spec: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
+        mode: Mode::Breakdown,
         scenario: "ccd-read".to_string(),
         platform: "7302".to_string(),
         sampling: 1,
         horizon_us: 40,
         window_us: 2,
+        json: false,
         chrome: None,
+        speedscope: None,
+        folded: None,
         sysfs: None,
         seed: 42,
         print_spec: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter().cloned();
+    let mut positionals = 0usize;
     while let Some(a) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
@@ -77,7 +104,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--window: {e}"))?
             }
+            "--json" => args.json = true,
             "--chrome" => args.chrome = Some(value("--chrome")?),
+            "--speedscope" => args.speedscope = Some(value("--speedscope")?),
+            "--folded" => args.folded = Some(value("--folded")?),
             "--sysfs" => args.sysfs = Some(value("--sysfs")?),
             "--seed" => {
                 args.seed = value("--seed")?
@@ -86,7 +116,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--spec" => args.print_spec = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
-            s if !s.starts_with('-') => args.scenario = s.to_string(),
+            "critpath" if positionals == 0 && args.mode == Mode::Breakdown => {
+                args.mode = Mode::Critpath;
+            }
+            "blame" if positionals == 0 && args.mode == Mode::Breakdown => {
+                args.mode = Mode::Blame;
+            }
+            s if !s.starts_with('-') => {
+                args.scenario = s.to_string();
+                positionals += 1;
+            }
             s => return Err(format!("unknown flag {s}\n{USAGE}")),
         }
     }
@@ -147,6 +186,15 @@ fn flows(
             vec![flow("cxl-read", CoreSelect::Ccd(0), TargetSpec::Cxl(0))]
         }
         "socket-read" => vec![flow("socket-read", CoreSelect::All, TargetSpec::AllDimms)],
+        // The Figure 3 loaded-latency traffic (CCD 0 reading every DIMM),
+        // trace-enabled. The fig3 registry entry is a study (it renders
+        // text panels, no spans), so attribution runs this representative
+        // spec instead — same flow shape as the study's GMI panel.
+        "fig3" => vec![flow(
+            "fig3-gmi-read",
+            CoreSelect::Ccd(0),
+            TargetSpec::AllDimms,
+        )],
         s => return Err(format!("unknown scenario {s}\n{USAGE}")),
     })
 }
@@ -263,13 +311,14 @@ fn run_top(path: &str) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    if std::env::args().nth(1).as_deref() == Some("top") {
-        let path = std::env::args()
-            .nth(2)
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("top") {
+        let path = argv
+            .get(1)
             .ok_or_else(|| format!("top needs a metrics file (or -)\n{USAGE}"))?;
-        return run_top(&path);
+        return run_top(path);
     }
-    let args = parse_args()?;
+    let args = parse_args(&argv)?;
     let platform_name = match args.platform.as_str() {
         "7302" => "epyc_7302",
         "9634" => "epyc_9634",
@@ -292,6 +341,7 @@ fn run() -> Result<(), String> {
             trace_window: Some(SimDuration::from_micros(args.window_us.max(1))),
             trace_sampling: Some(args.sampling.max(1)),
             metrics_window: None,
+            profile_phases: None,
         }),
         fluid: None,
         flows: flows(&platform, &topo, &args.scenario)?,
@@ -302,37 +352,74 @@ fn run() -> Result<(), String> {
     }
     let (result, topo) = EventEngineBackend::run_raw(&spec).map_err(|e| e.to_string())?;
     let trace = result.trace.as_ref().expect("tracing was on");
+    let names: Vec<String> = result.flows.iter().map(|f| f.name.clone()).collect();
+    let points = point_names(&topo);
 
-    println!(
-        "scenario {} on {} — horizon {} µs, sampling 1-in-{}\n",
-        args.scenario,
-        topo.spec().name,
-        args.horizon_us.max(5),
-        args.sampling.max(1),
-    );
-    for f in &result.flows {
-        println!(
-            "flow {:<12} achieved {:>8.2} GB/s  mean {:>8.2} ns  p999 {:>8.2} ns",
-            f.name,
-            f.achieved.as_gb_per_s(),
-            f.mean_latency_ns(),
-            f.p999_latency_ns(),
-        );
-    }
-    println!("\n{}", trace.breakdown_table());
+    match args.mode {
+        Mode::Breakdown => {
+            println!(
+                "scenario {} on {} — horizon {} µs, sampling 1-in-{}\n",
+                args.scenario,
+                topo.spec().name,
+                args.horizon_us.max(5),
+                args.sampling.max(1),
+            );
+            for f in &result.flows {
+                println!(
+                    "flow {:<12} achieved {:>8.2} GB/s  mean {:>8.2} ns  p999 {:>8.2} ns",
+                    f.name,
+                    f.achieved.as_gb_per_s(),
+                    f.mean_latency_ns(),
+                    f.p999_latency_ns(),
+                );
+            }
+            println!("\n{}", trace.breakdown_table());
 
-    if let Some(b) = result.telemetry.bottleneck() {
-        println!(
-            "bottleneck: {:?} (util read {:.2} write {:.2})",
-            b.point, b.read.utilization, b.write.utilization
-        );
+            if let Some(b) = result.telemetry.bottleneck() {
+                println!(
+                    "bottleneck: {:?} (util read {:.2} write {:.2})",
+                    b.point, b.read.utilization, b.write.utilization
+                );
+            }
+        }
+        Mode::Critpath | Mode::Blame => {
+            let report = CritPathReport::from_trace(trace, &names, &points);
+            if args.json {
+                println!("{}", report.to_json());
+            } else if args.mode == Mode::Critpath {
+                println!(
+                    "critical paths: {} on {} — sampling 1-in-{}\n",
+                    args.scenario,
+                    topo.spec().name,
+                    args.sampling.max(1),
+                );
+                print!("{}", report.flows_table());
+            } else {
+                println!(
+                    "blame matrix: {} on {} — sampling 1-in-{}\n",
+                    args.scenario,
+                    topo.spec().name,
+                    args.sampling.max(1),
+                );
+                print!("{}", report.blame_table());
+            }
+        }
     }
 
     if let Some(path) = &args.chrome {
-        let names: Vec<String> = result.flows.iter().map(|f| f.name.clone()).collect();
         std::fs::write(path, trace.to_chrome_trace(&names))
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote Chrome trace JSON to {path} (load in ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.speedscope {
+        std::fs::write(path, to_speedscope(trace, &names, &points))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote speedscope profile to {path} (load in speedscope.app)");
+    }
+    if let Some(path) = &args.folded {
+        let report = CritPathReport::from_trace(trace, &names, &points);
+        std::fs::write(path, report.to_folded()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote folded flamegraph stacks to {path}");
     }
     if let Some(dir) = &args.sysfs {
         let desc = ChipletNetDescriptor::from_topology(&topo);

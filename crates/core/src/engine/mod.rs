@@ -29,7 +29,8 @@ use chiplet_fabric::{Dir, DirectionalChannel, SlotLimiter};
 use chiplet_mem::{AccessOutcome, CacheHierarchy, DramServiceModel, Pattern};
 use chiplet_sim::stats::{BandwidthTrace, GaugeTrace, LatencyHistogram, SpanCollector};
 use chiplet_sim::{
-    Bandwidth, ByteSize, DetRng, EventQueue, SeriesHandle, SeriesKind, SimDuration, SimTime,
+    Bandwidth, ByteSize, DepthHistogram, DetRng, EventQueue, PhaseProfiler, SeriesHandle,
+    SeriesKind, SimDuration, SimTime,
 };
 use chiplet_topology::{CoreId, DimmId, PlatformKind, Topology};
 
@@ -91,6 +92,14 @@ pub struct EngineConfig {
     /// bytes/latency/completions land in it alongside the profiler, and
     /// the result carries the registry for OpenMetrics exposition.
     pub metrics_window: Option<SimDuration>,
+    /// Self-profile the engine's own wall time: scoped phase timers around
+    /// every event-handler class plus event-queue-depth and
+    /// events-per-epoch histograms. The result carries a
+    /// [`chiplet_sim::PhaseReport`], and with `metrics_window` set the
+    /// phase/queue families land in the registry as VOLATILE series (they
+    /// measure host wall-clock, so they are excluded from deterministic
+    /// dumps). Off by default: the disabled path reads no clocks.
+    pub profile_phases: bool,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +115,7 @@ impl Default for EngineConfig {
             trace_window: None,
             trace_sampling: None,
             metrics_window: None,
+            profile_phases: false,
         }
     }
 }
@@ -156,6 +166,13 @@ impl EngineConfig {
     /// sim time (builder style).
     pub fn with_metrics(mut self, window: SimDuration) -> Self {
         self.metrics_window = Some(window);
+        self
+    }
+
+    /// Enables engine self-profiling: phase timers and queue histograms
+    /// (builder style).
+    pub fn with_phase_profile(mut self) -> Self {
+        self.profile_phases = true;
         self
     }
 }
@@ -264,6 +281,10 @@ pub struct RunResult {
     pub trace: Option<TraceReport>,
     /// The metrics registry, when [`EngineConfig::metrics_window`] was set.
     pub metrics: Option<crate::metrics::MetricsRegistry>,
+    /// The engine's own phase-timer report, when
+    /// [`EngineConfig::profile_phases`] was set. Wall-clock values —
+    /// execution-dependent, never part of deterministic output.
+    pub phases: Option<chiplet_sim::PhaseReport>,
 }
 
 impl RunResult {
@@ -769,20 +790,79 @@ impl<'t> Engine<'t> {
             }
         }
 
+        // Self-profiling (`profile_phases`): phase timers around every
+        // handler class plus an event-queue-depth histogram (sampled every
+        // 1024 pops) and an events-per-epoch histogram (an epoch is the
+        // stretch between policy recomputations). Disabled, `start()`
+        // returns `None` without reading the clock.
+        let mut prof = if self.cfg.profile_phases {
+            PhaseProfiler::enabled()
+        } else {
+            PhaseProfiler::disabled()
+        };
+        let ph_issue = prof.register("engine/issue");
+        let ph_stage = prof.register("engine/stage");
+        let ph_granted = prof.register("engine/granted");
+        let ph_complete = prof.register("engine/complete");
+        let ph_reset = prof.register("engine/reset-stats");
+        let ph_policy = prof.register("engine/policy");
+        let ph_demand = prof.register("engine/demand");
+        let mut queue_depth = DepthHistogram::new();
+        let mut epoch_events = DepthHistogram::new();
+        let mut in_epoch: u64 = 0;
+        let mut pops: u64 = 0;
+        // One clock read per event: `lap` charges everything since the
+        // previous lap (pop + dispatch + handler) to the handled phase.
+        let mut mark = prof.start();
         while let Some(ev) = self.queue.pop() {
             let now_ns = ev.at.as_nanos() as f64;
+            if self.cfg.profile_phases {
+                pops += 1;
+                in_epoch += 1;
+                if pops & 1023 == 0 {
+                    queue_depth.record(self.queue.len() as u64);
+                }
+            }
             match ev.payload {
-                Event::Issue { core } => self.on_issue(core, now_ns),
-                Event::Stage { txn } => self.on_stage(txn, now_ns),
-                Event::Granted { txn } => self.on_granted(txn, now_ns),
-                Event::Complete { txn } => self.on_complete(txn, now_ns),
-                Event::ResetStats => self.reset_stats(),
-                Event::Policy => self.recompute_policy(now_ns, horizon),
-                Event::Demand { flow } => self.on_demand(flow, now_ns),
+                Event::Issue { core } => {
+                    self.on_issue(core, now_ns);
+                    prof.lap(ph_issue, &mut mark);
+                }
+                Event::Stage { txn } => {
+                    self.on_stage(txn, now_ns);
+                    prof.lap(ph_stage, &mut mark);
+                }
+                Event::Granted { txn } => {
+                    self.on_granted(txn, now_ns);
+                    prof.lap(ph_granted, &mut mark);
+                }
+                Event::Complete { txn } => {
+                    self.on_complete(txn, now_ns);
+                    prof.lap(ph_complete, &mut mark);
+                }
+                Event::ResetStats => {
+                    self.reset_stats();
+                    prof.lap(ph_reset, &mut mark);
+                }
+                Event::Policy => {
+                    self.recompute_policy(now_ns, horizon);
+                    prof.lap(ph_policy, &mut mark);
+                    if self.cfg.profile_phases {
+                        epoch_events.record(in_epoch);
+                        in_epoch = 0;
+                    }
+                }
+                Event::Demand { flow } => {
+                    self.on_demand(flow, now_ns);
+                    prof.lap(ph_demand, &mut mark);
+                }
             }
         }
+        if self.cfg.profile_phases && in_epoch > 0 {
+            epoch_events.record(in_epoch);
+        }
 
-        self.finish(horizon)
+        self.finish(horizon, &prof, &queue_depth, &epoch_events)
     }
 
     fn reset_stats(&mut self) {
@@ -1099,13 +1179,20 @@ impl<'t> Engine<'t> {
         // (serialization is part of the unloaded propagation segment).
         let span = self.txns[txn as usize].span;
         if span != u32::MAX {
-            let label = match point {
-                StageRef::Link(l) => {
-                    HopClass::from_link_kind(self.topo.links()[l as usize].kind).code()
-                }
-                StageRef::SocketNoc(_) => HopClass::SocketNoc.code(),
-                StageRef::CxlPort(_) => HopClass::CxlPort.code(),
+            // Pack the concrete capacity point into the label so critpath
+            // can blame individual links, not just classes.
+            let (class, point_idx) = match point {
+                StageRef::Link(l) => (
+                    HopClass::from_link_kind(self.topo.links()[l as usize].kind),
+                    l,
+                ),
+                StageRef::SocketNoc(sk) => (HopClass::SocketNoc, self.channels.len() as u32 + sk),
+                StageRef::CxlPort(c) => (
+                    HopClass::CxlPort,
+                    (self.channels.len() + self.noc.len()) as u32 + c,
+                ),
             };
+            let label = crate::trace::encode_hop_label(class, Some(point_idx));
             self.spans.as_mut().expect("span open ⇒ collector").hop(
                 span,
                 label,
@@ -1481,7 +1568,13 @@ impl<'t> Engine<'t> {
         self.free_txns.push(id);
     }
 
-    fn finish(self, horizon: SimTime) -> RunResult {
+    fn finish(
+        self,
+        horizon: SimTime,
+        prof: &PhaseProfiler,
+        queue_depth: &DepthHistogram,
+        epoch_events: &DepthHistogram,
+    ) -> RunResult {
         let window = horizon - SimTime::from_nanos(self.cfg.warmup.as_nanos());
         let window_ns = window.as_nanos() as f64;
         let secs = window.as_secs_f64();
@@ -1618,6 +1711,7 @@ impl<'t> Engine<'t> {
             let (spans, dropped) = c.into_parts();
             TraceReport::from_spans(self.cfg.trace_sampling.unwrap_or(1), spans, dropped)
         });
+        let phases = prof.report();
         let mut metrics = self.metrics;
         if let Some(m) = metrics.as_mut() {
             for f in &flows {
@@ -1645,16 +1739,23 @@ impl<'t> Engine<'t> {
             }
             if let Some(p) = self.profiler.as_ref() {
                 m.counter_add(
-                    "chiplet_profile_evicted_flows",
+                    "chiplet_profiler_evicted_flows",
                     &[],
                     p.evicted_flows() as f64,
                 );
+                m.counter_add("chiplet_profiler_records", &[], p.records() as f64);
+            }
+            if self.cfg.profile_phases {
+                phases.emit(m);
+                queue_depth.emit(m, "chiplet_engine_queue_depth");
+                epoch_events.emit(m, "chiplet_engine_epoch_events");
             }
         }
         RunResult {
             profile,
             trace,
             metrics,
+            phases: self.cfg.profile_phases.then_some(phases),
             telemetry: TelemetryReport {
                 platform: self.topo.spec().name.clone(),
                 window,
@@ -1767,9 +1868,63 @@ fn describe_engine_metrics(m: &mut crate::metrics::MetricsRegistry) {
         "Capacity-point utilization over the measured window, by direction.",
     );
     m.describe(
-        "chiplet_profile_evicted_flows",
+        "chiplet_profiler_evicted_flows",
         MetricKind::Counter,
         "Flows evicted from the profiler's bounded per-flow sketch map.",
+    );
+    m.describe(
+        "chiplet_profiler_records",
+        MetricKind::Counter,
+        "Transaction records absorbed by the sketch profiler.",
+    );
+    // Self-profiling families (`EngineConfig::profile_phases`). Phase
+    // timers are wall-clock and the queue histograms only exist on
+    // profiled runs, so all of them are volatile: excluded from default
+    // (deterministic) OpenMetrics dumps.
+    m.describe_volatile(
+        "sim_phase_seconds",
+        MetricKind::Counter,
+        "Wall seconds spent per engine phase (self-profiling).",
+    );
+    m.describe_volatile(
+        "sim_phase_calls",
+        MetricKind::Counter,
+        "Handler invocations per engine phase (self-profiling).",
+    );
+    m.describe_volatile(
+        "sim_phase_wall_seconds",
+        MetricKind::Gauge,
+        "Wall seconds the phase profiler was alive (self-profiling).",
+    );
+    m.describe_volatile(
+        "chiplet_engine_queue_depth_bucket",
+        MetricKind::Counter,
+        "Event-queue depth, power-of-two buckets by lower bound (sampled every 1024 pops).",
+    );
+    m.describe_volatile(
+        "chiplet_engine_queue_depth_max",
+        MetricKind::Gauge,
+        "Largest sampled event-queue depth.",
+    );
+    m.describe_volatile(
+        "chiplet_engine_queue_depth_count",
+        MetricKind::Gauge,
+        "Event-queue depth samples taken.",
+    );
+    m.describe_volatile(
+        "chiplet_engine_epoch_events_bucket",
+        MetricKind::Counter,
+        "Events handled per policy epoch, power-of-two buckets by lower bound.",
+    );
+    m.describe_volatile(
+        "chiplet_engine_epoch_events_max",
+        MetricKind::Gauge,
+        "Largest events-per-epoch count.",
+    );
+    m.describe_volatile(
+        "chiplet_engine_epoch_events_count",
+        MetricKind::Gauge,
+        "Policy epochs observed.",
     );
 }
 

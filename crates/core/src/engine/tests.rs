@@ -659,6 +659,62 @@ fn trace_sampling_never_perturbs_results() {
 }
 
 #[test]
+fn phase_profiling_reports_without_perturbing_results() {
+    // Acceptance: profile_phases only reads the wall clock — simulation
+    // results are identical with it on or off, the RunResult carries a
+    // phase report covering the run, and the profiling families stay out
+    // of the deterministic default metrics dump.
+    let topo = topo_7302();
+    let run = |profile: bool| {
+        let mut cfg = EngineConfig::default().with_seed(7);
+        cfg.profile_phases = profile;
+        cfg.metrics_window = Some(SimDuration::from_micros(5));
+        let mut engine = Engine::new(&topo, cfg);
+        engine.add_flow(
+            FlowSpec::reads(
+                "r",
+                topo.cores_of_ccd(chiplet_topology::CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .build(&topo),
+        );
+        engine.run(SimTime::from_micros(20))
+    };
+
+    let plain = run(false);
+    assert!(plain.phases.is_none());
+
+    let profiled = run(true);
+    assert_eq!(plain.flows[0].bytes, profiled.flows[0].bytes);
+    assert_eq!(plain.flows[0].completed, profiled.flows[0].completed);
+    let phases = profiled.phases.as_ref().expect("phase report present");
+    assert!(phases.accounted_seconds() > 0.0);
+    assert!(
+        phases
+            .phases
+            .iter()
+            .any(|p| p.name == "engine/stage" && p.calls > 0),
+        "stage handler was timed"
+    );
+
+    // Volatile-only emission: the default dump is byte-identical to the
+    // unprofiled run's; the profiling families need --metrics-all.
+    let plain_m = plain.metrics.as_ref().expect("metrics on");
+    let prof_m = profiled.metrics.as_ref().expect("metrics on");
+    assert_eq!(plain_m.to_openmetrics(), prof_m.to_openmetrics());
+    let all = prof_m.to_openmetrics_with_volatile();
+    for family in [
+        "sim_phase_seconds",
+        "sim_phase_calls",
+        "chiplet_engine_queue_depth_bucket",
+        "chiplet_engine_epoch_events_max",
+    ] {
+        assert!(!prof_m.to_openmetrics().contains(family), "{family} leaked");
+        assert!(all.contains(family), "{family} missing from volatile dump");
+    }
+}
+
+#[test]
 fn trace_json_is_bit_reproducible() {
     // Acceptance: same seed + same trace_sampling ⇒ byte-identical
     // Chrome trace JSON.

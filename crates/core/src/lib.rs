@@ -23,6 +23,10 @@
 //!   record timestamped events at every capacity point they cross; the
 //!   report breaks latency down by hop class and exports Chrome
 //!   trace-event JSON for Perfetto.
+//! * [`critpath`] — **latency attribution** over those spans: per-flow
+//!   critical-path decompositions, the cross-flow blame matrix (which
+//!   capacity points own what share of p50/p99 e2e latency), and
+//!   speedscope / folded-flamegraph exports.
 //! * [`traffic`] — the **global software traffic manager**: pluggable
 //!   policies (hardware default sender-driven, max-min fair, weighted fair,
 //!   static rate caps) enforced by pacing flows at the source.
@@ -69,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod bdp;
+pub mod critpath;
 pub mod engine;
 pub mod export;
 pub mod flow;
@@ -82,6 +87,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use bdp::BdpMonitor;
+pub use critpath::{BlameMatrix, CritPathReport, FlowCritPath};
 pub use engine::{Engine, EngineConfig, RunResult};
 pub use export::export_sysfs;
 pub use flow::{FlowId, FlowSpec, Target};

@@ -261,6 +261,18 @@ pub fn describe_fluid_metrics(m: &mut MetricsRegistry) {
         MetricKind::Gauge,
         "A fluid flow's allocated rate at the end of the run, GB/s.",
     );
+    // Self-profiling families: kept volatile so the default
+    // (deterministic) dumps pinned by the scenario goldens are unchanged.
+    m.describe_volatile(
+        "fluid_alloc_memo_hits",
+        MetricKind::Counter,
+        "Integration epochs served from the allocator's demand memo.",
+    );
+    m.describe_volatile(
+        "fluid_alloc_memo_misses",
+        MetricKind::Counter,
+        "Integration epochs that re-solved the fluid equilibrium.",
+    );
 }
 
 impl Backend for FluidBackend {

@@ -239,6 +239,10 @@ pub struct EngineOptions {
     /// absent so older specs (and their sweep-point hashes) keep their bytes.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics_window: Option<SimDuration>,
+    /// Engine self-profiling (phase timers + queue histograms). Absent =
+    /// off; skipped when absent so older specs keep their bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile_phases: Option<bool>,
 }
 
 /// A fluid link: a preset name or an inline description.
@@ -340,6 +344,7 @@ impl ScenarioSpec {
             cfg.trace_window = opts.trace_window;
             cfg.trace_sampling = opts.trace_sampling;
             cfg.metrics_window = opts.metrics_window;
+            cfg.profile_phases = opts.profile_phases.unwrap_or(false);
         }
         cfg
     }

@@ -340,6 +340,7 @@ mod json_roundtrip_props {
                 trace_window: tw.map(SimDuration::from_nanos),
                 trace_sampling: ts,
                 metrics_window: mw.map(SimDuration::from_nanos),
+                profile_phases: None,
             })
     }
 

@@ -148,6 +148,24 @@ impl HopClass {
     }
 }
 
+/// Packs a hop class (low byte) and an optional capacity-point index
+/// (upper bits, biased by one so "no point" stays zero) into a span hop
+/// label. `encode_hop_label(c, None)` is exactly `c.code()`, so legacy
+/// bare-code labels and point-free hops (limiter, propagation) share one
+/// encoding and old traces decode unchanged.
+pub fn encode_hop_label(class: HopClass, point: Option<u32>) -> u32 {
+    class.code() | point.map_or(0, |p| (p + 1) << 8)
+}
+
+/// Splits a span hop label into its class and capacity-point index.
+/// Bare class codes decode to `(Some(class), None)`.
+pub fn decode_hop_label(label: u32) -> (Option<HopClass>, Option<u32>) {
+    (
+        HopClass::from_code(label & 0xff),
+        (label >> 8).checked_sub(1),
+    )
+}
+
 /// Aggregate statistics for one hop class across all sampled transactions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HopBreakdown {
@@ -215,7 +233,7 @@ impl TraceReport {
             .collect();
         for span in &self.spans {
             for hop in &span.hops {
-                let Some(class) = HopClass::from_code(hop.label) else {
+                let (Some(class), _) = decode_hop_label(hop.label) else {
                     continue;
                 };
                 let a = &mut accs[class.code() as usize];
@@ -310,9 +328,16 @@ impl TraceReport {
         }
         for span in &self.spans {
             for hop in &span.hops {
-                let name = HopClass::from_code(hop.label)
-                    .map(HopClass::name)
-                    .unwrap_or("hop");
+                let (class, point) = decode_hop_label(hop.label);
+                let name = class.map(HopClass::name).unwrap_or("hop");
+                let mut args = vec![
+                    ("seq", Value::U64(span.seq)),
+                    ("wait_ns", Value::F64(hop.wait_ns())),
+                    ("service_ns", Value::F64(hop.service_ns())),
+                ];
+                if let Some(p) = point {
+                    args.push(("point", Value::U64(p as u64)));
+                }
                 events.push(obj(vec![
                     ("name", Value::Str(name.into())),
                     ("cat", Value::Str("hop".into())),
@@ -321,14 +346,7 @@ impl TraceReport {
                     ("dur", Value::F64(hop.total_ns() / 1000.0)),
                     ("pid", Value::U64(span.group as u64)),
                     ("tid", Value::U64(span.lane as u64)),
-                    (
-                        "args",
-                        obj(vec![
-                            ("seq", Value::U64(span.seq)),
-                            ("wait_ns", Value::F64(hop.wait_ns())),
-                            ("service_ns", Value::F64(hop.service_ns())),
-                        ]),
-                    ),
+                    ("args", obj(args)),
                 ]));
             }
         }
@@ -414,6 +432,54 @@ mod tests {
             json,
             sample_report().to_chrome_trace(&["flow-a".to_string()])
         );
+    }
+
+    #[test]
+    fn packed_labels_round_trip_and_bare_codes_stay_pointless() {
+        for class in HopClass::ALL {
+            assert_eq!(decode_hop_label(class.code()), (Some(class), None));
+            assert_eq!(encode_hop_label(class, None), class.code());
+            for point in [0u32, 1, 7, 4095] {
+                let label = encode_hop_label(class, Some(point));
+                assert_eq!(decode_hop_label(label), (Some(class), Some(point)));
+            }
+        }
+        // An unknown class survives as None without disturbing the point.
+        assert_eq!(decode_hop_label(0xff | (3 << 8)), (None, Some(2)));
+    }
+
+    #[test]
+    fn packed_labels_aggregate_with_bare_codes_in_breakdown() {
+        let mut c = SpanCollector::new(8);
+        let h = c.start(0, 0, 0.0).unwrap();
+        c.hop(h, HopClass::Gmi.code(), 0.0, 0.0, 5.0);
+        c.hop(h, encode_hop_label(HopClass::Gmi, Some(3)), 5.0, 5.0, 15.0);
+        c.finish(h, 15.0, 15.0);
+        let (spans, dropped) = c.into_parts();
+        let report = TraceReport::from_spans(1, spans, dropped);
+        let b = report.breakdown();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].class, HopClass::Gmi);
+        assert_eq!(b[0].count, 2);
+        assert!((b[0].mean_total_ns - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_flow_names() {
+        let report = sample_report();
+        let hostile = "fl\"ow\\a\n\tctrl\u{1}".to_string();
+        let json = report.to_chrome_trace(std::slice::from_ref(&hostile));
+        // The raw control characters must never appear unescaped.
+        assert!(!json.contains('\n'));
+        assert!(!json.contains('\t'));
+        assert!(!json.contains('\u{1}'));
+        // Round-trip: the parsed metadata event recovers the name exactly.
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap();
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        let name = meta.get("args").unwrap().get("name").unwrap();
+        assert_eq!(name.as_str(), Some(hostile.as_str()));
     }
 
     #[test]

@@ -337,6 +337,8 @@ pub struct IncrementalAllocator {
     rates: Vec<f64>,
     valid: bool,
     scratch: AllocScratch,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl IncrementalAllocator {
@@ -369,6 +371,7 @@ impl IncrementalAllocator {
                 .zip(demands)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
         if !unchanged {
+            self.memo_misses += 1;
             proportional_allocate_into(
                 demands,
                 flow_links,
@@ -379,8 +382,20 @@ impl IncrementalAllocator {
             self.last_demands.clear();
             self.last_demands.extend_from_slice(demands);
             self.valid = true;
+        } else {
+            self.memo_hits += 1;
         }
         &self.rates
+    }
+
+    /// Calls served from the memo without re-solving.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Calls that ran the full solver (demand change or invalidation).
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
     }
 }
 
@@ -494,6 +509,22 @@ mod tests {
         );
         let used: f64 = rates.iter().sum();
         assert!((used - 100.0).abs() < 1e-6, "link 1 under-utilized: {used}");
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses() {
+        let mut alloc = IncrementalAllocator::new();
+        let links = [vec![0], vec![0]];
+        let caps = [30.0];
+        alloc.allocate(&[5.0, 8.0], &links, &caps);
+        alloc.allocate(&[5.0, 8.0], &links, &caps);
+        alloc.allocate(&[5.0, 8.0], &links, &caps);
+        assert_eq!((alloc.memo_misses(), alloc.memo_hits()), (1, 2));
+        alloc.allocate(&[5.0, 9.0], &links, &caps);
+        assert_eq!((alloc.memo_misses(), alloc.memo_hits()), (2, 2));
+        alloc.invalidate();
+        alloc.allocate(&[5.0, 9.0], &links, &caps);
+        assert_eq!((alloc.memo_misses(), alloc.memo_hits()), (3, 2));
     }
 
     #[test]

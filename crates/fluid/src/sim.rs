@@ -354,6 +354,10 @@ impl FluidSim {
                 final_rate,
             );
         }
+        // Allocator memo effectiveness (self-profiling): how many epochs
+        // re-solved the equilibrium vs. reused the cached rates.
+        sink.counter_add("fluid_alloc_memo_hits", &[], alloc.memo_hits() as f64);
+        sink.counter_add("fluid_alloc_memo_misses", &[], alloc.memo_misses() as f64);
         traces
     }
 }

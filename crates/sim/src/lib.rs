@@ -26,6 +26,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod rng;
 pub mod schedule;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
 pub use metrics::{MetricsSink, NullSink, SeriesHandle, SeriesKind};
+pub use profile::{DepthHistogram, PhaseId, PhaseProfiler, PhaseReport, PhaseStat};
 pub use rng::DetRng;
 pub use schedule::DemandSchedule;
 pub use time::{SimDuration, SimTime};

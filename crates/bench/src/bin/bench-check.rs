@@ -95,6 +95,31 @@ fn main() -> ExitCode {
                 (ratio - 1.0) * 100.0
             );
         }
+        // Optional second envelope: a bench may pin `max_vs_before`, capping
+        // the fresh mean against `before_mean_ns` — the mean recorded before
+        // the change the baseline documents. Used to bound the sequential
+        // path's overhead from the domain-parallel engine refactor.
+        let entry = benches.get(id);
+        if let (Some(cap), Some(before)) = (
+            entry
+                .and_then(|b| b.get("max_vs_before"))
+                .and_then(Value::as_f64),
+            entry
+                .and_then(|b| b.get("before_mean_ns"))
+                .and_then(Value::as_f64),
+        ) {
+            checked += 1;
+            let vs = mean / before;
+            if vs > cap {
+                failures += 1;
+                println!(
+                    "  FAIL  {id}: {mean:.0} ns is ×{vs:.3} of pre-change {before:.0} ns \
+                     (> ×{cap:.2} allowed)"
+                );
+            } else {
+                println!("  ok    {id}: ×{vs:.3} of pre-change mean (≤ ×{cap:.2})");
+            }
+        }
     }
 
     let lookup = |id: &str| fresh_mins.iter().find(|(i, _)| i == id).map(|&(_, m)| m);

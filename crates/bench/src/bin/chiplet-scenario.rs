@@ -41,8 +41,11 @@ commands:
       [--metrics-all]      include volatile execution metrics in the dump
       [--profile]          print a wall-time phase breakdown to stderr
                            (file specs also get engine-level phase timers)
+      [--engine-workers N] event-engine worker threads (domain-parallel
+                           execution; output is byte-identical for any N)
   sweep <name|file.json>   expand and run a SweepSpec across worker threads
       [--jobs N]           worker threads (default: one per core)
+      [--engine-workers N] per-scenario engine threads, composed with --jobs
       [--no-cache]         skip the on-disk result cache
       [--cache-dir DIR]    cache directory (default: results/cache)
       [--json]             print the aggregate SweepOutcome as JSON
@@ -347,6 +350,15 @@ fn dispatch() -> Result<(), String> {
             }
             "--metrics-all" => opts.metrics_all = true,
             "--profile" => opts.profile = true,
+            "--engine-workers" => {
+                let v = it.next().ok_or("--engine-workers needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--engine-workers needs a number, got '{v}'"))?;
+                // The engine reads this per run, so one env var covers every
+                // dispatch path (registry names, file specs, sweep points).
+                std::env::set_var("CHIPLET_ENGINE_WORKERS", n.max(1).to_string());
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             s if s.starts_with('-') && s != "-" => {
                 return Err(format!("unknown flag {s}\n{USAGE}"))

@@ -342,6 +342,7 @@ fn run() -> Result<(), String> {
             trace_sampling: Some(args.sampling.max(1)),
             metrics_window: None,
             profile_phases: None,
+            workers: None,
         }),
         fluid: None,
         flows: flows(&platform, &topo, &args.scenario)?,

@@ -1,0 +1,69 @@
+//! Engine worker-count invariance across the entire paper registry.
+//!
+//! The domain-parallel event engine promises byte-identical output for any
+//! worker count: same report JSON, same rendered study text, same sweep
+//! aggregate, same OpenMetrics dump. This suite runs every registry entry
+//! at 1, 2, and 4 engine workers (forcing the threaded path even on
+//! single-core hosts) and diffs the bytes.
+//!
+//! Entries whose configuration is parallel-ineligible (metrics windows,
+//! tracing, paced flows, non-default policies) silently fall back to the
+//! sequential engine — the invariant must hold there too, trivially.
+
+use chiplet_bench::scenarios::paper_registry;
+use chiplet_net::metrics::MetricsRegistry;
+use chiplet_net::scenario::ScenarioRun;
+
+/// Runs every registry entry under `workers` engine threads, returning
+/// `(name, output bytes, OpenMetrics bytes)` per entry.
+///
+/// Sets process-global env vars, so this file must stay a single-test
+/// binary (integration tests each get their own process, but `#[test]`
+/// functions within one binary share the environment).
+fn run_all(workers: usize) -> Vec<(String, String, String)> {
+    std::env::set_var("CHIPLET_ENGINE_WORKERS", workers.to_string());
+    std::env::set_var("CHIPLET_ENGINE_FORCE_PARALLEL", "1");
+    let reg = paper_registry();
+    let mut out = Vec::new();
+    for entry in reg.entries() {
+        let mut metrics = MetricsRegistry::new();
+        let run = reg
+            .run_with_metrics(entry.name, &mut metrics)
+            .expect("entry is registered")
+            .unwrap_or_else(|err| panic!("'{}' failed at workers={workers}: {err}", entry.name));
+        let body = match run {
+            ScenarioRun::Report(r) => r.to_json(),
+            ScenarioRun::Text(t) => t,
+            ScenarioRun::Sweep(o) => o.to_json(),
+        };
+        out.push((entry.name.to_string(), body, metrics.to_openmetrics()));
+    }
+    out
+}
+
+#[test]
+fn registry_bytes_are_engine_worker_invariant() {
+    let base = run_all(1);
+    assert!(
+        base.len() >= 17,
+        "registry shrank below 17 entries ({}); update this suite deliberately",
+        base.len()
+    );
+    for workers in [2usize, 4] {
+        let wide = run_all(workers);
+        assert_eq!(base.len(), wide.len());
+        for ((name, body, om), (wname, wbody, wom)) in base.iter().zip(&wide) {
+            assert_eq!(name, wname);
+            assert_eq!(
+                body, wbody,
+                "'{name}' output bytes differ between workers=1 and workers={workers}"
+            );
+            assert_eq!(
+                om, wom,
+                "'{name}' OpenMetrics bytes differ between workers=1 and workers={workers}"
+            );
+        }
+    }
+    std::env::remove_var("CHIPLET_ENGINE_WORKERS");
+    std::env::remove_var("CHIPLET_ENGINE_FORCE_PARALLEL");
+}

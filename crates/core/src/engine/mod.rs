@@ -21,6 +21,7 @@
 //! device variability. Nothing in Figures 3–6 is scripted: knees, tails,
 //! proportional shares, and interference onsets emerge from this loop.
 
+mod parallel;
 pub mod plan;
 
 use std::collections::BTreeMap;
@@ -29,8 +30,8 @@ use chiplet_fabric::{Dir, DirectionalChannel, SlotLimiter};
 use chiplet_mem::{AccessOutcome, CacheHierarchy, DramServiceModel, Pattern};
 use chiplet_sim::stats::{BandwidthTrace, GaugeTrace, LatencyHistogram, SpanCollector};
 use chiplet_sim::{
-    Bandwidth, ByteSize, DepthHistogram, DetRng, EventQueue, PhaseProfiler, SeriesHandle,
-    SeriesKind, SimDuration, SimTime,
+    Bandwidth, ByteSize, DepthHistogram, DetRng, PhaseProfiler, SeriesHandle, SeriesKind,
+    SimDuration, SimTime, WheelQueue,
 };
 use chiplet_topology::{CoreId, DimmId, PlatformKind, Topology};
 
@@ -40,7 +41,7 @@ use crate::telemetry::{
 };
 use crate::trace::{HopClass, TraceReport};
 use crate::traffic::{DenseAllocScratch, ResourceArena, ResourceKey, TrafficPolicy};
-use plan::{StagePlan, StageRef};
+use plan::{Stage, StagePlan, StageRef};
 
 const LINE: u64 = 64;
 
@@ -100,6 +101,14 @@ pub struct EngineConfig {
     /// measure host wall-clock, so they are excluded from deterministic
     /// dumps). Off by default: the disabled path reads no clocks.
     pub profile_phases: bool,
+    /// Worker threads for the domain-partitioned parallel engine. `1`
+    /// (the default) runs the sequential loop; `> 1` runs eligible
+    /// configurations on per-chiplet scheduling domains synchronized at
+    /// nanosecond batches — byte-identical output for every worker count,
+    /// including 1 (see [`parallel`]). Capped to the host's available
+    /// parallelism; ineligible configurations silently run sequentially.
+    /// The `CHIPLET_ENGINE_WORKERS` environment variable overrides this.
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -116,6 +125,7 @@ impl Default for EngineConfig {
             trace_sampling: None,
             metrics_window: None,
             profile_phases: false,
+            workers: 1,
         }
     }
 }
@@ -173,6 +183,13 @@ impl EngineConfig {
     /// (builder style).
     pub fn with_phase_profile(mut self) -> Self {
         self.profile_phases = true;
+        self
+    }
+
+    /// Sets the parallel-engine worker count (builder style); clamped to
+    /// at least 1.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -234,14 +251,13 @@ struct CoreState {
     next_is_writeback: bool,
 }
 
+/// Cold per-flow state: the spec, compiled plans, and everything only the
+/// setup, policy, and finish paths touch. The per-event hot loop reads
+/// [`FlowHot`] instead.
 struct FlowRuntime {
     spec: FlowSpec,
     plans: Vec<StagePlan>,
-    targets: u32,
     outcome: AccessOutcome,
-    budget_max: u32,
-    in_flight: u32,
-    budget_blocked: Vec<u32>,
     /// Interned resource footprint for allocator-backed policies: dense
     /// arena index → fraction of the flow's rate crossing that point.
     /// Built once at admission; empty under hardware/BDP policies.
@@ -250,20 +266,60 @@ struct FlowRuntime {
     h_completions: Option<SeriesHandle>,
     h_bytes: Option<SeriesHandle>,
     h_latency: Option<SeriesHandle>,
-    /// Mean inter-issue gap per core, ns; 0 = unthrottled.
-    gap_mean_ns: f64,
     /// Mean unloaded path latency, ns (the BDP controller's reference).
     mean_unloaded_ns: f64,
     /// Current BDP-adaptive rate, GB/s (None until the controller starts).
     adaptive_rate: Option<f64>,
-    /// Measurement window since the last control tick.
-    win_lat_sum_ns: f64,
-    win_lat_n: u64,
-    trace: Option<chiplet_sim::stats::BandwidthTrace>,
+}
+
+/// Hot per-flow state: one compact struct per flow holding exactly the
+/// fields the issue/complete handlers read and write, so the steady-state
+/// loop touches one cache line instead of walking [`FlowRuntime`]. Under
+/// parallel execution this is the flow's per-domain *shard*: every field
+/// is either immutable during the run or an exactly-mergeable accumulator
+/// (integer counters, an all-integer histogram, windowed byte sums).
+#[derive(Debug, Clone)]
+struct FlowHot {
+    /// Effective stop time (ns, clamped to the horizon); set in `run`.
+    stop_ns: f64,
+    /// Mean inter-issue gap per core, ns; 0 = unthrottled.
+    gap_mean_ns: f64,
+    /// First global plan id of this flow (see [`PlanInfo`]); set in `run`.
+    plan_base: u32,
+    /// Target elements per issuer (plans per core).
+    targets: u32,
+    budget_max: u32,
+    in_flight: u32,
+    op: chiplet_mem::OpKind,
+    pattern: Pattern,
     issued: u64,
     completed: u64,
     bytes: u64,
+    /// Measurement window since the last BDP control tick.
+    win_lat_sum_ns: f64,
+    win_lat_n: u64,
+    budget_blocked: Vec<u32>,
     latency: LatencyHistogram,
+    trace: Option<chiplet_sim::stats::BandwidthTrace>,
+}
+
+/// Immutable per-plan hot record, flattened at run start: one entry per
+/// (flow × plan) pair, indexed by the global plan id in [`Txn::plan`].
+/// Stage walks read this table and [`Engine::flat_stages`] instead of
+/// chasing `flows[f].plans[p].stages[s]` through three heap hops.
+#[derive(Debug, Clone, Copy)]
+struct PlanInfo {
+    /// First index into [`Engine::flat_stages`].
+    stage_base: u32,
+    n_stages: u8,
+    is_cxl: bool,
+    limiters: bool,
+    ccx: u32,
+    ccd: u32,
+    /// Traffic-matrix row (the CCD, or the NIC's device row).
+    matrix_src: u32,
+    matrix_dest: u32,
+    unloaded_ns: f64,
 }
 
 /// Per-flow and per-link results of one run.
@@ -300,7 +356,7 @@ pub struct Engine<'t> {
     topo: &'t Topology,
     cfg: EngineConfig,
     rng: DetRng,
-    queue: EventQueue<Event>,
+    queue: WheelQueue<Event>,
     channels: Vec<Option<DirectionalChannel>>,
     /// Per-socket NoC routing capacity.
     noc: Vec<DirectionalChannel>,
@@ -308,6 +364,12 @@ pub struct Engine<'t> {
     ccx_limiters: Vec<SlotLimiter<u32>>,
     ccd_limiters: Option<Vec<SlotLimiter<u32>>>,
     flows: Vec<FlowRuntime>,
+    /// Hot per-flow shards, indexed like `flows`.
+    flow_hot: Vec<FlowHot>,
+    /// Flattened plan table (one entry per flow × plan), built in `run`.
+    plan_infos: Vec<PlanInfo>,
+    /// All plans' stages, contiguous; see [`PlanInfo::stage_base`].
+    flat_stages: Vec<Stage>,
     cores: Vec<CoreState>,
     txns: Vec<Txn>,
     free_txns: Vec<u32>,
@@ -483,13 +545,16 @@ impl<'t> Engine<'t> {
             topo,
             cfg,
             rng,
-            queue: EventQueue::with_capacity(1 << 16),
+            queue: WheelQueue::new(),
             channels,
             noc,
             cxl_ports,
             ccx_limiters,
             ccd_limiters,
             flows: Vec::new(),
+            flow_hot: Vec::new(),
+            plan_infos: Vec::new(),
+            flat_stages: Vec::new(),
             // Issuer slots: one per core, plus one per NIC DMA engine
             // (indices ≥ core_count address the NICs).
             cores: vec![
@@ -666,31 +731,37 @@ impl<'t> Engine<'t> {
             _ => Vec::new(),
         };
 
-        self.flows.push(FlowRuntime {
-            spec,
-            plans,
+        self.flow_hot.push(FlowHot {
+            stop_ns: f64::INFINITY,
+            gap_mean_ns,
+            plan_base: 0,
             targets,
-            outcome,
             budget_max,
             in_flight: 0,
-            budget_blocked: Vec::new(),
-            footprint,
-            h_completions: None,
-            h_bytes: None,
-            h_latency: None,
-            gap_mean_ns,
-            mean_unloaded_ns,
-            adaptive_rate: None,
+            op: spec.op,
+            pattern: spec.pattern,
+            issued: 0,
+            completed: 0,
+            bytes: 0,
             win_lat_sum_ns: 0.0,
             win_lat_n: 0,
+            budget_blocked: Vec::new(),
+            latency: LatencyHistogram::new(),
             trace: self
                 .cfg
                 .trace_window
                 .map(chiplet_sim::stats::BandwidthTrace::new),
-            issued: 0,
-            completed: 0,
-            bytes: 0,
-            latency: LatencyHistogram::new(),
+        });
+        self.flows.push(FlowRuntime {
+            spec,
+            plans,
+            outcome,
+            footprint,
+            h_completions: None,
+            h_bytes: None,
+            h_latency: None,
+            mean_unloaded_ns,
+            adaptive_rate: None,
         });
         id
     }
@@ -708,6 +779,66 @@ impl<'t> Engine<'t> {
         );
         self.horizon_ns = horizon.as_nanos() as f64;
         self.warmup_ns = self.cfg.warmup.as_nanos() as f64;
+
+        // Flatten the per-flow plan lists into the global hot tables: the
+        // event handlers index `plan_infos`/`flat_stages` by `Txn::plan`
+        // alone, never walking `flows[f].plans[p].stages[s]`.
+        self.plan_infos.clear();
+        self.flat_stages.clear();
+        let ccd_total = self.topo.ccd_total();
+        for fi in 0..self.flows.len() {
+            self.flow_hot[fi].plan_base = self.plan_infos.len() as u32;
+            self.flow_hot[fi].stop_ns = self.flows[fi].spec.stop_or(horizon).as_nanos() as f64;
+            let nic = self.flows[fi].spec.nic;
+            for p in &self.flows[fi].plans {
+                self.plan_infos.push(PlanInfo {
+                    stage_base: self.flat_stages.len() as u32,
+                    n_stages: p.stages.len() as u8,
+                    is_cxl: p.is_cxl,
+                    limiters: p.limiters,
+                    ccx: p.ccx,
+                    ccd: p.ccd,
+                    matrix_src: if p.ccd == u32::MAX {
+                        // Device rows sit after the compute chiplets.
+                        ccd_total + nic.unwrap_or(0)
+                    } else {
+                        p.ccd
+                    },
+                    matrix_dest: p.matrix_dest,
+                    unloaded_ns: p.unloaded_ns,
+                });
+                self.flat_stages.extend_from_slice(&p.stages);
+            }
+        }
+
+        // Domain-partitioned parallel path: taken only when requested
+        // (`workers > 1`), the configuration's dynamics are provably
+        // domain-local, and either real hardware parallelism exists or the
+        // batch machinery was explicitly forced (determinism tests). The
+        // fallback — and every other configuration — is the sequential
+        // loop below; both produce byte-identical results.
+        let workers = parallel::requested_workers(&self.cfg);
+        if workers > 1 && self.parallel_eligible() {
+            let avail = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            // Forcing skips the hardware clamp too, so single-CPU hosts
+            // exercise the real threaded barrier protocol in tests.
+            let threads = if parallel::force_parallel() {
+                workers
+            } else {
+                workers.min(avail)
+            };
+            if threads > 1 && parallel::run_parallel(&mut self, horizon, threads) {
+                let prof = PhaseProfiler::disabled();
+                return self.finish(
+                    horizon,
+                    &prof,
+                    &DepthHistogram::new(),
+                    &DepthHistogram::new(),
+                );
+            }
+        }
 
         self.queue.push(
             SimTime::from_nanos(self.cfg.warmup.as_nanos()),
@@ -889,11 +1020,7 @@ impl<'t> Engine<'t> {
             cs.flow
         };
         let Some(fi) = cs_flow else { return };
-        let stop_ns = self.flows[fi as usize]
-            .spec
-            .stop_or(SimTime::from_nanos(self.horizon_ns as u64))
-            .as_nanos() as f64;
-        if now_ns >= stop_ns {
+        if now_ns >= self.flow_hot[fi as usize].stop_ns {
             return;
         }
 
@@ -915,14 +1042,14 @@ impl<'t> Engine<'t> {
         // temporal (cached) writes alternate an RFO read with a writeback —
         // each store moves the line twice across the fabric (§3.1's reason
         // for measuring with non-temporal writes).
-        let op = self.flows[fi as usize].spec.op;
+        let op = self.flow_hot[fi as usize].op;
         let is_write = match op {
             chiplet_mem::OpKind::Read => false,
             chiplet_mem::OpKind::WriteNonTemporal => true,
             chiplet_mem::OpKind::WriteTemporal => self.cores[core as usize].next_is_writeback,
         };
         {
-            let f = &self.flows[fi as usize];
+            let f = &self.flow_hot[fi as usize];
             let cs = &self.cores[core as usize];
             let core_full = if is_write {
                 cs.write_used >= cs.write_cap
@@ -934,7 +1061,7 @@ impl<'t> Engine<'t> {
                 return;
             }
             if f.in_flight >= f.budget_max {
-                self.flows[fi as usize].budget_blocked.push(core);
+                self.flow_hot[fi as usize].budget_blocked.push(core);
                 return;
             }
         }
@@ -949,11 +1076,11 @@ impl<'t> Engine<'t> {
             }
         }
         let (plan_idx, gap) = {
-            let f = &mut self.flows[fi as usize];
+            let f = &mut self.flow_hot[fi as usize];
             f.in_flight += 1;
             f.issued += 1;
             let cs = &mut self.cores[core as usize];
-            let t = match f.spec.pattern {
+            let t = match f.pattern {
                 Pattern::Random => self.rng.next_below(f.targets as u64),
                 _ => {
                     let t = cs.next_target % f.targets as u64;
@@ -961,7 +1088,10 @@ impl<'t> Engine<'t> {
                     t
                 }
             };
-            (cs.core_pos * f.targets + t as u32, f.gap_mean_ns)
+            (
+                f.plan_base + cs.core_pos * f.targets + t as u32,
+                f.gap_mean_ns,
+            )
         };
 
         if op == chiplet_mem::OpKind::WriteTemporal {
@@ -1029,15 +1159,14 @@ impl<'t> Engine<'t> {
     fn advance_limiters(&mut self, txn: u32, now_ns: f64) {
         {
             let t = &self.txns[txn as usize];
-            let p = &self.flows[t.flow as usize].plans[t.plan as usize];
-            if !p.limiters {
+            if !self.plan_infos[t.plan as usize].limiters {
                 self.txns[txn as usize].limiter_phase = 2;
             }
         }
         loop {
             let (phase, ccx, ccd) = {
                 let t = &self.txns[txn as usize];
-                let p = &self.flows[t.flow as usize].plans[t.plan as usize];
+                let p = &self.plan_infos[t.plan as usize];
                 (t.limiter_phase, p.ccx, p.ccd)
             };
             match phase {
@@ -1092,15 +1221,31 @@ impl<'t> Engine<'t> {
     }
 
     fn on_stage(&mut self, txn: u32, now_ns: f64) {
-        let (flow, plan_idx, stage_idx, is_write) = {
+        // One read of the txn record up front; one write-back at the end.
+        let (plan_idx, stage_idx, is_write, span, issue_ns, waits_ns, extra_ns) = {
             let t = &self.txns[txn as usize];
-            (t.flow, t.plan, t.stage, t.dir_write)
+            (
+                t.plan,
+                t.stage,
+                t.dir_write,
+                t.span,
+                t.issue_ns,
+                t.waits_ns,
+                t.extra_ns,
+            )
         };
         let dir = if is_write { Dir::Write } else { Dir::Read };
-        let (point, bytes, device, n_stages, is_cxl) = {
-            let p = &self.flows[flow as usize].plans[plan_idx as usize];
-            let s = &p.stages[stage_idx as usize];
-            (s.point, s.bytes, s.device, p.stages.len(), p.is_cxl)
+        let (point, bytes, device, n_stages, is_cxl, unloaded_ns) = {
+            let p = &self.plan_infos[plan_idx as usize];
+            let s = self.flat_stages[(p.stage_base + stage_idx as u32) as usize];
+            (
+                s.point,
+                s.bytes,
+                s.device,
+                p.n_stages as usize,
+                p.is_cxl,
+                p.unloaded_ns,
+            )
         };
         // Device variability (bank conflicts, refresh, CXL media) delays
         // the *transaction* but does not serialize the channel: banks and
@@ -1124,11 +1269,8 @@ impl<'t> Engine<'t> {
             StageRef::SocketNoc(sk) => self.noc[sk as usize].admit(dir, now_ns, bytes),
             StageRef::CxlPort(c) => self.cxl_ports[c as usize].admit(dir, now_ns, bytes),
         };
-        {
-            let t = &mut self.txns[txn as usize];
-            t.waits_ns += adm.wait_ns;
-            t.extra_ns += extra;
-        }
+        let waits_ns = waits_ns + adm.wait_ns;
+        let extra_ns = extra_ns + extra;
         // Per-point time series: bytes admitted plus the backlog this
         // admission left behind (wait + service, ns of queued work).
         if let Some(series) = self.point_traces.as_mut() {
@@ -1177,7 +1319,6 @@ impl<'t> Engine<'t> {
         // Hop record: the wait is queueing behind earlier admissions; the
         // latency-contributing service here is the device variability
         // (serialization is part of the unloaded propagation segment).
-        let span = self.txns[txn as usize].span;
         if span != u32::MAX {
             // Pack the concrete capacity point into the label so critpath
             // can blame individual links, not just classes.
@@ -1201,15 +1342,16 @@ impl<'t> Engine<'t> {
                 now_ns + adm.wait_ns + extra,
             );
         }
+        {
+            let t = &mut self.txns[txn as usize];
+            t.waits_ns = waits_ns;
+            t.extra_ns = extra_ns;
+        }
         if (stage_idx as usize) + 1 < n_stages {
             self.txns[txn as usize].stage += 1;
             self.schedule_at(adm.depart_ns + extra, now_ns, Event::Stage { txn });
         } else {
-            let done = {
-                let t = &self.txns[txn as usize];
-                let p = &self.flows[flow as usize].plans[plan_idx as usize];
-                (t.issue_ns + p.unloaded_ns + t.waits_ns + t.extra_ns).max(adm.depart_ns)
-            };
+            let done = (issue_ns + unloaded_ns + waits_ns + extra_ns).max(adm.depart_ns);
             self.schedule_at(done, now_ns, Event::Complete { txn });
         }
     }
@@ -1219,12 +1361,10 @@ impl<'t> Engine<'t> {
             let t = &self.txns[txn as usize];
             (t.flow, t.core, t.plan)
         };
-        let (ccx, ccd, matrix_dest, has_limiters) = {
-            let p = &self.flows[flow as usize].plans[plan_idx as usize];
-            (p.ccx, p.ccd, p.matrix_dest, p.limiters)
-        };
+        let pi = self.plan_infos[plan_idx as usize];
+        let (ccx, ccd, has_limiters) = (pi.ccx, pi.ccd, pi.limiters);
         let is_write = self.txns[txn as usize].dir_write;
-        let op = self.flows[flow as usize].spec.op;
+        let op = self.flow_hot[flow as usize].op;
 
         // Release limiters (CCD first — reverse acquisition order); grants
         // wake parked transactions. DMA plans never held them.
@@ -1248,15 +1388,15 @@ impl<'t> Engine<'t> {
                 cs.read_used -= 1;
             }
         }
-        self.flows[flow as usize].in_flight -= 1;
+        self.flow_hot[flow as usize].in_flight -= 1;
 
         // Controller window: every completion feeds the BDP controller.
-        {
+        let lat = {
             let t = &self.txns[txn as usize];
-            let lat = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns
-                + t.waits_ns
-                + t.extra_ns;
-            let f = &mut self.flows[flow as usize];
+            pi.unloaded_ns + t.waits_ns + t.extra_ns
+        };
+        {
+            let f = &mut self.flow_hot[flow as usize];
             f.win_lat_sum_ns += lat;
             f.win_lat_n += 1;
         }
@@ -1269,7 +1409,7 @@ impl<'t> Engine<'t> {
                 // application's payload; the RFO read is coherence
                 // overhead (it still loads the fabric above).
                 let counts_payload = op != chiplet_mem::OpKind::WriteTemporal || t.dir_write;
-                let f = &mut self.flows[flow as usize];
+                let f = &mut self.flow_hot[flow as usize];
                 f.completed += 1;
                 if counts_payload {
                     f.bytes += LINE;
@@ -1280,18 +1420,9 @@ impl<'t> Engine<'t> {
                         );
                     }
                 }
-                let lat = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns
-                    + self.txns[txn as usize].waits_ns
-                    + self.txns[txn as usize].extra_ns;
-                self.flows[flow as usize]
-                    .latency
-                    .record(SimDuration::from_nanos_f64(lat));
-                let matrix_src = if ccd == u32::MAX {
-                    // Device rows sit after the compute chiplets.
-                    self.topo.ccd_total() + self.flows[flow as usize].spec.nic.unwrap_or(0)
-                } else {
-                    ccd
-                };
+                f.latency.record(SimDuration::from_nanos_f64(lat));
+                let matrix_src = pi.matrix_src;
+                let matrix_dest = pi.matrix_dest;
                 self.matrix[matrix_src as usize * self.matrix_cols + matrix_dest as usize] += LINE;
                 if let Some(p) = self.profiler.as_mut() {
                     p.observe(FlowId(flow), matrix_src, matrix_dest, LINE, lat);
@@ -1336,7 +1467,7 @@ impl<'t> Engine<'t> {
             let t = &self.txns[txn as usize];
             if t.span != u32::MAX {
                 let span = t.span;
-                let unloaded_ns = self.flows[flow as usize].plans[plan_idx as usize].unloaded_ns;
+                let unloaded_ns = pi.unloaded_ns;
                 let lat = unloaded_ns + t.waits_ns + t.extra_ns;
                 let spans = self.spans.as_mut().expect("span open ⇒ collector");
                 spans.hop(
@@ -1352,11 +1483,7 @@ impl<'t> Engine<'t> {
         self.free_txn(txn);
 
         // Wake the issuing core (its slot freed) and one flow-budget waiter.
-        let stop_ns = self.flows[flow as usize]
-            .spec
-            .stop_or(SimTime::from_nanos(self.horizon_ns as u64))
-            .as_nanos() as f64;
-        if now_ns < stop_ns {
+        if now_ns < self.flow_hot[flow as usize].stop_ns {
             if self.cores[core as usize].blocked_on_core
                 && !self.cores[core as usize].attempt_scheduled
             {
@@ -1364,7 +1491,7 @@ impl<'t> Engine<'t> {
                 self.cores[core as usize].attempt_scheduled = true;
                 self.schedule_at(now_ns, now_ns, Event::Issue { core });
             }
-            if let Some(waiter) = self.flows[flow as usize].budget_blocked.pop() {
+            if let Some(waiter) = self.flow_hot[flow as usize].budget_blocked.pop() {
                 if !self.cores[waiter as usize].attempt_scheduled {
                     self.cores[waiter as usize].attempt_scheduled = true;
                     self.schedule_at(now_ns, now_ns, Event::Issue { core: waiter });
@@ -1395,13 +1522,14 @@ impl<'t> Engine<'t> {
             // AIMD on each active flow's rate against its latency target.
             for &i in &active {
                 let f = &mut self.flows[i as usize];
-                let measured = if f.win_lat_n > 0 {
-                    f.win_lat_sum_ns / f.win_lat_n as f64
+                let h = &mut self.flow_hot[i as usize];
+                let measured = if h.win_lat_n > 0 {
+                    h.win_lat_sum_ns / h.win_lat_n as f64
                 } else {
                     f.mean_unloaded_ns
                 };
-                f.win_lat_sum_ns = 0.0;
-                f.win_lat_n = 0;
+                h.win_lat_sum_ns = 0.0;
+                h.win_lat_n = 0;
                 let target = latency_factor * f.mean_unloaded_ns;
                 let demand_gb = f
                     .spec
@@ -1409,7 +1537,7 @@ impl<'t> Engine<'t> {
                     .map_or(f64::INFINITY, |b| b.as_gb_per_s());
                 // Start from the hardware-budget-implied rate.
                 let current = f.adaptive_rate.unwrap_or_else(|| {
-                    (f.budget_max as f64 * LINE as f64 / f.mean_unloaded_ns).min(1000.0)
+                    (h.budget_max as f64 * LINE as f64 / f.mean_unloaded_ns).min(1000.0)
                 });
                 let next = if measured > target {
                     (current * 0.85).max(0.25)
@@ -1418,7 +1546,7 @@ impl<'t> Engine<'t> {
                 };
                 f.adaptive_rate = Some(next);
                 let per_issuer = next / f.spec.issuer_count() as f64;
-                f.gap_mean_ns = if per_issuer > 0.0 {
+                h.gap_mean_ns = if per_issuer > 0.0 {
                     gap_from_rate(Some(Bandwidth::from_gb_per_s(per_issuer)))
                 } else {
                     f64::INFINITY
@@ -1485,7 +1613,7 @@ impl<'t> Engine<'t> {
                 let per_issuer = Bandwidth::from_bytes_per_s(rates[k].as_bytes_per_s() / issuers);
                 // A zero allocation (zero-demand schedule piece) pauses the
                 // flow rather than unthrottling it.
-                f.gap_mean_ns = if per_issuer.is_positive() {
+                self.flow_hot[i as usize].gap_mean_ns = if per_issuer.is_positive() {
                     gap_from_rate(Some(per_issuer))
                 } else {
                     f64::INFINITY
@@ -1505,16 +1633,15 @@ impl<'t> Engine<'t> {
     /// re-kicked so rate increases take effect immediately.
     fn on_demand(&mut self, flow: u32, now_ns: f64) {
         let fi = flow as usize;
-        let horizon = SimTime::from_nanos(self.horizon_ns as u64);
-        let stop_ns = self.flows[fi].spec.stop_or(horizon).as_nanos() as f64;
-        if now_ns >= stop_ns {
+        if now_ns >= self.flow_hot[fi].stop_ns {
             return;
         }
         if self.cfg.policy == TrafficPolicy::HardwareDefault {
             let now = SimTime::from_nanos(now_ns as u64);
-            self.flows[fi].gap_mean_ns = demand_gap(self.flows[fi].spec.demand_per_issuer_at(now));
+            self.flow_hot[fi].gap_mean_ns =
+                demand_gap(self.flows[fi].spec.demand_per_issuer_at(now));
         }
-        let paused = self.flows[fi].gap_mean_ns.is_infinite();
+        let paused = self.flow_hot[fi].gap_mean_ns.is_infinite();
         let issuers: Vec<u32> = if let Some(nic) = self.flows[fi].spec.nic {
             vec![self.topo.core_count() + nic]
         } else {
@@ -1582,8 +1709,9 @@ impl<'t> Engine<'t> {
         let flows: Vec<FlowTelemetry> = self
             .flows
             .iter()
+            .zip(&self.flow_hot)
             .enumerate()
-            .map(|(i, f)| {
+            .map(|(i, (f, hot))| {
                 // Cache-resident core flows are accounted analytically; DMA
                 // flows always run on the fabric.
                 if let (AccessOutcome::CacheHit { latency_ns, .. }, None) = (f.outcome, f.spec.nic)
@@ -1613,14 +1741,14 @@ impl<'t> Engine<'t> {
                 FlowTelemetry {
                     id: FlowId(i as u32),
                     name: f.spec.name.clone(),
-                    issued: f.issued,
-                    completed: f.completed,
-                    bytes: f.bytes,
-                    achieved: Bandwidth::from_bytes_per_s(f.bytes as f64 / secs),
-                    latency: f.latency.clone(),
+                    issued: hot.issued,
+                    completed: hot.completed,
+                    bytes: hot.bytes,
+                    achieved: Bandwidth::from_bytes_per_s(hot.bytes as f64 / secs),
+                    latency: hot.latency.clone(),
                     analytic: false,
                     analytic_latency_ns: None,
-                    trace: f
+                    trace: hot
                         .trace
                         .clone()
                         .map(|t| t.finish(horizon))

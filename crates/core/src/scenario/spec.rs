@@ -243,6 +243,11 @@ pub struct EngineOptions {
     /// off; skipped when absent so older specs keep their bytes.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub profile_phases: Option<bool>,
+    /// Event-engine worker threads (domain-parallel execution). Absent = 1
+    /// (sequential); skipped when absent so older specs keep their bytes.
+    /// Results are byte-identical for any worker count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workers: Option<usize>,
 }
 
 /// A fluid link: a preset name or an inline description.
@@ -345,6 +350,7 @@ impl ScenarioSpec {
             cfg.trace_sampling = opts.trace_sampling;
             cfg.metrics_window = opts.metrics_window;
             cfg.profile_phases = opts.profile_phases.unwrap_or(false);
+            cfg.workers = opts.workers.unwrap_or(1).max(1);
         }
         cfg
     }

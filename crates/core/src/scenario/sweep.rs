@@ -18,6 +18,7 @@
 //! (`results/cache/<hash>.json`) skips points whose reports already exist,
 //! making re-runs of a mostly-unchanged sweep incremental.
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -559,8 +560,14 @@ fn load_cached(dir: &Path, hash: &str) -> Option<ScenarioReport> {
 }
 
 /// Runs `f` over `items` on `jobs` worker threads (0 = one per core) with
-/// a work-stealing index queue, returning results **in input order** —
+/// per-worker work-stealing deques, returning results **in input order** —
 /// the building block behind [`SweepRunner`] and the parallel studies.
+///
+/// Item indices are pre-split round-robin across the workers; each worker
+/// drains its own deque from the front and, once dry, steals from the back
+/// of the fullest remaining deque. Owners and thieves thus touch opposite
+/// ends, and a worker stuck on one long point sheds the rest of its share
+/// to idle peers instead of serializing the tail.
 ///
 /// Deterministic by construction: output slot `i` holds `f(i, &items[i])`
 /// regardless of which worker ran it or when. A panicking `f` propagates.
@@ -574,15 +581,18 @@ where
     if jobs <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = AtomicUsize::new(0);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..items.len()).step_by(jobs).collect()))
+        .collect();
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+        for w in 0..jobs {
+            let (queues, slots, f) = (&queues, &slots, &f);
+            scope.spawn(move || loop {
+                let own = queues[w].lock().expect("work deque poisoned").pop_front();
+                let Some(i) = own.or_else(|| steal(queues, w)) else {
                     break;
-                }
+                };
                 let r = f(i, &items[i]);
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
@@ -596,6 +606,33 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Steals one item index from the back of the fullest victim deque, or
+/// `None` once every deque is empty. Rescans when a victim drains between
+/// the length scan and the pop; terminates because the total item count
+/// only ever shrinks.
+fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        for (v, q) in queues.iter().enumerate() {
+            if v == thief {
+                continue;
+            }
+            let len = q.lock().expect("work deque poisoned").len();
+            if len > 0 && best.is_none_or(|(bl, _)| len > bl) {
+                best = Some((len, v));
+            }
+        }
+        let (_, victim) = best?;
+        if let Some(i) = queues[victim]
+            .lock()
+            .expect("work deque poisoned")
+            .pop_back()
+        {
+            return Some(i);
+        }
+    }
 }
 
 /// Runs a batch of scenario specs in parallel (no cache), preserving order.
@@ -631,11 +668,26 @@ pub fn run_specs_with_metrics(
 
 fn effective_jobs(jobs: usize, items: usize) -> usize {
     let jobs = if jobs == 0 {
-        std::thread::available_parallelism()
+        let avail = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        // Each point may itself run the event engine across
+        // `--engine-workers` threads; auto-sizing divides the host's cores
+        // between the two layers so jobs × engine workers never
+        // oversubscribes. An explicit --jobs value is taken as-is.
+        (avail / engine_workers_hint()).max(1)
     } else {
         jobs
     };
     jobs.min(items.max(1))
+}
+
+/// The per-scenario engine worker count requested through the environment
+/// (the CLI's `--engine-workers`); only used to auto-size the sweep pool.
+fn engine_workers_hint() -> usize {
+    std::env::var("CHIPLET_ENGINE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }

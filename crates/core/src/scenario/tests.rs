@@ -333,14 +333,16 @@ mod json_roundtrip_props {
             prop::option::of(1u64..100_000),
             prop::option::of(1u32..64),
             prop::option::of(1u64..100_000),
+            prop::option::of(1usize..8),
         )
-            .prop_map(|(warmup, det, tw, ts, mw)| EngineOptions {
+            .prop_map(|(warmup, det, tw, ts, mw, workers)| EngineOptions {
                 warmup: warmup.map(SimDuration::from_nanos),
                 deterministic_memory: det,
                 trace_window: tw.map(SimDuration::from_nanos),
                 trace_sampling: ts,
                 metrics_window: mw.map(SimDuration::from_nanos),
                 profile_phases: None,
+                workers,
             })
     }
 

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domain;
 pub mod event;
 pub mod metrics;
 pub mod profile;
@@ -32,7 +33,9 @@ pub mod schedule;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod wheel;
 
+pub use domain::{DomainScheduler, EventLog, LoggedPush};
 pub use event::{EventQueue, ScheduledEvent};
 pub use metrics::{MetricsSink, NullSink, SeriesHandle, SeriesKind};
 pub use profile::{DepthHistogram, PhaseId, PhaseProfiler, PhaseReport, PhaseStat};
@@ -40,3 +43,4 @@ pub use rng::DetRng;
 pub use schedule::DemandSchedule;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize};
+pub use wheel::WheelQueue;

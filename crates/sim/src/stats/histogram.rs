@@ -29,7 +29,7 @@ const RANGES: usize = 64;
 /// let p50 = h.quantile(0.5).unwrap().as_nanos();
 /// assert!((450..=560).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -184,7 +184,9 @@ impl LatencyHistogram {
         self.quantile(0.999)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. All fields are integral,
+    /// so merging per-domain shards in any order yields exactly the
+    /// histogram a single sequential recorder would have produced.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += *b;
@@ -366,5 +368,25 @@ mod tests {
                 assert!(lo_prev < v, "previous edge {lo_prev} not below value {v}");
             }
         }
+    }
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let samples: Vec<u64> = (0..200).map(|i| i * i % 7919 + i).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut shards = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(SimDuration::from_nanos(s));
+            shards[i % 3].record(SimDuration::from_nanos(s));
+        }
+        let mut merged = LatencyHistogram::new();
+        // Merge in reverse shard order: order must not matter.
+        for sh in shards.iter().rev() {
+            merged.merge(sh);
+        }
+        assert_eq!(merged, whole);
     }
 }

@@ -1,0 +1,317 @@
+//! Domain partition of the SoC graph for conservative-lookahead parallel
+//! simulation.
+//!
+//! The graph is cut at the physical chiplet boundaries the paper's
+//! measurements expose: each compute chiplet (CCD) is one domain, the I/O
+//! die's switching fabric is one, and the memory side (coherent stations,
+//! UMCs, DIMMs and CXL devices) is one. Every link whose endpoints fall in
+//! different domains is a *cut* link; the minimum per-hop latency across a
+//! cut is the conservative lookahead window for that boundary — an event
+//! crossing the cut can never take effect on the far side sooner than that
+//! many nanoseconds after it was sent, so domains may safely simulate that
+//! far ahead of each other between synchronizations.
+
+use crate::graph::{LinkSpec, NodeKind, Topology};
+use crate::ids::{LinkId, NodeId};
+
+/// The discrete-event time quantum, ns. Event timestamps are integer
+/// nanoseconds and every capacity point's service time is strictly
+/// positive, so a transaction takes at least one quantum to cross *any*
+/// link — even one whose calibrated per-hop latency is lumped into a
+/// neighboring segment (and therefore reads as zero here). Cut lookaheads
+/// are floored at this value.
+pub const EVENT_QUANTUM_NS: f64 = 1.0;
+
+/// One scheduling domain of the partitioned SoC graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// One compute chiplet: its cores, L3 slices, traffic controller and
+    /// GMI port (plus the GMI link itself, charged to the chiplet side).
+    Ccd(u32),
+    /// The I/O die(s): CCMs, the NoC switch grid, I/O hubs, root
+    /// complexes and NICs. Dual-socket platforms share one I/O domain —
+    /// the xGMI fabric is interior to it.
+    Iod,
+    /// The memory side: coherent stations, UMCs, DIMMs and CXL devices.
+    Memory,
+}
+
+impl Domain {
+    /// Dense index: CCDs first, then I/O, then memory.
+    pub fn index(self, ccd_total: u32) -> usize {
+        match self {
+            Domain::Ccd(c) => c as usize,
+            Domain::Iod => ccd_total as usize,
+            Domain::Memory => ccd_total as usize + 1,
+        }
+    }
+}
+
+/// A boundary between two domains: the links crossing it and the
+/// conservative lookahead the cut supports.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    /// The two domains, ordered (`a < b`).
+    pub a: Domain,
+    /// See `a`.
+    pub b: Domain,
+    /// Links with one endpoint in each domain.
+    pub links: Vec<LinkId>,
+    /// Minimum per-hop latency among the cut's links, ns: no event can
+    /// cross this boundary and take effect sooner.
+    pub lookahead_ns: f64,
+}
+
+/// The result of partitioning a topology: node and link placement, the
+/// set of cuts, and the global lookahead bound.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    ccd_total: u32,
+    node_domain: Vec<Domain>,
+    link_owner: Vec<Domain>,
+    cuts: Vec<Cut>,
+    lookahead_ns: f64,
+}
+
+impl Partition {
+    /// Number of domains: one per CCD, plus I/O, plus memory.
+    pub fn domain_count(&self) -> usize {
+        self.ccd_total as usize + 2
+    }
+
+    /// Total compute chiplets (the `Ccd` domain indices are `0..this`).
+    pub fn ccd_total(&self) -> u32 {
+        self.ccd_total
+    }
+
+    /// The domain a node belongs to.
+    pub fn node_domain(&self, node: NodeId) -> Domain {
+        self.node_domain[node.index()]
+    }
+
+    /// The domain that *simulates* a link's capacity point. Interior
+    /// links belong to their endpoints' common domain; cut links are
+    /// charged to the more specific side (CCD over memory over I/O), which
+    /// is the side whose traffic exclusively uses them — a GMI link only
+    /// ever carries its own chiplet's transactions.
+    pub fn link_owner(&self, link: LinkId) -> Domain {
+        self.link_owner[link.index()]
+    }
+
+    /// Every domain boundary, sorted by `(a, b)`.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// The global conservative lookahead: the smallest cut lookahead, ns.
+    pub fn lookahead_ns(&self) -> f64 {
+        self.lookahead_ns
+    }
+
+    /// Looks up the cut between two domains, if they share a boundary.
+    pub fn cut_between(&self, a: Domain, b: Domain) -> Option<&Cut> {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.cuts.iter().find(|c| c.a == a && c.b == b)
+    }
+}
+
+fn domain_of_kind(kind: &NodeKind) -> Domain {
+    match kind {
+        NodeKind::Core { ccd, .. }
+        | NodeKind::L3Slice { ccd, .. }
+        | NodeKind::TrafficCtrl { ccd }
+        | NodeKind::GmiPort { ccd } => Domain::Ccd(ccd.0),
+        NodeKind::Ccm { .. }
+        | NodeKind::NocSwitch { .. }
+        | NodeKind::IoHub
+        | NodeKind::RootComplex
+        | NodeKind::Nic { .. } => Domain::Iod,
+        NodeKind::CoherentStation { .. }
+        | NodeKind::Umc { .. }
+        | NodeKind::Dimm { .. }
+        | NodeKind::CxlDevice { .. } => Domain::Memory,
+    }
+}
+
+/// Cut links are owned by the more specific endpoint: a chiplet's GMI
+/// link carries only that chiplet's traffic, and the memory-side ingress
+/// links carry only memory traffic, so charging them there keeps every
+/// capacity point single-domain.
+fn specificity(d: Domain) -> u8 {
+    match d {
+        Domain::Ccd(_) => 2,
+        Domain::Memory => 1,
+        Domain::Iod => 0,
+    }
+}
+
+impl Topology {
+    /// Partitions the SoC graph at chiplet / I/O-die / memory boundaries
+    /// and derives each cut's conservative lookahead window.
+    pub fn partition(&self) -> Partition {
+        let ccd_total = self.ccd_total();
+        let node_domain: Vec<Domain> = self
+            .nodes()
+            .iter()
+            .map(|n| domain_of_kind(&n.kind))
+            .collect();
+
+        let mut link_owner = Vec::with_capacity(self.links().len());
+        let mut cuts: Vec<Cut> = Vec::new();
+        for l in self.links() {
+            let (da, db) = (node_domain[l.a.index()], node_domain[l.b.index()]);
+            if da == db {
+                link_owner.push(da);
+                continue;
+            }
+            link_owner.push(if specificity(da) >= specificity(db) {
+                da
+            } else {
+                db
+            });
+            let (a, b) = if da <= db { (da, db) } else { (db, da) };
+            match cuts.iter_mut().find(|c| c.a == a && c.b == b) {
+                Some(cut) => {
+                    cut.links.push(l.id);
+                    cut.lookahead_ns = cut.lookahead_ns.min(link_latency(l));
+                }
+                None => cuts.push(Cut {
+                    a,
+                    b,
+                    links: vec![l.id],
+                    lookahead_ns: link_latency(l),
+                }),
+            }
+        }
+        cuts.sort_by_key(|x| (x.a, x.b));
+        let lookahead_ns = cuts
+            .iter()
+            .map(|c| c.lookahead_ns)
+            .fold(f64::INFINITY, f64::min);
+
+        Partition {
+            ccd_total,
+            node_domain,
+            link_owner,
+            cuts,
+            lookahead_ns,
+        }
+    }
+}
+
+/// A link's crossing delay: its calibrated per-hop latency, floored at
+/// the event quantum (latencies lumped into a neighboring segment read
+/// as zero here, but crossing still costs at least one event step).
+fn link_latency(l: &LinkSpec) -> f64 {
+    l.latency_ns.max(EVENT_QUANTUM_NS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformSpec;
+
+    fn check_invariants(topo: &Topology) {
+        let p = topo.partition();
+        // Every node placed; CCD domains only contain their own chiplet.
+        for n in topo.nodes() {
+            let d = p.node_domain(n.id);
+            if let NodeKind::Core { ccd, .. } = n.kind {
+                assert_eq!(d, Domain::Ccd(ccd.0));
+            }
+            assert!(d.index(p.ccd_total()) < p.domain_count());
+        }
+        // Link owners are always one of the two endpoint domains.
+        for l in topo.links() {
+            let owner = p.link_owner(l.id);
+            let (da, db) = (p.node_domain(l.a), p.node_domain(l.b));
+            assert!(owner == da || owner == db, "owner must touch the link");
+        }
+        // Each cut's lookahead is conservative: no cut link is faster.
+        for cut in p.cuts() {
+            assert!(cut.lookahead_ns > 0.0, "zero lookahead stalls the clock");
+            for &lid in &cut.links {
+                let l = &topo.links()[lid.index()];
+                let (da, db) = (p.node_domain(l.a), p.node_domain(l.b));
+                assert_ne!(da, db, "cut link must cross domains");
+                assert!(link_latency(l) >= cut.lookahead_ns);
+            }
+        }
+        // The global bound is the min over cuts.
+        let min = p
+            .cuts()
+            .iter()
+            .map(|c| c.lookahead_ns)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(p.lookahead_ns(), min);
+    }
+
+    #[test]
+    fn partitions_every_calibrated_platform() {
+        for spec in [
+            PlatformSpec::epyc_7302(),
+            PlatformSpec::epyc_9634(),
+            PlatformSpec::dual_epyc_7302(),
+            PlatformSpec::monolithic_baseline(),
+        ] {
+            let topo = Topology::build(&spec);
+            check_invariants(&topo);
+        }
+    }
+
+    proptest::proptest! {
+        /// Randomized platforms: the partition's recorded lookahead is
+        /// always conservative — no link crosses a cut faster than the
+        /// cut's window, and the global window is the min over cuts.
+        #[test]
+        fn lookahead_is_conservative_on_random_topologies(
+            base in 0usize..4,
+            ccd_count in 1u32..=12,
+            ccx_per_ccd in 1u32..=2,
+            cores_per_ccx in 1u32..=8,
+            drop_cxl in proptest::bool::ANY,
+        ) {
+            let mut spec = match base {
+                0 => PlatformSpec::epyc_7302(),
+                1 => PlatformSpec::epyc_9634(),
+                2 => PlatformSpec::dual_epyc_7302(),
+                _ => PlatformSpec::monolithic_baseline(),
+            };
+            spec.ccd_count = ccd_count;
+            spec.ccx_per_ccd = ccx_per_ccd;
+            spec.cores_per_ccx = cores_per_ccx;
+            if drop_cxl {
+                spec.cxl = None;
+            }
+            let topo = Topology::build(&spec);
+            check_invariants(&topo);
+            let p = topo.partition();
+            // "Actual min cross-cut latency": scan the raw graph
+            // independently of the Cut records.
+            let actual = topo
+                .links()
+                .iter()
+                .filter(|l| p.node_domain(l.a) != p.node_domain(l.b))
+                .map(link_latency)
+                .fold(f64::INFINITY, f64::min);
+            proptest::prop_assert!(actual >= p.lookahead_ns());
+        }
+    }
+
+    #[test]
+    fn gmi_links_are_ccd_owned_cuts() {
+        let topo = Topology::build(&PlatformSpec::epyc_9634());
+        let p = topo.partition();
+        for l in topo.links() {
+            if l.kind == crate::graph::LinkKind::Gmi {
+                assert!(matches!(p.link_owner(l.id), Domain::Ccd(_)));
+            }
+        }
+        // Every CCD shares a boundary with the I/O die.
+        for c in 0..topo.ccd_total() {
+            assert!(p.cut_between(Domain::Ccd(c), Domain::Iod).is_some());
+        }
+        assert!(p.cut_between(Domain::Iod, Domain::Memory).is_some());
+        assert!(p.lookahead_ns() > 0.0);
+    }
+}

@@ -235,6 +235,27 @@ fn emit_profile(opts: &Opts, prof: &PhaseProfiler) {
     }
 }
 
+/// Warns on stderr about every distinct parallel→sequential engine
+/// downgrade the run recorded: `--engine-workers N` (or a spec's
+/// `engine.workers`) asked for parallelism the engine could not soundly
+/// provide. Results are byte-identical either way — the warning is about
+/// lost speed, so it must not pass silently.
+fn warn_engine_fallbacks() {
+    let mut grouped: std::collections::BTreeMap<(usize, &'static str), usize> =
+        std::collections::BTreeMap::new();
+    for fb in chiplet_net::take_parallel_fallbacks() {
+        *grouped
+            .entry((fb.requested_workers, fb.reason))
+            .or_insert(0) += 1;
+    }
+    for ((workers, reason), runs) in grouped {
+        eprintln!(
+            "warning: {runs} engine run(s) requested {workers} workers but fell back \
+             to the sequential loop (reason: {reason}); output is identical, just not parallel"
+        );
+    }
+}
+
 fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
     let mut prof = if opts.profile {
         PhaseProfiler::enabled()
@@ -372,8 +393,16 @@ fn dispatch() -> Result<(), String> {
             Ok(())
         }
         ["show", name] => show(name),
-        ["run", target] => run(target, &opts),
-        ["sweep", target] => sweep(target, &opts),
+        ["run", target] => {
+            let result = run(target, &opts);
+            warn_engine_fallbacks();
+            result
+        }
+        ["sweep", target] => {
+            let result = sweep(target, &opts);
+            warn_engine_fallbacks();
+            result
+        }
         ["lint-metrics", path] => lint_metrics(path),
         _ => Err(USAGE.to_string()),
     }

@@ -1,0 +1,250 @@
+//! `chiplet-serve` — persistent scenario-serving daemon and its clients.
+//!
+//! ```text
+//! chiplet-serve listen [--addr A] [--workers N] [--cache-dir D | --no-cache]
+//!                      [--max-pending N] [--max-client-pending N]
+//! chiplet-serve submit <name|file.json> [--addr A] [--client ID] [--stream]
+//! chiplet-serve hammer <name|file.json> [--addr A] [--submissions N] [--clients C]
+//! chiplet-serve metrics [--addr A]
+//! ```
+//!
+//! `listen` boots the daemon (see [`chiplet_bench::serve`]) and blocks;
+//! `submit` POSTs a built-in or file spec/sweep and prints the response
+//! body — for sweeps the bytes equal `chiplet-scenario sweep --json`;
+//! `hammer` fires an open-loop load test proving byte identity, cache
+//! integrity, and metrics hygiene; `metrics` scrapes and lints
+//! `GET /metrics`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use chiplet_bench::scenarios::paper_registry;
+use chiplet_bench::serve::hammer::{hammer, HammerOptions};
+use chiplet_bench::serve::{http, ServeConfig, Server};
+use chiplet_net::lint_openmetrics;
+use chiplet_net::scenario::{ScenarioKind, ScenarioSpec, SweepSpec};
+
+const USAGE: &str = "usage: chiplet-serve <COMMAND>
+commands:
+  listen                    boot the daemon and block
+      [--addr A]            bind address (default 127.0.0.1:8091; port 0 = ephemeral)
+      [--workers N]         point-executing workers (default: one per core)
+      [--cache-dir D]       shared result cache (default: results/cache)
+      [--no-cache]          disable the on-disk cache
+      [--max-pending N]     global queued-point cap (default 4096)
+      [--max-client-pending N]  per-client cap (default 2048)
+  submit <name|file.json>   POST a spec or sweep, print the response body
+      [--addr A]            daemon address (default 127.0.0.1:8091)
+      [--client ID]         fair-queue identity (default: anon)
+      [--stream]            sweeps: stream per-point progress lines
+  hammer <name|file.json>   open-loop load test against the sweep's points
+      [--addr A]            attack a running daemon (default: boot in-process)
+      [--submissions N]     concurrent submissions (default 1000)
+      [--clients C]         simulated client identities (default 4)
+      [--cache-dir D]       cache dir for the in-process daemon
+  metrics                   scrape GET /metrics, lint it, print it
+      [--addr A]            daemon address (default 127.0.0.1:8091)";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:8091";
+
+struct Opts {
+    addr: Option<String>,
+    workers: usize,
+    cache: bool,
+    cache_dir: PathBuf,
+    cache_dir_set: bool,
+    max_pending: usize,
+    max_client_pending: usize,
+    client: String,
+    stream: bool,
+    submissions: usize,
+    clients: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            workers: 0,
+            cache: true,
+            cache_dir: PathBuf::from("results/cache"),
+            cache_dir_set: false,
+            max_pending: 4096,
+            max_client_pending: 2048,
+            client: "anon".into(),
+            stream: false,
+            submissions: 1000,
+            clients: 4,
+        }
+    }
+}
+
+/// Resolves a CLI target to either a spec or a sweep: JSON files are
+/// sniffed (sweeps have a `base`), names hit the registry.
+enum Target {
+    Spec(ScenarioSpec),
+    Sweep(SweepSpec),
+}
+
+fn resolve_target(target: &str) -> Result<Target, String> {
+    if target.ends_with(".json") || std::path::Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        if let Ok(sweep) = SweepSpec::from_json(&text) {
+            return Ok(Target::Sweep(sweep));
+        }
+        return ScenarioSpec::from_json(&text)
+            .map(Target::Spec)
+            .map_err(|e| e.to_string());
+    }
+    let reg = paper_registry();
+    let entry = reg
+        .get(target)
+        .ok_or_else(|| format!("unknown scenario '{target}' (try `chiplet-scenario list`)"))?;
+    match (entry.build)() {
+        ScenarioKind::Spec(spec) => Ok(Target::Spec(spec)),
+        ScenarioKind::Sweep(sweep) => Ok(Target::Sweep(sweep)),
+        ScenarioKind::Study(_) => Err(format!(
+            "'{target}' is a composite study; the daemon serves declarative \
+             specs and sweeps"
+        )),
+    }
+}
+
+fn listen(opts: &Opts) -> Result<(), String> {
+    let cfg = ServeConfig {
+        addr: opts.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into()),
+        workers: opts.workers,
+        cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
+        max_pending: opts.max_pending,
+        max_client_pending: opts.max_client_pending,
+    };
+    let server = Server::spawn(cfg).map_err(|e| format!("binding: {e}"))?;
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Block forever; ^C tears the process (and with it the daemon) down.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn submit(target: &str, opts: &Opts) -> Result<(), String> {
+    let addr = opts.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let client: String = opts.client.chars().take(64).collect();
+    let (route, body) = match resolve_target(target)? {
+        Target::Spec(spec) => (format!("/v1/run?client={client}"), spec.to_json()),
+        Target::Sweep(sweep) => {
+            let stream = if opts.stream { "&stream=1" } else { "" };
+            (
+                format!("/v1/sweep?client={client}{stream}"),
+                sweep.to_json(),
+            )
+        }
+    };
+    let (status, text) =
+        http::fetch(&addr, "POST", &route, Some(&body)).map_err(|e| format!("POST {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("daemon answered {status}: {}", text.trim_end()));
+    }
+    print!("{text}");
+    Ok(())
+}
+
+fn run_hammer(target: &str, opts: &Opts) -> Result<(), String> {
+    let sweep = match resolve_target(target)? {
+        Target::Sweep(sweep) => sweep,
+        Target::Spec(_) => {
+            return Err(format!(
+                "'{target}' is a single spec; hammer needs a sweep to cycle points from"
+            ))
+        }
+    };
+    let report = hammer(
+        &sweep,
+        &HammerOptions {
+            submissions: opts.submissions,
+            clients: opts.clients,
+            addr: opts.addr.clone(),
+            cache_dir: opts.cache_dir_set.then(|| opts.cache_dir.clone()),
+        },
+    )?;
+    eprintln!("{}", report.summary());
+    for e in &report.metrics_errors {
+        eprintln!("metrics: {e}");
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err("hammer found divergence (see summary above)".into())
+    }
+}
+
+fn metrics(opts: &Opts) -> Result<(), String> {
+    let addr = opts.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let (status, text) =
+        http::fetch(&addr, "GET", "/metrics", None).map_err(|e| format!("GET {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("daemon answered {status}"));
+    }
+    lint_openmetrics(&text).map_err(|errs| errs.join("\n"))?;
+    print!("{text}");
+    eprintln!("metrics: OK ({} lines)", text.lines().count());
+    Ok(())
+}
+
+fn num_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+fn dispatch() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                opts.addr = Some(it.next().ok_or("--addr needs a value")?.clone());
+            }
+            "--workers" => opts.workers = num_arg(&mut it, "--workers")?,
+            "--no-cache" => opts.cache = false,
+            "--cache-dir" => {
+                opts.cache_dir = PathBuf::from(it.next().ok_or("--cache-dir needs a value")?);
+                opts.cache_dir_set = true;
+            }
+            "--max-pending" => opts.max_pending = num_arg(&mut it, "--max-pending")?,
+            "--max-client-pending" => {
+                opts.max_client_pending = num_arg(&mut it, "--max-client-pending")?;
+            }
+            "--client" => {
+                opts.client = it.next().ok_or("--client needs a value")?.clone();
+            }
+            "--stream" => opts.stream = true,
+            "--submissions" => opts.submissions = num_arg(&mut it, "--submissions")?,
+            "--clients" => opts.clients = num_arg(&mut it, "--clients")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            s if s.starts_with('-') => return Err(format!("unknown flag {s}\n{USAGE}")),
+            s => positional.push(s),
+        }
+    }
+    match positional.as_slice() {
+        ["listen"] => listen(&opts),
+        ["submit", target] => submit(target, &opts),
+        ["hammer", target] => run_hammer(target, &opts),
+        ["metrics"] => metrics(&opts),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match dispatch() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

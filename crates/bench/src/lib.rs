@@ -16,12 +16,15 @@
 //! [`scenarios`] module: the paper's experiments as entries of a
 //! [`ScenarioRegistry`](chiplet_net::scenario::ScenarioRegistry) (see
 //! [`scenarios::paper_registry`]), which every regenerator binary and the
-//! `chiplet-scenario` CLI look their work up in.
+//! `chiplet-scenario` CLI look their work up in — and the [`serve`]
+//! module, the persistent scenario-serving daemon behind the
+//! `chiplet-serve` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod scenarios;
+pub mod serve;
 
 use std::fmt::Write as _;
 

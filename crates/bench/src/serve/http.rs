@@ -1,0 +1,317 @@
+//! Just enough HTTP/1.1 for the serving daemon — std only, matching the
+//! workspace's vendoring posture (no hyper, no tokio).
+//!
+//! One request per connection (`Connection: close`); request line, headers,
+//! and a `Content-Length` body; plain or chunked responses. That subset is
+//! all `curl`, the CI smoke job, and the load-test client need.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the daemon accepts (a hand-written sweep spec is
+/// kilobytes; anything near this limit is abuse, not an experiment).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/v1/sweep`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence winning.
+    pub query: HashMap<String, String>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad(format!("body of {content_length} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, HashMap::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Parses `a=1&b=two` with `%XX` and `+` decoding.
+fn parse_query(q: &str) -> HashMap<String, String> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    Err(_) => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Writes a complete response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response in progress — the daemon's
+/// per-point progress stream.
+pub struct ChunkedResponse<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedResponse<'a> {
+    /// Writes the status line and headers, leaving the body open.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status)
+        )?;
+        stream.flush()?;
+        Ok(ChunkedResponse { stream })
+    }
+
+    /// Sends one chunk (flushed immediately, so clients see progress live).
+    pub fn chunk(&mut self, data: &str) -> std::io::Result<()> {
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked body.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Client half: sends `method target` with an optional body over a fresh
+/// connection and returns `(status, body)`, decoding chunked transfer.
+pub fn fetch(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Reads a full response from the stream, decoding chunked bodies.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line: {line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("bad chunk size: {size_line:?}")))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                let _ = reader.read_line(&mut trailer);
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query("client=team+a&name=fig5_sweep&x=%2Fpath&flag");
+        assert_eq!(q["client"], "team a");
+        assert_eq!(q["name"], "fig5_sweep");
+        assert_eq!(q["x"], "/path");
+        assert_eq!(q["flag"], "");
+    }
+
+    #[test]
+    fn request_and_response_round_trip_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let req = read_request(&mut conn).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/run");
+            assert_eq!(req.param("client"), Some("c1"));
+            assert_eq!(req.body, b"{\"x\":1}");
+            write_response(&mut conn, 200, "application/json", "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = fetch(&addr, "POST", "/v1/run?client=c1", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_bodies_reassemble() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            let mut resp = ChunkedResponse::begin(&mut conn, 200, "application/jsonl").unwrap();
+            resp.chunk("{\"point\":0}\n").unwrap();
+            resp.chunk("{\"point\":1}\n").unwrap();
+            resp.finish().unwrap();
+        });
+        let (status, body) = fetch(&addr, "GET", "/stream", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"point\":0}\n{\"point\":1}\n");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,684 @@
+//! `chiplet-serve` — the scenario-serving daemon.
+//!
+//! Promotes the batch `chiplet-scenario sweep` runner into a persistent
+//! HTTP/JSON service: clients POST [`ScenarioSpec`]s or [`SweepSpec`]s, a
+//! bounded worker pool executes the points with **round-robin fair queuing
+//! across clients** ([`queue::FairQueue`]), identical points dedupe through
+//! an in-flight single-flight map *and* the same content-addressed
+//! `results/cache/` store the CLI uses, and `GET /metrics` exposes the
+//! server's runtime state through the workspace's OpenMetrics encoder.
+//!
+//! Determinism carries over wholesale: a served point is executed by the
+//! very same [`ScenarioSpec::run`] path as the batch CLI and keyed by the
+//! same content hash ([`spec_hash`]), so responses are **byte-identical**
+//! to `chiplet-scenario run/sweep --json` no matter how many clients race.
+//!
+//! ## Endpoints
+//!
+//! | Route | Behaviour |
+//! |-------|-----------|
+//! | `GET /healthz` | liveness probe (`ok`) |
+//! | `GET /metrics` | OpenMetrics dump, volatile families included |
+//! | `GET /v1/scenarios` | the built-in registry as JSON |
+//! | `POST /v1/run?name=N` or body spec | one scenario report |
+//! | `POST /v1/sweep?name=N` or body sweep | aggregate [`SweepOutcome`] |
+//! | `POST /v1/sweep?...&stream=1` | chunked JSONL per-point progress |
+//!
+//! All POST routes accept `?client=<id>` for fair-queue identity (default
+//! `anon`). Over-limit submissions are rejected whole with a 429 — partial
+//! admission would deadlock the sweep that submitted them.
+
+pub mod hammer;
+pub mod http;
+pub mod queue;
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use chiplet_net::metrics::{describe_serve_metrics, MetricsRegistry};
+use chiplet_net::scenario::{
+    load_cache_entry, spec_hash, store_cache_entry, CacheLookup, ScenarioKind, ScenarioSpec,
+    SweepOutcome, SweepPoint, SweepPointResult, SweepSpec,
+};
+
+use crate::scenarios::paper_registry;
+use http::{read_request, write_response, ChunkedResponse, Request};
+use queue::FairQueue;
+
+pub use chiplet_net::scenario::ScenarioReport;
+
+/// How the daemon is sized and where it keeps its cache.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing points; 0 = one per available core.
+    pub workers: usize,
+    /// Shared content-addressed result cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Global cap on queued points (admission control).
+    pub max_pending: usize,
+    /// Per-client cap on queued points.
+    pub max_client_pending: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_dir: Some(PathBuf::from("results/cache")),
+            max_pending: 4096,
+            max_client_pending: 2048,
+        }
+    }
+}
+
+/// A successfully served point: the report's canonical JSON plus whether it
+/// came from the cache / dedup instead of a fresh execution.
+#[derive(Debug, Clone)]
+struct Served {
+    json: Arc<String>,
+    cached: bool,
+}
+
+type Reply = mpsc::Sender<Result<Served, String>>;
+
+/// One queued scenario point.
+struct WorkItem {
+    hash: String,
+    spec: ScenarioSpec,
+    client: String,
+    reply: Reply,
+}
+
+/// State shared between the accept loop, connection handlers, and workers.
+struct ServeState {
+    queue: Mutex<FairQueue<WorkItem>>,
+    work_ready: Condvar,
+    /// Single-flight: hash → submissions parked behind the executing one.
+    inflight: Mutex<HashMap<String, Vec<WorkItem>>>,
+    metrics: Mutex<MetricsRegistry>,
+    cache_dir: Option<PathBuf>,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    fn count(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .counter_add(name, labels, v);
+    }
+
+    fn serve_point(&self, item: WorkItem, served: Result<Served, String>) {
+        if served.is_ok() {
+            self.count(
+                "chiplet_serve_client_points",
+                &[("client", &item.client)],
+                1.0,
+            );
+        }
+        // A dropped receiver (client hung up) is fine; the work is cached.
+        let _ = item.reply.send(served);
+    }
+
+    /// Blocks until a point is available or shutdown; round-robin fair.
+    fn next_item(&self) -> Option<WorkItem> {
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some((_, item)) = q.pop() {
+                return Some(item);
+            }
+            q = self.work_ready.wait(q).expect("queue lock poisoned");
+        }
+    }
+
+    /// One worker's service loop.
+    fn work(&self) {
+        while let Some(item) = self.next_item() {
+            // Cache probe first: hits never cost an execution slot.
+            if let Some(dir) = &self.cache_dir {
+                match load_cache_entry(dir, &item.hash) {
+                    CacheLookup::Hit(report) => {
+                        self.count("chiplet_serve_cache_hits", &[], 1.0);
+                        self.serve_point(
+                            item,
+                            Ok(Served {
+                                json: Arc::new(report.to_json()),
+                                cached: true,
+                            }),
+                        );
+                        continue;
+                    }
+                    CacheLookup::Corrupt => self.count("chiplet_serve_corrupt_healed", &[], 1.0),
+                    CacheLookup::Miss => {}
+                }
+            }
+            // Single-flight: if this hash is already executing, park behind
+            // it instead of burning a second worker on identical work.
+            {
+                let mut infl = self.inflight.lock().expect("inflight lock poisoned");
+                if let Some(waiters) = infl.get_mut(&item.hash) {
+                    waiters.push(item);
+                    continue;
+                }
+                infl.insert(item.hash.clone(), Vec::new());
+            }
+            let hash = item.hash.clone();
+            let outcome = item.spec.run();
+            let served = match outcome {
+                Ok(report) => {
+                    let json = report.to_json();
+                    if let Some(dir) = &self.cache_dir {
+                        // Atomic publish; a failed write degrades to uncached.
+                        let _ = store_cache_entry(dir, &hash, &json);
+                    }
+                    Ok(Served {
+                        json: Arc::new(json),
+                        cached: false,
+                    })
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            self.count("chiplet_serve_cache_misses", &[], 1.0);
+            let waiters = self
+                .inflight
+                .lock()
+                .expect("inflight lock poisoned")
+                .remove(&hash)
+                .unwrap_or_default();
+            match &served {
+                Ok(s) => {
+                    let json = s.json.clone();
+                    self.serve_point(item, served.clone());
+                    for w in waiters {
+                        // Dedup'd submissions count as hits: served without
+                        // an execution of their own.
+                        self.count("chiplet_serve_cache_hits", &[], 1.0);
+                        self.serve_point(
+                            w,
+                            Ok(Served {
+                                json: json.clone(),
+                                cached: true,
+                            }),
+                        );
+                    }
+                }
+                Err(_) => {
+                    let err = served.clone();
+                    self.serve_point(item, served);
+                    for w in waiters {
+                        self.serve_point(w, err.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Admits a submission's points whole, or rejects them with a 429 body.
+    fn admit(&self, client: &str, items: Vec<WorkItem>) -> Result<(), String> {
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        match q.try_push_all(client, items) {
+            Ok(()) => {
+                drop(q);
+                self.work_ready.notify_all();
+                Ok(())
+            }
+            Err((err, _returned)) => {
+                drop(q);
+                self.count(
+                    "chiplet_serve_admission_rejects",
+                    &[("client", client)],
+                    1.0,
+                );
+                Err(err.to_string())
+            }
+        }
+    }
+}
+
+/// A running daemon; dropping it shuts the listener and workers down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns.
+    pub fn spawn(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let mut metrics = MetricsRegistry::new();
+        describe_serve_metrics(&mut metrics);
+        let state = Arc::new(ServeState {
+            queue: Mutex::new(FairQueue::new(cfg.max_pending, cfg.max_client_pending)),
+            work_ready: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(metrics),
+            cache_dir: cfg.cache_dir.clone(),
+            shutdown: AtomicBool::new(false),
+        });
+        if let Some(dir) = &state.cache_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let pool: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || state.work())
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept_state = state.clone();
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept loop");
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            workers: pool,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.work_ready.notify_all();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let state = state.clone();
+        // Modest stacks: thousands of concurrent connections are the point.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .stack_size(512 * 1024)
+            .spawn(move || {
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+                if let Ok(req) = read_request(&mut stream) {
+                    let _ = handle(&state, &mut stream, &req);
+                }
+            });
+    }
+}
+
+/// The fair-queue identity of a request (`?client=`, default `anon`),
+/// truncated so a hostile label can't bloat the metrics registry.
+fn client_of(req: &Request) -> String {
+    let c = req.param("client").unwrap_or("anon").trim();
+    let c = if c.is_empty() { "anon" } else { c };
+    c.chars().take(64).collect()
+}
+
+/// Builds a JSON object value with the given fields, in order (the
+/// vendored `serde_json` has no `json!` macro).
+fn jobj(fields: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn jstr(s: &str) -> serde_json::Value {
+    serde_json::Value::Str(s.to_string())
+}
+
+fn jnum(n: usize) -> serde_json::Value {
+    serde_json::Value::U64(n as u64)
+}
+
+fn jbool(b: bool) -> serde_json::Value {
+    serde_json::Value::Bool(b)
+}
+
+fn compact(v: &serde_json::Value) -> String {
+    serde_json::to_string(v).expect("values serialize")
+}
+
+fn json_error(msg: &str) -> String {
+    compact(&jobj(vec![("error", jstr(msg))])) + "\n"
+}
+
+fn handle(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(stream, 200, "text/plain", "ok\n"),
+        ("GET", "/metrics") => {
+            let depth = state.queue.lock().expect("queue lock poisoned").len();
+            let mut m = state.metrics.lock().expect("metrics lock poisoned");
+            m.gauge_set("chiplet_serve_queue_depth", &[], depth as f64);
+            let text = m.to_openmetrics_with_volatile();
+            drop(m);
+            write_response(
+                stream,
+                200,
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                &text,
+            )
+        }
+        ("GET", "/v1/scenarios") => {
+            let reg = paper_registry();
+            let entries: Vec<serde_json::Value> = reg
+                .entries()
+                .iter()
+                .map(|e| {
+                    let kind = match (e.build)() {
+                        ScenarioKind::Spec(_) => "spec",
+                        ScenarioKind::Study(_) => "study",
+                        ScenarioKind::Sweep(_) => "sweep",
+                    };
+                    jobj(vec![
+                        ("name", jstr(e.name)),
+                        ("kind", jstr(kind)),
+                        ("summary", jstr(e.summary)),
+                    ])
+                })
+                .collect();
+            let body = serde_json::to_string_pretty(&serde_json::Value::Seq(entries))
+                .expect("serializes")
+                + "\n";
+            write_response(stream, 200, "application/json", &body)
+        }
+        ("POST", "/v1/run") => handle_run(state, stream, req),
+        ("POST", "/v1/sweep") => handle_sweep(state, stream, req),
+        (_, "/healthz" | "/metrics" | "/v1/scenarios") => write_response(
+            stream,
+            405,
+            "application/json",
+            &json_error("method not allowed"),
+        ),
+        (_, "/v1/run" | "/v1/sweep") => write_response(
+            stream,
+            405,
+            "application/json",
+            &json_error("method not allowed"),
+        ),
+        _ => write_response(
+            stream,
+            404,
+            "application/json",
+            &json_error("no such route"),
+        ),
+    }
+}
+
+/// Resolves a request to a [`ScenarioSpec`]: `?name=` looks up a registry
+/// spec entry, otherwise the body must be a spec JSON.
+fn resolve_spec(req: &Request) -> Result<ScenarioSpec, (u16, String)> {
+    if let Some(name) = req.param("name") {
+        let reg = paper_registry();
+        let entry = reg
+            .get(name)
+            .ok_or_else(|| (404, format!("unknown scenario '{name}'")))?;
+        return match (entry.build)() {
+            ScenarioKind::Spec(spec) => Ok(spec),
+            _ => Err((
+                400,
+                format!("'{name}' is not a declarative spec; POST sweeps to /v1/sweep"),
+            )),
+        };
+    }
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    if text.trim().is_empty() {
+        return Err((400, "missing ?name= and empty body".to_string()));
+    }
+    ScenarioSpec::from_json(text).map_err(|e| (400, e.to_string()))
+}
+
+/// Resolves a request to a [`SweepSpec`], mirroring [`resolve_spec`].
+fn resolve_sweep(req: &Request) -> Result<SweepSpec, (u16, String)> {
+    if let Some(name) = req.param("name") {
+        let reg = paper_registry();
+        let entry = reg
+            .get(name)
+            .ok_or_else(|| (404, format!("unknown sweep '{name}'")))?;
+        return match (entry.build)() {
+            ScenarioKind::Sweep(sweep) => Ok(sweep),
+            _ => Err((400, format!("'{name}' is not a sweep"))),
+        };
+    }
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    if text.trim().is_empty() {
+        return Err((400, "missing ?name= and empty body".to_string()));
+    }
+    SweepSpec::from_json(text).map_err(|e| (400, e.to_string()))
+}
+
+fn handle_run(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    let client = client_of(req);
+    let spec = match resolve_spec(req) {
+        Ok(s) => s,
+        Err((status, msg)) => {
+            return write_response(stream, status, "application/json", &json_error(&msg))
+        }
+    };
+    let (tx, rx) = mpsc::channel();
+    let item = WorkItem {
+        hash: spec_hash(&spec),
+        spec,
+        client: client.clone(),
+        reply: tx,
+    };
+    if let Err(msg) = state.admit(&client, vec![item]) {
+        return write_response(stream, 429, "application/json", &json_error(&msg));
+    }
+    match rx.recv() {
+        Ok(Ok(served)) => write_response(
+            stream,
+            200,
+            "application/json",
+            &format!("{}\n", served.json),
+        ),
+        Ok(Err(msg)) => write_response(stream, 400, "application/json", &json_error(&msg)),
+        Err(_) => write_response(
+            stream,
+            500,
+            "application/json",
+            &json_error("server shutting down"),
+        ),
+    }
+}
+
+fn handle_sweep(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    let client = client_of(req);
+    let sweep = match resolve_sweep(req) {
+        Ok(s) => s,
+        Err((status, msg)) => {
+            return write_response(stream, status, "application/json", &json_error(&msg))
+        }
+    };
+    let points = match sweep.expand() {
+        Ok(p) => p,
+        Err(e) => {
+            return write_response(stream, 400, "application/json", &json_error(&e.to_string()))
+        }
+    };
+    let stream_mode = matches!(req.param("stream"), Some("1" | "true"));
+    let mut receivers = Vec::with_capacity(points.len());
+    let mut items = Vec::with_capacity(points.len());
+    for point in &points {
+        let (tx, rx) = mpsc::channel();
+        items.push(WorkItem {
+            hash: point.hash.clone(),
+            spec: point.spec.clone(),
+            client: client.clone(),
+            reply: tx,
+        });
+        receivers.push(rx);
+    }
+    if let Err(msg) = state.admit(&client, items) {
+        return write_response(stream, 429, "application/json", &json_error(&msg));
+    }
+    if stream_mode {
+        stream_sweep(stream, &sweep, &points, receivers)
+    } else {
+        collect_sweep(stream, &sweep, &points, receivers)
+    }
+}
+
+/// Non-streaming sweep: wait for every point, answer with the aggregate
+/// [`SweepOutcome`] — the same bytes `chiplet-scenario sweep --json` prints.
+fn collect_sweep(
+    stream: &mut TcpStream,
+    sweep: &SweepSpec,
+    points: &[SweepPoint],
+    receivers: Vec<mpsc::Receiver<Result<Served, String>>>,
+) -> std::io::Result<()> {
+    let mut results = Vec::with_capacity(points.len());
+    for (point, rx) in points.iter().zip(receivers) {
+        let served = match rx.recv() {
+            Ok(Ok(s)) => s,
+            Ok(Err(msg)) => {
+                return write_response(stream, 400, "application/json", &json_error(&msg))
+            }
+            Err(_) => {
+                return write_response(
+                    stream,
+                    500,
+                    "application/json",
+                    &json_error("server shutting down"),
+                )
+            }
+        };
+        let report = match ScenarioReport::from_json(&served.json) {
+            Ok(r) => r,
+            Err(e) => {
+                return write_response(
+                    stream,
+                    500,
+                    "application/json",
+                    &json_error(&format!("internal report parse: {e}")),
+                )
+            }
+        };
+        results.push(SweepPointResult {
+            label: point.label.clone(),
+            hash: point.hash.clone(),
+            report,
+        });
+    }
+    let outcome = SweepOutcome {
+        sweep: sweep.name.clone(),
+        points: results,
+    };
+    write_response(
+        stream,
+        200,
+        "application/json",
+        &format!("{}\n", outcome.to_json()),
+    )
+}
+
+/// Streaming sweep: one compact JSON line per completed point (expansion
+/// order), then a `done` line with the tallies.
+fn stream_sweep(
+    stream: &mut TcpStream,
+    sweep: &SweepSpec,
+    points: &[SweepPoint],
+    receivers: Vec<mpsc::Receiver<Result<Served, String>>>,
+) -> std::io::Result<()> {
+    let mut resp = ChunkedResponse::begin(stream, 200, "application/jsonl")?;
+    let total = points.len();
+    let (mut cached, mut executed, mut failed) = (0usize, 0usize, 0usize);
+    for (i, (point, rx)) in points.iter().zip(receivers).enumerate() {
+        let head = vec![
+            ("event", jstr("point")),
+            ("index", jnum(i)),
+            ("total", jnum(total)),
+            ("label", jstr(&point.label)),
+            ("hash", jstr(&point.hash)),
+        ];
+        let line = match rx.recv() {
+            Ok(Ok(s)) => {
+                if s.cached {
+                    cached += 1;
+                } else {
+                    executed += 1;
+                }
+                let mut fields = head;
+                fields.push(("cached", jbool(s.cached)));
+                fields.push(("ok", jbool(true)));
+                jobj(fields)
+            }
+            Ok(Err(msg)) => {
+                failed += 1;
+                let mut fields = head;
+                fields.push(("ok", jbool(false)));
+                fields.push(("error", jstr(&msg)));
+                jobj(fields)
+            }
+            Err(_) => {
+                failed += 1;
+                let mut fields = head;
+                fields.push(("ok", jbool(false)));
+                fields.push(("error", jstr("server shutting down")));
+                jobj(fields)
+            }
+        };
+        resp.chunk(&format!("{}\n", compact(&line)))?;
+    }
+    let done = jobj(vec![
+        ("event", jstr("done")),
+        ("sweep", jstr(&sweep.name)),
+        ("total", jnum(total)),
+        ("executed", jnum(executed)),
+        ("cached", jnum(cached)),
+        ("failed", jnum(failed)),
+    ]);
+    resp.chunk(&format!("{}\n", compact(&done)))?;
+    resp.finish()
+}

@@ -1,0 +1,258 @@
+//! Fair, bounded admission queue for the serving daemon.
+//!
+//! Each client gets a private lane; [`FairQueue::pop`] serves the lanes
+//! round-robin with a one-point quantum, so a client saturating the daemon
+//! with a huge sweep cannot starve a client submitting a single point: any
+//! item at lane position `k` is served after at most `(k + 1) × lanes`
+//! pops, independent of how much the other lanes hold.
+//!
+//! Admission is **all-or-nothing**: a submission's points either all fit
+//! under both the global and the per-client cap, or none are enqueued and
+//! the caller gets an [`AdmissionError`] to turn into a 429. Partial
+//! admission would leave a sweep waiting forever on points that were never
+//! queued.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Why a submission was rejected at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The global pending cap would be exceeded.
+    QueueFull {
+        /// Points the submission asked to enqueue.
+        requested: usize,
+        /// Points already pending, all clients combined.
+        pending: usize,
+        /// The global cap.
+        limit: usize,
+    },
+    /// The submitting client's own cap would be exceeded.
+    ClientFull {
+        /// Points the submission asked to enqueue.
+        requested: usize,
+        /// Points this client already has pending.
+        pending: usize,
+        /// The per-client cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull {
+                requested,
+                pending,
+                limit,
+            } => write!(
+                f,
+                "queue full: {requested} point(s) would exceed the global \
+                 pending limit ({pending} pending, limit {limit})"
+            ),
+            AdmissionError::ClientFull {
+                requested,
+                pending,
+                limit,
+            } => write!(
+                f,
+                "client over limit: {requested} point(s) would exceed the \
+                 per-client pending limit ({pending} pending, limit {limit})"
+            ),
+        }
+    }
+}
+
+struct Lane<T> {
+    client: String,
+    items: VecDeque<T>,
+}
+
+/// Bounded multi-client queue with round-robin service (quantum: 1 point).
+pub struct FairQueue<T> {
+    lanes: Vec<Lane<T>>,
+    index: HashMap<String, usize>,
+    cursor: usize,
+    len: usize,
+    max_pending: usize,
+    max_client_pending: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `max_pending` points in total and
+    /// `max_client_pending` per client.
+    pub fn new(max_pending: usize, max_client_pending: usize) -> Self {
+        FairQueue {
+            lanes: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            len: 0,
+            max_pending,
+            max_client_pending,
+        }
+    }
+
+    /// Total points pending across all clients.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Admits a whole submission for `client`, or rejects it untouched.
+    pub fn try_push_all(
+        &mut self,
+        client: &str,
+        items: Vec<T>,
+    ) -> Result<(), (AdmissionError, Vec<T>)> {
+        let n = items.len();
+        if self.len + n > self.max_pending {
+            return Err((
+                AdmissionError::QueueFull {
+                    requested: n,
+                    pending: self.len,
+                    limit: self.max_pending,
+                },
+                items,
+            ));
+        }
+        let lane_len = self
+            .index
+            .get(client)
+            .map_or(0, |&i| self.lanes[i].items.len());
+        if lane_len + n > self.max_client_pending {
+            return Err((
+                AdmissionError::ClientFull {
+                    requested: n,
+                    pending: lane_len,
+                    limit: self.max_client_pending,
+                },
+                items,
+            ));
+        }
+        let lane = match self.index.get(client) {
+            Some(&i) => &mut self.lanes[i],
+            None => {
+                self.index.insert(client.to_string(), self.lanes.len());
+                self.lanes.push(Lane {
+                    client: client.to_string(),
+                    items: VecDeque::new(),
+                });
+                self.lanes.last_mut().expect("just pushed")
+            }
+        };
+        lane.items.extend(items);
+        self.len += n;
+        Ok(())
+    }
+
+    /// Takes the next point round-robin: one per non-empty lane per turn of
+    /// the cursor. Empty lanes keep their slot (client identity is sticky),
+    /// so fairness holds across a client's successive submissions too.
+    pub fn pop(&mut self) -> Option<(String, T)> {
+        if self.len == 0 || self.lanes.is_empty() {
+            return None;
+        }
+        for probe in 0..self.lanes.len() {
+            let i = (self.cursor + probe) % self.lanes.len();
+            if let Some(item) = self.lanes[i].items.pop_front() {
+                self.cursor = (i + 1) % self.lanes.len();
+                self.len -= 1;
+                return Some((self.lanes[i].client.clone(), item));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_prevents_starvation() {
+        // A floods the queue; B's two points must still be served within
+        // one cursor turn each — bounded wait, not behind all of A.
+        let mut q = FairQueue::new(1000, 1000);
+        q.try_push_all("a", (0..100).collect()).unwrap();
+        q.try_push_all("b", vec![1000, 1001]).unwrap();
+        let order: Vec<(String, i32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order.len(), 102);
+        let b_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| c == "b")
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            b_positions[0] <= 2 && b_positions[1] <= 4,
+            "b waited {b_positions:?} pops behind a saturating client"
+        );
+        // And A still gets everything, in its own submission order.
+        let a_items: Vec<i32> = order
+            .iter()
+            .filter(|(c, _)| c == "a")
+            .map(|&(_, x)| x)
+            .collect();
+        assert_eq!(a_items, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_is_bounded_by_lane_position_times_clients() {
+        let clients = 5;
+        let per = 40;
+        let mut q = FairQueue::new(clients * per, per);
+        for c in 0..clients {
+            let items: Vec<(usize, usize)> = (0..per).map(|k| (c, k)).collect();
+            q.try_push_all(&format!("c{c}"), items).unwrap();
+        }
+        let mut pops = 0;
+        while let Some((_, (_, k))) = q.pop() {
+            assert!(
+                pops < (k + 1) * clients,
+                "lane position {k} served only at pop {pops}"
+            );
+            pops += 1;
+        }
+        assert_eq!(pops, clients * per);
+    }
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let mut q = FairQueue::new(10, 6);
+        // Per-client cap: 7 points in one batch never enter.
+        let (err, returned) = q.try_push_all("a", (0..7).collect()).unwrap_err();
+        assert!(matches!(err, AdmissionError::ClientFull { .. }));
+        assert_eq!(returned.len(), 7, "rejected items come back to the caller");
+        assert!(q.is_empty(), "nothing was partially enqueued");
+
+        q.try_push_all("a", (0..6).collect()).unwrap();
+        assert_eq!(q.len(), 6);
+        // Global cap: b may hold 6 by its own cap, but only 4 slots remain.
+        let (err, _) = q.try_push_all("b", (0..5).collect()).unwrap_err();
+        assert!(matches!(err, AdmissionError::QueueFull { .. }));
+        assert_eq!(q.len(), 6);
+        q.try_push_all("b", (0..4).collect()).unwrap();
+        assert_eq!(q.len(), 10);
+
+        // Draining a's lane frees a's budget again.
+        let mut served_a = 0;
+        while let Some((c, _)) = q.pop() {
+            if c == "a" {
+                served_a += 1;
+            }
+        }
+        assert_eq!(served_a, 6);
+        q.try_push_all("a", (0..6).collect()).unwrap();
+    }
+
+    #[test]
+    fn rejection_messages_name_the_limit() {
+        let mut q = FairQueue::new(2, 2);
+        let (err, _) = q.try_push_all("a", vec![1, 2, 3]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("limit 2"), "{msg}");
+    }
+}

@@ -157,6 +157,47 @@ fn bad_flags_fail_cleanly() {
 }
 
 #[test]
+fn engine_workers_on_ineligible_spec_warns_on_stderr() {
+    // A tracing-enabled spec cannot run the parallel engine; asking for
+    // workers must produce a loud stderr warning, not a silent downgrade.
+    let path = scratch("traced.json");
+    let spec = r#"{
+      "name": "traced",
+      "description": "",
+      "topology": { "Named": "epyc_7302" },
+      "backend": "Event",
+      "seed": 1,
+      "horizon": 10000,
+      "policy": "HardwareDefault",
+      "engine": { "warmup": 2000, "deterministic_memory": false,
+                  "trace_window": null, "trace_sampling": 8 },
+      "fluid": null,
+      "flows": [ { "name": "probe", "demand": null,
+                   "engine": { "cores": { "Ccd": 0 },
+                               "target": "AllDimms" },
+                   "links": [] } ]
+    }"#;
+    std::fs::write(&path, spec).unwrap();
+    let out = scenario_cli(&["run", path.to_str().unwrap(), "--engine-workers", "4"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("fell back") && err.contains("trace_sampling"),
+        "expected a loud fallback warning, got: {err}"
+    );
+
+    // The same spec without --engine-workers is not a downgrade: silent.
+    let out = scenario_cli(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        !stderr_of(&out).contains("fell back"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn sweep_runs_end_to_end_with_cache() {
     let dir = scratch("cachedir");
     let _ = std::fs::remove_dir_all(&dir);

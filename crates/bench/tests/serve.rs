@@ -1,0 +1,206 @@
+//! End-to-end tests of the scenario-serving daemon: byte identity with the
+//! batch CLI, fair-queue admission control, streaming progress, cache
+//! integrity under concurrent load, and metrics hygiene.
+
+use std::path::PathBuf;
+
+use chiplet_bench::scenarios::paper_registry;
+use chiplet_bench::serve::hammer::{hammer, HammerOptions};
+use chiplet_bench::serve::{http, ServeConfig, Server};
+use chiplet_net::lint_openmetrics;
+use chiplet_net::scenario::{ScenarioKind, SweepRunner, SweepSpec};
+
+fn fig5_sweep() -> SweepSpec {
+    match (paper_registry()
+        .get("fig5_sweep")
+        .expect("registered")
+        .build)()
+    {
+        ScenarioKind::Sweep(s) => s,
+        _ => panic!("fig5_sweep is a sweep"),
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("chiplet-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn(cache_dir: Option<PathBuf>, max_pending: usize, max_client: usize) -> Server {
+    Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_dir,
+        max_pending,
+        max_client_pending: max_client,
+    })
+    .expect("daemon binds")
+}
+
+#[test]
+fn served_sweep_bytes_match_the_batch_runner() {
+    let dir = scratch_dir("bytes");
+    let server = spawn(Some(dir.clone()), 4096, 4096);
+    let addr = server.addr().to_string();
+    let sweep = fig5_sweep();
+
+    let (status, served) =
+        http::fetch(&addr, "POST", "/v1/sweep?client=t1", Some(&sweep.to_json()))
+            .expect("POST /v1/sweep");
+    assert_eq!(status, 200, "{served}");
+
+    let (batch, _) = SweepRunner::with_jobs(0).run(&sweep).expect("batch run");
+    assert_eq!(
+        served,
+        format!("{}\n", batch.to_json()),
+        "daemon and batch CLI must produce identical bytes"
+    );
+
+    // A second submission is served from cache/dedup — still identical.
+    let (status, again) = http::fetch(&addr, "POST", "/v1/sweep?client=t2", Some(&sweep.to_json()))
+        .expect("POST /v1/sweep");
+    assert_eq!(status, 200);
+    assert_eq!(again, served, "cached responses are byte-identical too");
+
+    // And the named-registry route resolves to the same sweep.
+    let (status, named) =
+        http::fetch(&addr, "POST", "/v1/sweep?name=fig5_sweep", None).expect("named sweep");
+    assert_eq!(status, 200);
+    assert_eq!(named, served);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_sweep_reports_every_point_then_done() {
+    let server = spawn(None, 4096, 4096);
+    let addr = server.addr().to_string();
+    let sweep = fig5_sweep();
+    let (status, body) = http::fetch(
+        &addr,
+        "POST",
+        "/v1/sweep?client=s1&stream=1",
+        Some(&sweep.to_json()),
+    )
+    .expect("streamed sweep");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().collect();
+    let total = sweep.expand().unwrap().len();
+    assert_eq!(
+        lines.len(),
+        total + 1,
+        "one line per point plus done:\n{body}"
+    );
+    for (i, line) in lines[..total].iter().enumerate() {
+        assert!(line.contains("\"event\":\"point\""), "{line}");
+        assert!(line.contains(&format!("\"index\":{i}")), "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+    assert!(lines[total].contains("\"event\":\"done\""), "{body}");
+    assert!(lines[total].contains("\"failed\":0"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn over_limit_submissions_get_a_clean_429() {
+    // Global cap below the sweep's point count: all-or-nothing admission
+    // must reject the whole batch regardless of queue state.
+    let server = spawn(None, 4, 4096);
+    let addr = server.addr().to_string();
+    let sweep = fig5_sweep();
+    let (status, body) = http::fetch(
+        &addr,
+        "POST",
+        "/v1/sweep?client=big",
+        Some(&sweep.to_json()),
+    )
+    .expect("POST /v1/sweep");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("queue full"), "{body}");
+
+    // A single point still fits: the daemon stays serviceable.
+    let point = &sweep.expand().unwrap()[0];
+    let (status, _) = http::fetch(
+        &addr,
+        "POST",
+        "/v1/run?client=small",
+        Some(&point.spec.to_json()),
+    )
+    .expect("POST /v1/run");
+    assert_eq!(status, 200);
+
+    // The reject landed in the metrics, labelled by client.
+    let (status, metrics) = http::fetch(&addr, "GET", "/metrics", None).expect("GET /metrics");
+    assert_eq!(status, 200);
+    lint_openmetrics(&metrics).expect("metrics lint");
+    assert!(
+        metrics.contains("chiplet_serve_admission_rejects_total{client=\"big\"} 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn per_client_cap_rejects_independently_of_global() {
+    let server = spawn(None, 4096, 4);
+    let addr = server.addr().to_string();
+    let sweep = fig5_sweep();
+    let (status, body) = http::fetch(&addr, "POST", "/v1/sweep?client=c1", Some(&sweep.to_json()))
+        .expect("POST /v1/sweep");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("client over limit"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn bad_submissions_fail_cleanly() {
+    let server = spawn(None, 4096, 4096);
+    let addr = server.addr().to_string();
+    let cases = [
+        ("POST", "/v1/run", Some("{ not json"), 400),
+        ("POST", "/v1/run", None, 400),
+        ("POST", "/v1/run?name=fig99", None, 404),
+        ("POST", "/v1/sweep?name=fig3", None, 400), // a spec, not a sweep
+        ("GET", "/v1/nowhere", None, 404),
+        ("DELETE", "/v1/run", None, 405),
+    ];
+    for (method, route, body, want) in cases {
+        let (status, text) = http::fetch(&addr, method, route, body).expect("request");
+        assert_eq!(status, want, "{method} {route}: {text}");
+        assert!(text.contains("\"error\""), "{method} {route}: {text}");
+    }
+    let (status, health) = http::fetch(&addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!((status, health.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn load_test_thousand_concurrent_submissions_match_batch_bytes() {
+    // The acceptance load test: ≥ 1000 concurrent single-point submissions
+    // from ≥ 4 clients, byte-identical to the batch CLI, zero torn cache
+    // entries, metrics lint-clean. `hammer` verifies all of it internally;
+    // the assertions below just surface which check failed.
+    let report = hammer(
+        &fig5_sweep(),
+        &HammerOptions {
+            submissions: 1000,
+            clients: 4,
+            addr: None,
+            cache_dir: None,
+        },
+    )
+    .expect("hammer runs");
+    assert_eq!(report.mismatches, 0, "{}", report.summary());
+    assert_eq!(report.failures, 0, "{}", report.summary());
+    assert_eq!(report.torn_entries, 0, "{}", report.summary());
+    assert!(
+        report.metrics_errors.is_empty(),
+        "metrics: {:?}",
+        report.metrics_errors
+    );
+    assert_eq!(report.submissions, 1000);
+    assert_eq!(report.clients, 4);
+}

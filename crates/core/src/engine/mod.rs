@@ -322,6 +322,47 @@ struct PlanInfo {
     unloaded_ns: f64,
 }
 
+/// One recorded parallel→sequential downgrade: the run asked for more
+/// than one engine worker but the engine took the sequential loop anyway.
+/// The output is byte-identical either way — the downgrade only costs
+/// speed — but it used to happen *silently*, which made `--engine-workers`
+/// look like a no-op. It is now recorded here, in a volatile
+/// `chiplet_engine_fallback_total{reason=…}` counter when metrics are
+/// attached, and in the process-wide log behind
+/// [`take_parallel_fallbacks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelFallback {
+    /// The worker count the configuration asked for.
+    pub requested_workers: usize,
+    /// Why the parallel path was unsound (stable snake_case token:
+    /// `policy`, `profiler`, `phase_profiler`, `trace_window`,
+    /// `trace_sampling`, `metrics`, `paced_flow`, `nic_dma`,
+    /// `temporal_write`, `paced_issue`, `random_pattern`,
+    /// `uncapped_stage`, `partition`, or `single_thread_host`).
+    pub reason: &'static str,
+}
+
+/// Process-wide fallback log: engines are constructed deep inside backends
+/// and studies, so CLIs drain this after a run to warn on stderr instead
+/// of threading the downgrade through every report type (whose serialized
+/// bytes are pinned by goldens). Bounded; oldest entries win.
+static FALLBACK_LOG: std::sync::Mutex<Vec<ParallelFallback>> = std::sync::Mutex::new(Vec::new());
+const FALLBACK_LOG_CAP: usize = 1024;
+
+/// Drains every parallel→sequential downgrade recorded since the last
+/// call (any thread, any engine). The `chiplet-scenario` CLI uses this to
+/// print a loud stderr warning when `--engine-workers N` had no effect.
+pub fn take_parallel_fallbacks() -> Vec<ParallelFallback> {
+    std::mem::take(&mut *FALLBACK_LOG.lock().expect("fallback log poisoned"))
+}
+
+fn record_parallel_fallback(fb: ParallelFallback) {
+    let mut log = FALLBACK_LOG.lock().expect("fallback log poisoned");
+    if log.len() < FALLBACK_LOG_CAP {
+        log.push(fb);
+    }
+}
+
 /// Per-flow and per-link results of one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -341,6 +382,11 @@ pub struct RunResult {
     /// [`EngineConfig::profile_phases`] was set. Wall-clock values —
     /// execution-dependent, never part of deterministic output.
     pub phases: Option<chiplet_sim::PhaseReport>,
+    /// Set when more than one engine worker was requested but the run took
+    /// the sequential loop anyway (ineligible dynamics, a non-domain-local
+    /// partition, or a single-thread host). `None` when the parallel path
+    /// ran, or when the run never asked for parallelism.
+    pub parallel_fallback: Option<ParallelFallback>,
 }
 
 impl RunResult {
@@ -405,6 +451,9 @@ pub struct Engine<'t> {
     /// Lazily resolved `(bytes, wait)` series handles per capacity point ×
     /// direction (`[read, write]`); empty when metrics are off.
     link_handles: Vec<[Option<(SeriesHandle, SeriesHandle)>; 2]>,
+    /// The parallel→sequential downgrade of this run, if any; moved into
+    /// [`RunResult::parallel_fallback`] by `finish`.
+    fallback: Option<ParallelFallback>,
 }
 
 /// Reusable buffers for the traffic-manager recomputation path plus the
@@ -591,6 +640,7 @@ impl<'t> Engine<'t> {
             metrics,
             point_labels,
             link_handles,
+            fallback: None,
         }
     }
 
@@ -816,27 +866,61 @@ impl<'t> Engine<'t> {
         // domain-local, and either real hardware parallelism exists or the
         // batch machinery was explicitly forced (determinism tests). The
         // fallback — and every other configuration — is the sequential
-        // loop below; both produce byte-identical results.
+        // loop below; both produce byte-identical results. A requested-
+        // but-downgraded run is recorded LOUDLY: in the result, in a
+        // volatile counter when metrics are attached, and in the
+        // process-wide log CLIs drain for stderr warnings.
         let workers = parallel::requested_workers(&self.cfg);
-        if workers > 1 && self.parallel_eligible() {
-            let avail = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1);
-            // Forcing skips the hardware clamp too, so single-CPU hosts
-            // exercise the real threaded barrier protocol in tests.
-            let threads = if parallel::force_parallel() {
-                workers
-            } else {
-                workers.min(avail)
+        if workers > 1 {
+            let downgrade = match self.parallel_ineligible_reason() {
+                Some(reason) => Some(reason),
+                None => {
+                    let avail = std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1);
+                    // Forcing skips the hardware clamp too, so single-CPU
+                    // hosts exercise the threaded barrier protocol in tests.
+                    let threads = if parallel::force_parallel() {
+                        workers
+                    } else {
+                        workers.min(avail)
+                    };
+                    if threads <= 1 {
+                        Some("single_thread_host")
+                    } else if parallel::run_parallel(&mut self, horizon, threads) {
+                        let prof = PhaseProfiler::disabled();
+                        return self.finish(
+                            horizon,
+                            &prof,
+                            &DepthHistogram::new(),
+                            &DepthHistogram::new(),
+                        );
+                    } else {
+                        // The topology's stage routing is not domain-local
+                        // (e.g. the monolithic baseline's uncapped egress).
+                        Some("partition")
+                    }
+                }
             };
-            if threads > 1 && parallel::run_parallel(&mut self, horizon, threads) {
-                let prof = PhaseProfiler::disabled();
-                return self.finish(
-                    horizon,
-                    &prof,
-                    &DepthHistogram::new(),
-                    &DepthHistogram::new(),
-                );
+            if let Some(reason) = downgrade {
+                let fb = ParallelFallback {
+                    requested_workers: workers,
+                    reason,
+                };
+                self.fallback = Some(fb);
+                record_parallel_fallback(fb);
+                if let Some(m) = self.metrics.as_mut() {
+                    // Volatile: fallback depends on the host and requested
+                    // worker count, never on simulated dynamics, so it must
+                    // stay out of the deterministic default dumps.
+                    m.describe_volatile(
+                        "chiplet_engine_fallback",
+                        crate::metrics::MetricKind::Counter,
+                        "Runs that requested parallel engine workers but fell \
+                         back to the sequential loop, by reason.",
+                    );
+                    m.counter_add("chiplet_engine_fallback", &[("reason", reason)], 1.0);
+                }
             }
         }
 
@@ -1883,6 +1967,7 @@ impl<'t> Engine<'t> {
             profile,
             trace,
             metrics,
+            parallel_fallback: self.fallback,
             phases: self.cfg.profile_phases.then_some(phases),
             telemetry: TelemetryReport {
                 platform: self.topo.spec().name.clone(),

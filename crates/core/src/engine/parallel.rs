@@ -63,27 +63,36 @@ pub(super) fn force_parallel() -> bool {
 static PARALLEL_RUNS: AtomicU64 = AtomicU64::new(0);
 
 impl Engine<'_> {
-    /// Whether this run's dynamics are provably domain-local. Ineligible
-    /// runs silently take the sequential loop — which is byte-identical
-    /// anyway, just not parallel.
-    pub(super) fn parallel_eligible(&self) -> bool {
+    /// Why this run's dynamics are *not* provably domain-local — `None`
+    /// means the parallel path is sound. Ineligible runs take the
+    /// sequential loop — byte-identical anyway, just not parallel — and
+    /// the caller records the downgrade loudly (see
+    /// [`super::RunResult::parallel_fallback`]) instead of hiding it.
+    pub(super) fn parallel_ineligible_reason(&self) -> Option<&'static str> {
         use crate::traffic::TrafficPolicy;
         if self.cfg.policy != TrafficPolicy::HardwareDefault {
-            return false;
+            return Some("policy");
         }
         // Telemetry attachments observe admissions in global event order.
-        if self.cfg.profile
-            || self.cfg.profile_phases
-            || self.cfg.trace_window.is_some()
-            || self.cfg.trace_sampling.is_some()
-            || self.cfg.metrics_window.is_some()
-        {
-            return false;
+        if self.cfg.profile {
+            return Some("profiler");
+        }
+        if self.cfg.profile_phases {
+            return Some("phase_profiler");
+        }
+        if self.cfg.trace_window.is_some() {
+            return Some("trace_window");
+        }
+        if self.cfg.trace_sampling.is_some() {
+            return Some("trace_sampling");
+        }
+        if self.cfg.metrics_window.is_some() {
+            return Some("metrics");
         }
         for (f, hot) in self.flows.iter().zip(&self.flow_hot) {
             // Demand re-pacing touches issuers across chiplets at once.
             if f.spec.demand.is_some() {
-                return false;
+                return Some("paced_flow");
             }
             if !f.outcome.is_fabric_bound() && f.spec.nic.is_none() {
                 continue; // analytic flow: issues no events
@@ -91,12 +100,17 @@ impl Engine<'_> {
             // NIC DMA issuers live outside the chiplet partition; temporal
             // writes alternate directions; pacing and random targeting draw
             // from the shared RNG on issue (a CCD-domain draw).
-            if f.spec.nic.is_some()
-                || hot.op == OpKind::WriteTemporal
-                || hot.gap_mean_ns != 0.0
-                || matches!(hot.pattern, Pattern::Random)
-            {
-                return false;
+            if f.spec.nic.is_some() {
+                return Some("nic_dma");
+            }
+            if hot.op == OpKind::WriteTemporal {
+                return Some("temporal_write");
+            }
+            if hot.gap_mean_ns != 0.0 {
+                return Some("paced_issue");
+            }
+            if matches!(hot.pattern, Pattern::Random) {
+                return Some("random_pattern");
             }
             // Every stage must sit behind a capped server in the flow's
             // direction: an uncapped direction admits with zero service,
@@ -109,12 +123,12 @@ impl Engine<'_> {
             for p in &f.plans {
                 for s in &p.stages {
                     if self.capacity_of(s.point, dir).is_none() {
-                        return false;
+                        return Some("uncapped_stage");
                     }
                 }
             }
         }
-        true
+        None
     }
 }
 
@@ -947,6 +961,86 @@ mod tests {
                     .build(topo),
             ]
         });
+    }
+
+    #[test]
+    fn tracing_config_with_workers_reports_loud_fallback() {
+        // The bugfix this pins: tracing made `workers = 4` silently run
+        // sequentially. The downgrade must now land in the result, the
+        // process-wide log, and (with metrics attached) a volatile counter.
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let cfg = EngineConfig::default()
+            .with_trace_sampling(8)
+            .with_workers(4);
+        let mut e = Engine::new(&topo, cfg);
+        e.add_flow(
+            FlowSpec::reads(
+                "traced",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
+        );
+        let r = e.run(SimTime::from_micros(10));
+        let fb = r.parallel_fallback.expect("downgrade is recorded");
+        assert_eq!(fb.reason, "trace_sampling");
+        assert_eq!(fb.requested_workers, 4);
+        assert!(
+            super::super::take_parallel_fallbacks().contains(&fb),
+            "the process-wide log captured the downgrade"
+        );
+    }
+
+    #[test]
+    fn fallback_counter_lands_in_volatile_metrics() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let cfg = EngineConfig::default()
+            .with_metrics(chiplet_sim::SimDuration::from_micros(1))
+            .with_workers(2);
+        let mut e = Engine::new(&topo, cfg);
+        e.add_flow(
+            FlowSpec::reads(
+                "metered",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
+        );
+        let r = e.run(SimTime::from_micros(10));
+        assert_eq!(
+            r.parallel_fallback.map(|fb| fb.reason),
+            Some("metrics"),
+            "metrics attachment downgrades the run"
+        );
+        let m = r.metrics.expect("metrics were requested");
+        assert_eq!(
+            m.counter_value("chiplet_engine_fallback", &[("reason", "metrics")]),
+            Some(1.0)
+        );
+        // Volatile: the default (deterministic) dump must not change.
+        assert!(!m.to_openmetrics().contains("chiplet_engine_fallback"));
+        assert!(m
+            .to_openmetrics_with_volatile()
+            .contains("chiplet_engine_fallback_total{reason=\"metrics\"}"));
+    }
+
+    #[test]
+    fn eligible_sequential_run_reports_no_fallback() {
+        let topo = Topology::build(&PlatformSpec::epyc_7302());
+        let mut e = Engine::new(&topo, EngineConfig::default());
+        e.add_flow(
+            FlowSpec::reads(
+                "plain",
+                topo.cores_of_ccd(CcdId(0)).collect(),
+                Target::all_dimms(&topo),
+            )
+            .working_set(ByteSize::from_gib(1))
+            .build(&topo),
+        );
+        let r = e.run(SimTime::from_micros(10));
+        assert_eq!(r.parallel_fallback, None, "workers=1 is not a downgrade");
     }
 
     #[test]

@@ -88,12 +88,13 @@ pub mod traffic;
 
 pub use bdp::BdpMonitor;
 pub use critpath::{BlameMatrix, CritPathReport, FlowCritPath};
-pub use engine::{Engine, EngineConfig, RunResult};
+pub use engine::{take_parallel_fallbacks, Engine, EngineConfig, ParallelFallback, RunResult};
 pub use export::export_sysfs;
 pub use flow::{FlowId, FlowSpec, Target};
 pub use matrix::TrafficMatrix;
 pub use metrics::{
-    lint_openmetrics, parse_openmetrics, MetricKind, MetricsRegistry, WindowedSketch,
+    describe_serve_metrics, lint_openmetrics, parse_openmetrics, MetricKind, MetricsRegistry,
+    WindowedSketch,
 };
 pub use profiler::{ProfileReport, Profiler};
 pub use scenario::{

@@ -1111,6 +1111,44 @@ pub fn lint_openmetrics(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Describes the scenario-serving daemon's metric families: queue depth,
+/// admission rejects, result-cache traffic, and per-client served points.
+/// All are **volatile** — they reflect one server process's runtime state,
+/// so they belong in [`MetricsRegistry::to_openmetrics_with_volatile`]
+/// scrapes (the daemon's `GET /metrics`) and never in deterministic dumps.
+pub fn describe_serve_metrics(m: &mut MetricsRegistry) {
+    m.describe_volatile(
+        "chiplet_serve_queue_depth",
+        MetricKind::Gauge,
+        "Scenario points currently waiting in the serving daemon's queue.",
+    );
+    m.describe_volatile(
+        "chiplet_serve_admission_rejects",
+        MetricKind::Counter,
+        "Submissions turned away because a queue capacity limit was hit.",
+    );
+    m.describe_volatile(
+        "chiplet_serve_cache_hits",
+        MetricKind::Counter,
+        "Served points answered from the shared on-disk result cache.",
+    );
+    m.describe_volatile(
+        "chiplet_serve_cache_misses",
+        MetricKind::Counter,
+        "Served points that required an engine execution.",
+    );
+    m.describe_volatile(
+        "chiplet_serve_corrupt_healed",
+        MetricKind::Counter,
+        "Corrupt cache entries the daemon healed by re-executing the point.",
+    );
+    m.describe_volatile(
+        "chiplet_serve_client_points",
+        MetricKind::Counter,
+        "Scenario points served, by submitting client.",
+    );
+}
+
 /// The `# TYPE` declaration line of the family a sample name belongs to:
 /// the name itself, or the name minus one OpenMetrics sample suffix.
 fn family_of(sample_name: &str, types: &BTreeMap<String, usize>) -> Option<usize> {

@@ -42,6 +42,7 @@ pub use spec::{
     ScenarioFlow, ScenarioSpec, TargetSpec, TopologyChoice,
 };
 pub use sweep::{
-    parallel_ordered, run_specs, run_specs_with_metrics, SweepAxis, SweepOutcome, SweepPoint,
-    SweepPointResult, SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
+    cache_path, effective_jobs, effective_jobs_with, load_cache_entry, parallel_ordered, run_specs,
+    run_specs_with_metrics, spec_hash, store_cache_entry, CacheLookup, SweepAxis, SweepOutcome,
+    SweepPoint, SweepPointResult, SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
 };

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use chiplet_sim::{Bandwidth, DemandSchedule, SimTime};
@@ -348,6 +348,11 @@ pub struct SweepStats {
     pub executed: usize,
     /// Points served from the on-disk cache.
     pub cached: usize,
+    /// Cache entries that failed to parse and were re-executed. Atomic
+    /// (tmp + rename) writes make torn entries impossible under concurrent
+    /// writers, so a non-zero count points at real corruption — stale
+    /// engine versions, disk faults — and must not be healed silently.
+    pub corrupt_healed: usize,
 }
 
 /// Executes expanded sweep points across worker threads.
@@ -374,8 +379,11 @@ impl SweepRunner {
     /// them in expansion order, byte-identical for any worker count.
     pub fn run(&self, sweep: &SweepSpec) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let points = sweep.expand()?;
-        let (execs, _peak) = self.execute(&points);
-        Self::collect(sweep, points, execs).map(|(outcome, stats, _)| (outcome, stats))
+        let (execs, _peak, corrupt) = self.execute(&points);
+        Self::collect(sweep, points, execs).map(|(outcome, mut stats, _)| {
+            stats.corrupt_healed = corrupt;
+            (outcome, stats)
+        })
     }
 
     /// Like [`SweepRunner::run`], but instruments the sweep into `metrics`:
@@ -386,16 +394,17 @@ impl SweepRunner {
     ///   worker count or cache state;
     /// * **volatile** execution counters (excluded from the default
     ///   OpenMetrics dump): `sweep_cache_hits`, `sweep_cache_misses`,
-    ///   `sweep_point_wall_seconds`, `sweep_pool_occupancy_peak`, and
-    ///   `sweep_jobs`.
+    ///   `sweep_cache_corrupt_healed`, `sweep_point_wall_seconds`,
+    ///   `sweep_pool_occupancy_peak`, and `sweep_jobs`.
     pub fn run_with_metrics(
         &self,
         sweep: &SweepSpec,
         metrics: &mut MetricsRegistry,
     ) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let points = sweep.expand()?;
-        let (execs, peak) = self.execute(&points);
-        let (outcome, stats, walls) = Self::collect(sweep, points, execs)?;
+        let (execs, peak, corrupt) = self.execute(&points);
+        let (outcome, mut stats, walls) = Self::collect(sweep, points, execs)?;
+        stats.corrupt_healed = corrupt;
 
         metrics.describe(
             "sweep_flow_achieved_gb_s",
@@ -435,6 +444,11 @@ impl SweepRunner {
             "Sweep points executed on an engine this run.",
         );
         metrics.describe_volatile(
+            "sweep_cache_corrupt_healed",
+            MetricKind::Counter,
+            "Corrupt cache entries healed by re-executing the point.",
+        );
+        metrics.describe_volatile(
             "sweep_point_wall_seconds",
             MetricKind::Gauge,
             "Wall-clock time one sweep point took (cache hits included).",
@@ -452,6 +466,11 @@ impl SweepRunner {
         let sweep_label = [("sweep", outcome.sweep.as_str())];
         metrics.counter_add("sweep_cache_hits", &sweep_label, stats.cached as f64);
         metrics.counter_add("sweep_cache_misses", &sweep_label, stats.executed as f64);
+        metrics.counter_add(
+            "sweep_cache_corrupt_healed",
+            &sweep_label,
+            stats.corrupt_healed as f64,
+        );
         metrics.gauge_set("sweep_pool_occupancy_peak", &sweep_label, peak as f64);
         metrics.gauge_set(
             "sweep_jobs",
@@ -473,13 +492,15 @@ impl SweepRunner {
 
     /// Runs the expanded points through the worker pool, returning per-point
     /// results (report, cache flag, wall seconds) plus the pool's peak
-    /// occupancy.
+    /// occupancy and the count of corrupt cache entries healed by
+    /// re-execution.
     #[allow(clippy::type_complexity)]
     fn execute(
         &self,
         points: &[SweepPoint],
     ) -> (
         Vec<Result<(ScenarioReport, bool, f64), ScenarioError>>,
+        usize,
         usize,
     ) {
         if let Some(dir) = &self.cache_dir {
@@ -488,26 +509,35 @@ impl SweepRunner {
         }
         let occupancy = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
+        let corrupt = AtomicUsize::new(0);
         let results = parallel_ordered(points, self.jobs, |_, point| {
             let depth = occupancy.fetch_add(1, Ordering::Relaxed) + 1;
             peak.fetch_max(depth, Ordering::Relaxed);
             let started = std::time::Instant::now();
             let outcome = (|| {
                 if let Some(dir) = &self.cache_dir {
-                    if let Some(report) = load_cached(dir, &point.hash) {
-                        return Ok((report, true));
+                    match load_cache_entry(dir, &point.hash) {
+                        CacheLookup::Hit(report) => return Ok((report, true)),
+                        CacheLookup::Corrupt => {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        CacheLookup::Miss => {}
                     }
                 }
                 let report = point.spec.run()?;
                 if let Some(dir) = &self.cache_dir {
-                    let _ = std::fs::write(cache_path(dir, &point.hash), report.to_json());
+                    let _ = store_cache_entry(dir, &point.hash, &report.to_json());
                 }
                 Ok((report, false))
             })();
             occupancy.fetch_sub(1, Ordering::Relaxed);
             outcome.map(|(report, cached)| (report, cached, started.elapsed().as_secs_f64()))
         });
-        (results, peak.load(Ordering::Relaxed))
+        (
+            results,
+            peak.load(Ordering::Relaxed),
+            corrupt.load(Ordering::Relaxed),
+        )
     }
 
     /// Folds executed points into the aggregate outcome, stats, and the
@@ -549,14 +579,60 @@ impl SweepRunner {
     }
 }
 
-fn cache_path(dir: &Path, hash: &str) -> PathBuf {
+/// Path of the cache entry for `hash` under `dir` (`<hash>.json`).
+pub fn cache_path(dir: &Path, hash: &str) -> PathBuf {
     dir.join(format!("{hash}.json"))
 }
 
-fn load_cached(dir: &Path, hash: &str) -> Option<ScenarioReport> {
-    let text = std::fs::read_to_string(cache_path(dir, hash)).ok()?;
-    // A corrupt entry is a miss: the point re-runs and overwrites it.
-    ScenarioReport::from_json(&text).ok()
+/// Content hash of a concrete spec — 16 hex digits of FNV-1a over its
+/// canonical JSON, the same function [`SweepSpec::expand`] assigns to each
+/// point. Lets external executors (the serving daemon) share one cache
+/// namespace with the batch runner: `spec_hash(&point.spec) == point.hash`.
+pub fn spec_hash(spec: &ScenarioSpec) -> String {
+    format!("{:016x}", fnv1a64(spec.to_json().as_bytes()))
+}
+
+/// What a cache probe found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// A well-formed entry.
+    Hit(ScenarioReport),
+    /// No entry on disk.
+    Miss,
+    /// An entry exists but does not parse as a [`ScenarioReport`] —
+    /// counted (never silent) and then re-executed like a miss.
+    Corrupt,
+}
+
+/// Probes the cache for `hash`, distinguishing a missing entry from a
+/// corrupt one so callers can count healing instead of hiding it.
+pub fn load_cache_entry(dir: &Path, hash: &str) -> CacheLookup {
+    let Ok(text) = std::fs::read_to_string(cache_path(dir, hash)) else {
+        return CacheLookup::Miss;
+    };
+    match ScenarioReport::from_json(&text) {
+        Ok(report) => CacheLookup::Hit(report),
+        Err(_) => CacheLookup::Corrupt,
+    }
+}
+
+/// Publishes a cache entry atomically: the bytes land in a unique temp file
+/// in the same directory, then [`std::fs::rename`] over the final name.
+/// Readers therefore see either no entry or a complete one — never a torn
+/// prefix — and concurrent writers of the same hash each publish a whole
+/// entry, last rename winning. Content-hashed keys make every winner
+/// byte-equivalent, so the race is benign.
+pub fn store_cache_entry(dir: &Path, hash: &str, json: &str) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        "{hash}.json.tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, cache_path(dir, hash)).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Runs `f` over `items` on `jobs` worker threads (0 = one per core) with
@@ -666,16 +742,27 @@ pub fn run_specs_with_metrics(
     Ok(reports)
 }
 
-fn effective_jobs(jobs: usize, items: usize) -> usize {
+/// Worker count a runner with `jobs` actually uses on `items` work items.
+/// `jobs == 0` auto-sizes from the host's available parallelism and the
+/// engine-worker hint; the result is always ≥ 1 and never exceeds the item
+/// count, so the pool neither deadlocks on zero workers nor spawns idle
+/// threads.
+pub fn effective_jobs(jobs: usize, items: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    effective_jobs_with(jobs, items, avail, engine_workers_hint())
+}
+
+/// Pure core of [`effective_jobs`]: `avail` is the host's available
+/// parallelism, `hint` the per-point engine worker count. Each point may
+/// itself run the event engine across `--engine-workers` threads, so
+/// auto-sizing divides the host's cores between the two layers and
+/// `jobs × hint` never oversubscribes. An explicit `jobs` value is taken
+/// as-is (the engine clamps its own workers to the host separately).
+pub fn effective_jobs_with(jobs: usize, items: usize, avail: usize, hint: usize) -> usize {
     let jobs = if jobs == 0 {
-        let avail = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        // Each point may itself run the event engine across
-        // `--engine-workers` threads; auto-sizing divides the host's cores
-        // between the two layers so jobs × engine workers never
-        // oversubscribes. An explicit --jobs value is taken as-is.
-        (avail / engine_workers_hint()).max(1)
+        (avail.max(1) / hint.max(1)).max(1)
     } else {
         jobs
     };

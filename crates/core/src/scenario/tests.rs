@@ -524,15 +524,114 @@ mod sweeps {
         let (warm, warm_stats) = runner.run(&sweep).expect("warm run");
         assert_eq!(warm_stats.cached, 6, "second run is fully cached");
         assert_eq!(warm_stats.executed, 0);
+        assert_eq!(warm_stats.corrupt_healed, 0);
         assert_eq!(cold.to_json(), warm.to_json(), "cache is transparent");
-        // Corrupt one entry: it silently re-runs instead of failing.
+        // Corrupt one entry: it re-runs, and the healing is counted.
         let victim = dir.join(format!("{}.json", cold.points[0].hash));
         std::fs::write(&victim, "{ not json").unwrap();
         let (healed, healed_stats) = runner.run(&sweep).expect("heals corrupt entries");
         assert_eq!(healed_stats.executed, 1);
         assert_eq!(healed_stats.cached, 5);
+        assert_eq!(healed_stats.corrupt_healed, 1, "healing is never silent");
         assert_eq!(healed.to_json(), cold.to_json());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_cache_writers_never_yield_a_torn_read() {
+        // Hammer one cache key from many writer threads while readers poll:
+        // atomic tmp + rename publication means a reader sees Miss (before
+        // the first rename) or a complete entry — never Corrupt, and never
+        // bytes that match neither writer's payload.
+        let dir = std::env::temp_dir().join(format!("chiplet-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let report_a = fluid_spec().run().expect("runs").to_json();
+        let mut spec_b = fluid_spec();
+        spec_b.seed = Some(99);
+        spec_b.horizon = SimTime::from_millis(100);
+        let report_b = spec_b.run().expect("runs").to_json();
+        assert_ne!(report_a, report_b, "two distinct payloads");
+
+        let hash = "00c0ffee00c0ffee";
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let (dir, a, b) = (&dir, report_a.as_str(), report_b.as_str());
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let payload = if (w + i) % 2 == 0 { a } else { b };
+                        store_cache_entry(dir, hash, payload).expect("store");
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let (dir, a, b) = (&dir, report_a.as_str(), report_b.as_str());
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        match load_cache_entry(dir, hash) {
+                            CacheLookup::Hit(report) => {
+                                let json = report.to_json();
+                                assert!(
+                                    json == a || json == b,
+                                    "read must match one writer's payload"
+                                );
+                            }
+                            CacheLookup::Miss => {}
+                            CacheLookup::Corrupt => panic!("torn cache read"),
+                        }
+                    }
+                });
+            }
+        });
+        // The final state is one complete entry; temp files are all renamed.
+        assert!(matches!(load_cache_entry(&dir, hash), CacheLookup::Hit(_)));
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(leftovers, 0, "every temp file is renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_hash_matches_expanded_point_hashes() {
+        for point in fluid_sweep().expand().expect("expands") {
+            assert_eq!(spec_hash(&point.spec), point.hash);
+        }
+    }
+
+    #[test]
+    fn effective_jobs_never_zero_and_never_oversubscribes() {
+        let cores = 8;
+        for hint in [0, 1, cores, 2 * cores] {
+            for items in [0, 1, 5, 100] {
+                // Auto-sized (jobs = 0): stays within the host's cores even
+                // after dividing by the engine-worker hint, and never hits 0.
+                let auto = effective_jobs_with(0, items, cores, hint);
+                assert!(auto >= 1, "hint={hint} items={items}");
+                assert!(auto <= cores, "hint={hint} items={items}");
+                assert!(auto <= items.max(1), "hint={hint} items={items}");
+                if hint >= 1 {
+                    assert!(
+                        auto.saturating_mul(hint) <= cores.max(hint),
+                        "jobs × engine workers must not oversubscribe: \
+                         hint={hint} items={items} auto={auto}"
+                    );
+                }
+                // Explicit jobs: taken as-is, but still clamped to the work
+                // and never 0.
+                for jobs in [1, 3, cores] {
+                    let got = effective_jobs_with(jobs, items, cores, hint);
+                    assert!(got >= 1);
+                    assert_eq!(got, jobs.min(items.max(1)));
+                }
+            }
+        }
+        // Degenerate hosts: zero/unknown parallelism still yields one job.
+        assert_eq!(effective_jobs_with(0, 10, 0, 0), 1);
+        assert_eq!(effective_jobs_with(0, 10, 1, 16), 1);
     }
 
     #[test]
@@ -767,5 +866,6 @@ mod metric_runs {
         assert!(v1.contains("sweep_point_wall_seconds{"));
         assert!(v1.contains("sweep_jobs{"));
         assert!(v1.contains("sweep_cache_misses_total{"));
+        assert!(v1.contains("sweep_cache_corrupt_healed_total{"));
     }
 }

@@ -3,24 +3,32 @@
 //! ```text
 //! chiplet-serve listen [--addr A] [--workers N] [--cache-dir D | --no-cache]
 //!                      [--max-pending N] [--max-client-pending N]
+//!                      [--access-log F] [--recorder N]
 //! chiplet-serve submit <name|file.json> [--addr A] [--client ID] [--stream]
 //! chiplet-serve hammer <name|file.json> [--addr A] [--submissions N] [--clients C]
 //! chiplet-serve metrics [--addr A]
+//! chiplet-serve status [--addr A]
+//! chiplet-serve trace [--addr A] [--out F]
+//! chiplet-serve lint-log <file.jsonl>
 //! ```
 //!
 //! `listen` boots the daemon (see [`chiplet_bench::serve`]) and blocks;
 //! `submit` POSTs a built-in or file spec/sweep and prints the response
 //! body — for sweeps the bytes equal `chiplet-scenario sweep --json`;
 //! `hammer` fires an open-loop load test proving byte identity, cache
-//! integrity, and metrics hygiene; `metrics` scrapes and lints
-//! `GET /metrics`.
+//! integrity, metrics hygiene, and access-log/span integrity; `metrics`
+//! scrapes and lints `GET /metrics`; `status` pretty-prints the live
+//! `GET /v1/status` introspection document; `trace` exports the flight
+//! recorder as Chrome trace-event JSON for `chrome://tracing` / Perfetto;
+//! `lint-log` checks an access-log file offline (parseable JSONL,
+//! monotone timestamps, unique ids, exact phase tiling).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chiplet_bench::scenarios::paper_registry;
 use chiplet_bench::serve::hammer::{hammer, HammerOptions};
-use chiplet_bench::serve::{http, ServeConfig, Server};
+use chiplet_bench::serve::{http, obs, ServeConfig, Server};
 use chiplet_net::lint_openmetrics;
 use chiplet_net::scenario::{ScenarioKind, ScenarioSpec, SweepSpec};
 
@@ -33,6 +41,8 @@ commands:
       [--no-cache]          disable the on-disk cache
       [--max-pending N]     global queued-point cap (default 4096)
       [--max-client-pending N]  per-client cap (default 2048)
+      [--access-log F]      JSONL access log, one line per request (default: off)
+      [--recorder N]        flight-recorder span capacity (default 256)
   submit <name|file.json>   POST a spec or sweep, print the response body
       [--addr A]            daemon address (default 127.0.0.1:8091)
       [--client ID]         fair-queue identity (default: anon)
@@ -43,7 +53,13 @@ commands:
       [--clients C]         simulated client identities (default 4)
       [--cache-dir D]       cache dir for the in-process daemon
   metrics                   scrape GET /metrics, lint it, print it
-      [--addr A]            daemon address (default 127.0.0.1:8091)";
+      [--addr A]            daemon address (default 127.0.0.1:8091)
+  status                    fetch GET /v1/status, print it
+      [--addr A]            daemon address (default 127.0.0.1:8091)
+  trace                     export the flight recorder as Chrome trace JSON
+      [--addr A]            daemon address (default 127.0.0.1:8091)
+      [--out F]             write to F instead of stdout
+  lint-log <file.jsonl>     lint an access-log file offline";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:8091";
 
@@ -59,6 +75,9 @@ struct Opts {
     stream: bool,
     submissions: usize,
     clients: usize,
+    access_log: Option<PathBuf>,
+    recorder: usize,
+    out: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -75,6 +94,9 @@ impl Default for Opts {
             stream: false,
             submissions: 1000,
             clients: 4,
+            access_log: None,
+            recorder: 256,
+            out: None,
         }
     }
 }
@@ -117,6 +139,8 @@ fn listen(opts: &Opts) -> Result<(), String> {
         cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
         max_pending: opts.max_pending,
         max_client_pending: opts.max_client_pending,
+        access_log: opts.access_log.clone(),
+        recorder: opts.recorder,
     };
     let server = Server::spawn(cfg).map_err(|e| format!("binding: {e}"))?;
     println!("listening on http://{}", server.addr());
@@ -172,6 +196,9 @@ fn run_hammer(target: &str, opts: &Opts) -> Result<(), String> {
     for e in &report.metrics_errors {
         eprintln!("metrics: {e}");
     }
+    for e in &report.log_errors {
+        eprintln!("access-log: {e}");
+    }
     if report.ok() {
         Ok(())
     } else {
@@ -190,6 +217,60 @@ fn metrics(opts: &Opts) -> Result<(), String> {
     print!("{text}");
     eprintln!("metrics: OK ({} lines)", text.lines().count());
     Ok(())
+}
+
+fn status(opts: &Opts) -> Result<(), String> {
+    let addr = opts.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let (status, text) =
+        http::fetch(&addr, "GET", "/v1/status", None).map_err(|e| format!("GET {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("daemon answered {status}"));
+    }
+    print!("{text}");
+    Ok(())
+}
+
+fn trace(opts: &Opts) -> Result<(), String> {
+    let addr = opts.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.into());
+    let (status, text) =
+        http::fetch(&addr, "GET", "/v1/trace", None).map_err(|e| format!("GET {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("daemon answered {status}"));
+    }
+    // Refuse to write a file Perfetto would reject.
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("daemon sent invalid trace JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_seq())
+        .ok_or("daemon sent a trace without traceEvents")?
+        .len();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!(
+                "wrote {} trace events to {} (open in chrome://tracing or ui.perfetto.dev)",
+                events,
+                path.display()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn lint_log(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match obs::lint_access_log(&text) {
+        Ok(records) => {
+            eprintln!(
+                "{path}: OK ({} request(s), all spans tile exactly)",
+                records.len()
+            );
+            Ok(())
+        }
+        Err(errors) => Err(errors.join("\n")),
+    }
 }
 
 fn num_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
@@ -225,6 +306,15 @@ fn dispatch() -> Result<(), String> {
             "--stream" => opts.stream = true,
             "--submissions" => opts.submissions = num_arg(&mut it, "--submissions")?,
             "--clients" => opts.clients = num_arg(&mut it, "--clients")?,
+            "--access-log" => {
+                opts.access_log = Some(PathBuf::from(
+                    it.next().ok_or("--access-log needs a value")?,
+                ));
+            }
+            "--recorder" => opts.recorder = num_arg(&mut it, "--recorder")?,
+            "--out" => {
+                opts.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             s if s.starts_with('-') => return Err(format!("unknown flag {s}\n{USAGE}")),
             s => positional.push(s),
@@ -235,6 +325,9 @@ fn dispatch() -> Result<(), String> {
         ["submit", target] => submit(target, &opts),
         ["hammer", target] => run_hammer(target, &opts),
         ["metrics"] => metrics(&opts),
+        ["status"] => status(&opts),
+        ["trace"] => trace(&opts),
+        ["lint-log", file] => lint_log(file),
         _ => Err(USAGE.to_string()),
     }
 }

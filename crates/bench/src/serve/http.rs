@@ -137,13 +137,28 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, body, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. `X-Request-Id`).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     write!(
         stream,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -161,18 +176,38 @@ impl<'a> ChunkedResponse<'a> {
         status: u16,
         content_type: &str,
     ) -> std::io::Result<Self> {
+        Self::begin_with(stream, status, content_type, &[])
+    }
+
+    /// [`ChunkedResponse::begin`] with extra response headers.
+    pub fn begin_with(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Self> {
         write!(
             stream,
             "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+             Transfer-Encoding: chunked\r\nConnection: close\r\n",
             reason(status)
         )?;
+        for (name, value) in extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.flush()?;
         Ok(ChunkedResponse { stream })
     }
 
     /// Sends one chunk (flushed immediately, so clients see progress live).
+    /// Empty chunks are skipped: a zero-length chunk is the chunked-body
+    /// terminator on the wire, so writing one here would silently end the
+    /// stream and turn every later chunk into garbage the client rejects.
     pub fn chunk(&mut self, data: &str) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
         write!(self.stream, "{:x}\r\n", data.len())?;
         self.stream.write_all(data.as_bytes())?;
         self.stream.write_all(b"\r\n")?;
@@ -194,6 +229,21 @@ pub fn fetch(
     target: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = fetch_with_headers(addr, method, target, body)?;
+    Ok((status, body))
+}
+
+/// Response header list: `(lowercased name, value)` pairs in wire order.
+pub type Headers = Vec<(String, String)>;
+
+/// [`fetch`] that also returns the response headers (lowercased names), so
+/// callers can read e.g. the daemon's `X-Request-Id`.
+pub fn fetch_with_headers(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Headers, String)> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
     write!(
@@ -204,11 +254,28 @@ pub fn fetch(
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
-    read_response(&mut stream)
+    read_response_with_headers(&mut stream)
+}
+
+/// Finds a header by case-insensitive name in a [`fetch_with_headers`]
+/// header list.
+pub fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
 }
 
 /// Reads a full response from the stream, decoding chunked bodies.
 pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = read_response_with_headers(stream)?;
+    Ok((status, body))
+}
+
+/// [`read_response`], keeping the response headers (lowercased names).
+pub fn read_response_with_headers(
+    stream: &mut TcpStream,
+) -> std::io::Result<(u16, Headers, String)> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -217,6 +284,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("malformed status line: {line:?}")))?;
+    let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     loop {
@@ -229,13 +297,13 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && value.trim().eq_ignore_ascii_case("chunked")
-            {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
             }
+            headers.push((name, value.to_string()));
         }
     }
     let mut body = Vec::new();
@@ -262,7 +330,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
     } else {
         reader.read_to_end(&mut body)?;
     }
-    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    Ok((status, headers, String::from_utf8_lossy(&body).into_owned()))
 }
 
 #[cfg(test)]
@@ -313,5 +381,119 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, "{\"point\":0}\n{\"point\":1}\n");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            write_response_with(
+                &mut conn,
+                200,
+                "application/json",
+                "{}",
+                &[("X-Request-Id", "r-00000042")],
+            )
+            .unwrap();
+        });
+        let (status, headers, body) = fetch_with_headers(&addr, "GET", "/", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+        assert_eq!(header(&headers, "x-request-id"), Some("r-00000042"));
+        assert_eq!(header(&headers, "X-REQUEST-ID"), Some("r-00000042"));
+        assert_eq!(header(&headers, "content-type"), Some("application/json"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn zero_length_chunks_do_not_terminate_the_stream() {
+        // "0\r\n\r\n" is the chunked terminator; an empty payload chunk
+        // must be skipped, not written, or everything after it is lost.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            let mut resp = ChunkedResponse::begin(&mut conn, 200, "text/plain").unwrap();
+            resp.chunk("before").unwrap();
+            resp.chunk("").unwrap();
+            resp.chunk("after").unwrap();
+            resp.finish().unwrap();
+        });
+        let (status, body) = fetch(&addr, "GET", "/", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "beforeafter", "data after the empty chunk survives");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunk_exactly_at_reader_buffer_size_survives() {
+        // BufReader's default buffer is 8 KiB; a chunk of exactly that
+        // size straddles the refill path in the client's decoder.
+        let payload = "x".repeat(8192);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let expected = payload.clone();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn).unwrap();
+            let mut resp = ChunkedResponse::begin(&mut conn, 200, "text/plain").unwrap();
+            resp.chunk(&payload).unwrap();
+            resp.chunk("tail").unwrap();
+            resp.finish().unwrap();
+        });
+        let (status, body) = fetch(&addr, "GET", "/", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.len(), expected.len() + 4);
+        assert_eq!(&body[..8192], expected);
+        assert_eq!(&body[8192..], "tail");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_disconnect_mid_stream_surfaces_as_io_error() {
+        // The server must get an Err (not a panic or a hang) when the
+        // client hangs up between chunks — the daemon treats that as a
+        // normally-completed request with an aborted respond phase.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || -> std::io::Result<()> {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = read_request(&mut conn)?;
+            let mut resp = ChunkedResponse::begin(&mut conn, 200, "text/plain")?;
+            // Keep writing until the peer's RST lands; a closed socket can
+            // absorb a few writes into kernel buffers first.
+            for _ in 0..10_000 {
+                resp.chunk(&"y".repeat(4096))?;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            panic!("peer hung up but writes kept succeeding");
+        });
+        {
+            let mut conn = TcpStream::connect(&addr).unwrap();
+            write!(
+                conn,
+                "GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            conn.flush().unwrap();
+            // Read a little, then drop the connection mid-body.
+            let mut buf = [0u8; 64];
+            let _ = conn.read(&mut buf).unwrap();
+        }
+        let err = server.join().unwrap().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::WriteZero
+            ),
+            "unexpected error kind: {err:?}"
+        );
     }
 }

@@ -20,6 +20,8 @@
 //! | `GET /healthz` | liveness probe (`ok`) |
 //! | `GET /metrics` | OpenMetrics dump, volatile families included |
 //! | `GET /v1/scenarios` | the built-in registry as JSON |
+//! | `GET /v1/status` | live introspection: queue depths, worker occupancy, in-flight keys, recent + slow requests |
+//! | `GET /v1/trace` | the flight recorder as Chrome trace-event JSON (Perfetto-ready) |
 //! | `POST /v1/run?name=N` or body spec | one scenario report |
 //! | `POST /v1/sweep?name=N` or body sweep | aggregate [`SweepOutcome`] |
 //! | `POST /v1/sweep?...&stream=1` | chunked JSONL per-point progress |
@@ -27,15 +29,28 @@
 //! All POST routes accept `?client=<id>` for fair-queue identity (default
 //! `anon`). Over-limit submissions are rejected whole with a 429 — partial
 //! admission would deadlock the sweep that submitted them.
+//!
+//! ## Observability
+//!
+//! Every submission carries an [`obs::ServeSpan`] from accept to the last
+//! response byte: monotonic wall-clock timestamps at each phase boundary
+//! whose consecutive differences tile end-to-end time exactly. Completed
+//! spans land in the per-phase/per-client latency histograms behind
+//! `GET /metrics`, the `--access-log` JSONL file (one line per request),
+//! and the in-memory flight recorder behind `GET /v1/status` and
+//! `GET /v1/trace`. Responses name their span in an `X-Request-Id`
+//! header, so a slow request can be chased from the client's log to its
+//! phase breakdown.
 
 pub mod hammer;
 pub mod http;
+pub mod obs;
 pub mod queue;
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -45,9 +60,11 @@ use chiplet_net::scenario::{
     load_cache_entry, spec_hash, store_cache_entry, CacheLookup, ScenarioKind, ScenarioSpec,
     SweepOutcome, SweepPoint, SweepPointResult, SweepSpec,
 };
+use chiplet_sim::SimTime;
 
 use crate::scenarios::paper_registry;
-use http::{read_request, write_response, ChunkedResponse, Request};
+use http::{read_request, write_response, write_response_with, ChunkedResponse, Request};
+use obs::{Obs, ServeSpan};
 use queue::FairQueue;
 
 pub use chiplet_net::scenario::ScenarioReport;
@@ -65,6 +82,12 @@ pub struct ServeConfig {
     pub max_pending: usize,
     /// Per-client cap on queued points.
     pub max_client_pending: usize,
+    /// Structured JSONL access log (one line per completed request);
+    /// `None` disables it.
+    pub access_log: Option<PathBuf>,
+    /// Flight-recorder capacity: completed spans kept in memory for
+    /// `GET /v1/status` / `GET /v1/trace`.
+    pub recorder: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,26 +98,53 @@ impl Default for ServeConfig {
             cache_dir: Some(PathBuf::from("results/cache")),
             max_pending: 4096,
             max_client_pending: 2048,
+            access_log: None,
+            recorder: 256,
         }
     }
 }
 
-/// A successfully served point: the report's canonical JSON plus whether it
-/// came from the cache / dedup instead of a fresh execution.
+/// A successfully served point: the report's canonical JSON plus how it
+/// was produced — fresh execution, cache hit, or single-flight dedup.
 #[derive(Debug, Clone)]
 struct Served {
     json: Arc<String>,
     cached: bool,
+    /// `executed`, `cache_hit`, or `dedup` — the span's disposition.
+    disposition: &'static str,
+    /// The engine's parallel→sequential downgrade reason, when the
+    /// execution behind this point recorded one.
+    fallback: Option<String>,
 }
 
-type Reply = mpsc::Sender<Result<Served, String>>;
+/// The worker-side phase timestamps a point's reply carries back to the
+/// connection handler (ns on the daemon clock).
+#[derive(Debug, Clone, Copy)]
+struct PointTiming {
+    dequeued_ns: u64,
+    probed_ns: u64,
+    executed_ns: u64,
+}
+
+type Reply = mpsc::Sender<(PointTiming, Result<Served, String>)>;
 
 /// One queued scenario point.
 struct WorkItem {
     hash: String,
     spec: ScenarioSpec,
     client: String,
+    /// Stamped under the queue lock by [`ServeState::admit`], so a worker
+    /// can never observe a dequeue that precedes its enqueue.
+    enqueued_ns: u64,
     reply: Reply,
+}
+
+/// A submission parked behind the single-flight leader for its hash, with
+/// the timestamps it had already accrued when it parked.
+struct Parked {
+    item: WorkItem,
+    dequeued_ns: u64,
+    probed_ns: u64,
 }
 
 /// State shared between the accept loop, connection handlers, and workers.
@@ -102,10 +152,38 @@ struct ServeState {
     queue: Mutex<FairQueue<WorkItem>>,
     work_ready: Condvar,
     /// Single-flight: hash → submissions parked behind the executing one.
-    inflight: Mutex<HashMap<String, Vec<WorkItem>>>,
+    inflight: Mutex<HashMap<String, Vec<Parked>>>,
     metrics: Mutex<MetricsRegistry>,
     cache_dir: Option<PathBuf>,
+    /// The request-scoped observability plane: clock, request ids, flight
+    /// recorder, access log.
+    obs: Obs,
+    /// Workers currently probing or executing a point.
+    busy_workers: AtomicUsize,
+    /// Pool size, for `/v1/status`.
+    workers_total: usize,
     shutdown: AtomicBool,
+}
+
+/// Dumps the flight recorder to stderr when a worker thread dies by panic,
+/// so the requests leading up to the crash are preserved even though the
+/// process is going down.
+struct PanicDump<'a>(&'a ServeState);
+
+impl Drop for PanicDump<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let (spans, recorded, evicted) = self.0.obs.recorder.snapshot();
+            eprintln!(
+                "serve worker panicked; flight recorder holds {} span(s) \
+                 ({recorded} recorded, {evicted} evicted), most recent last:",
+                spans.len()
+            );
+            for s in &spans {
+                eprintln!("  {}", compact(&s.to_value()));
+            }
+        }
+    }
 }
 
 impl ServeState {
@@ -116,16 +194,41 @@ impl ServeState {
             .counter_add(name, labels, v);
     }
 
-    fn serve_point(&self, item: WorkItem, served: Result<Served, String>) {
-        if served.is_ok() {
-            self.count(
-                "chiplet_serve_client_points",
+    /// Completes one request span: access log, flight recorder, and the
+    /// request-level histogram/counter families.
+    fn complete_span(&self, span: ServeSpan) {
+        let mut m = self.metrics.lock().expect("metrics lock poisoned");
+        self.obs.complete(span, &mut m);
+    }
+
+    fn serve_point(&self, item: WorkItem, timing: PointTiming, served: Result<Served, String>) {
+        {
+            let mut m = self.metrics.lock().expect("metrics lock poisoned");
+            let at = SimTime::from_nanos(timing.executed_ns);
+            m.observe(
+                "chiplet_serve_queue_wait_ns",
                 &[("client", &item.client)],
-                1.0,
+                at,
+                timing.dequeued_ns.saturating_sub(item.enqueued_ns) as f64,
             );
+            if let Ok(s) = &served {
+                if s.disposition == "executed" {
+                    m.observe(
+                        "chiplet_serve_service_ns",
+                        &[("client", &item.client)],
+                        at,
+                        timing.executed_ns.saturating_sub(timing.probed_ns) as f64,
+                    );
+                }
+                m.counter_add(
+                    "chiplet_serve_client_points",
+                    &[("client", &item.client)],
+                    1.0,
+                );
+            }
         }
         // A dropped receiver (client hung up) is fine; the work is cached.
-        let _ = item.reply.send(served);
+        let _ = item.reply.send((timing, served));
     }
 
     /// Blocks until a point is available or shutdown; round-robin fair.
@@ -144,94 +247,153 @@ impl ServeState {
 
     /// One worker's service loop.
     fn work(&self) {
+        let _panic_dump = PanicDump(self);
         while let Some(item) = self.next_item() {
-            // Cache probe first: hits never cost an execution slot.
-            if let Some(dir) = &self.cache_dir {
-                match load_cache_entry(dir, &item.hash) {
-                    CacheLookup::Hit(report) => {
-                        self.count("chiplet_serve_cache_hits", &[], 1.0);
-                        self.serve_point(
-                            item,
-                            Ok(Served {
-                                json: Arc::new(report.to_json()),
-                                cached: true,
-                            }),
-                        );
-                        continue;
-                    }
-                    CacheLookup::Corrupt => self.count("chiplet_serve_corrupt_healed", &[], 1.0),
-                    CacheLookup::Miss => {}
+            self.busy_workers.fetch_add(1, Ordering::SeqCst);
+            self.run_item(item);
+            self.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Serves one dequeued point: cache probe → single-flight check →
+    /// execution, stamping the worker-side span timestamps along the way.
+    fn run_item(&self, item: WorkItem) {
+        let dequeued_ns = self.obs.now_ns();
+        // Cache probe first: hits never cost an execution slot.
+        if let Some(dir) = &self.cache_dir {
+            match load_cache_entry(dir, &item.hash) {
+                CacheLookup::Hit(report) => {
+                    self.count("chiplet_serve_cache_hits", &[], 1.0);
+                    let probed_ns = self.obs.now_ns();
+                    self.serve_point(
+                        item,
+                        PointTiming {
+                            dequeued_ns,
+                            probed_ns,
+                            executed_ns: probed_ns,
+                        },
+                        Ok(Served {
+                            json: Arc::new(report.to_json()),
+                            cached: true,
+                            disposition: "cache_hit",
+                            fallback: None,
+                        }),
+                    );
+                    return;
+                }
+                CacheLookup::Corrupt => self.count("chiplet_serve_corrupt_healed", &[], 1.0),
+                CacheLookup::Miss => {}
+            }
+        }
+        // Single-flight: if this hash is already executing, park behind
+        // it instead of burning a second worker on identical work. The
+        // parked span keeps its own dequeue/probe timestamps; the leader
+        // stamps its execution time at completion.
+        {
+            let mut infl = self.inflight.lock().expect("inflight lock poisoned");
+            if let Some(waiters) = infl.get_mut(&item.hash) {
+                let probed_ns = self.obs.now_ns();
+                waiters.push(Parked {
+                    item,
+                    dequeued_ns,
+                    probed_ns,
+                });
+                return;
+            }
+            infl.insert(item.hash.clone(), Vec::new());
+        }
+        let probed_ns = self.obs.now_ns();
+        let hash = item.hash.clone();
+        // Engine fallbacks surface on the thread that called `run`, so a
+        // thread-local capture attributes them to exactly this point.
+        let (outcome, fallbacks) = chiplet_net::capture_parallel_fallbacks(|| item.spec.run());
+        let executed_ns = self.obs.now_ns();
+        let fallback = fallbacks.first().map(|f| f.reason.to_string());
+        let served = match outcome {
+            Ok(report) => {
+                let json = report.to_json();
+                if let Some(dir) = &self.cache_dir {
+                    // Atomic publish; a failed write degrades to uncached.
+                    let _ = store_cache_entry(dir, &hash, &json);
+                }
+                Ok(Served {
+                    json: Arc::new(json),
+                    cached: false,
+                    disposition: "executed",
+                    fallback: fallback.clone(),
+                })
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        self.count("chiplet_serve_cache_misses", &[], 1.0);
+        let waiters = self
+            .inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(&hash)
+            .unwrap_or_default();
+        let timing = PointTiming {
+            dequeued_ns,
+            probed_ns,
+            executed_ns,
+        };
+        match &served {
+            Ok(s) => {
+                let json = s.json.clone();
+                self.serve_point(item, timing, served.clone());
+                for w in waiters {
+                    // Dedup'd submissions count as hits: served without
+                    // an execution of their own.
+                    self.count("chiplet_serve_cache_hits", &[], 1.0);
+                    self.serve_point(
+                        w.item,
+                        PointTiming {
+                            dequeued_ns: w.dequeued_ns,
+                            probed_ns: w.probed_ns,
+                            executed_ns,
+                        },
+                        Ok(Served {
+                            json: json.clone(),
+                            cached: true,
+                            disposition: "dedup",
+                            fallback: fallback.clone(),
+                        }),
+                    );
                 }
             }
-            // Single-flight: if this hash is already executing, park behind
-            // it instead of burning a second worker on identical work.
-            {
-                let mut infl = self.inflight.lock().expect("inflight lock poisoned");
-                if let Some(waiters) = infl.get_mut(&item.hash) {
-                    waiters.push(item);
-                    continue;
-                }
-                infl.insert(item.hash.clone(), Vec::new());
-            }
-            let hash = item.hash.clone();
-            let outcome = item.spec.run();
-            let served = match outcome {
-                Ok(report) => {
-                    let json = report.to_json();
-                    if let Some(dir) = &self.cache_dir {
-                        // Atomic publish; a failed write degrades to uncached.
-                        let _ = store_cache_entry(dir, &hash, &json);
-                    }
-                    Ok(Served {
-                        json: Arc::new(json),
-                        cached: false,
-                    })
-                }
-                Err(e) => Err(e.to_string()),
-            };
-            self.count("chiplet_serve_cache_misses", &[], 1.0);
-            let waiters = self
-                .inflight
-                .lock()
-                .expect("inflight lock poisoned")
-                .remove(&hash)
-                .unwrap_or_default();
-            match &served {
-                Ok(s) => {
-                    let json = s.json.clone();
-                    self.serve_point(item, served.clone());
-                    for w in waiters {
-                        // Dedup'd submissions count as hits: served without
-                        // an execution of their own.
-                        self.count("chiplet_serve_cache_hits", &[], 1.0);
-                        self.serve_point(
-                            w,
-                            Ok(Served {
-                                json: json.clone(),
-                                cached: true,
-                            }),
-                        );
-                    }
-                }
-                Err(_) => {
-                    let err = served.clone();
-                    self.serve_point(item, served);
-                    for w in waiters {
-                        self.serve_point(w, err.clone());
-                    }
+            Err(_) => {
+                let err = served.clone();
+                self.serve_point(item, timing, served);
+                for w in waiters {
+                    self.serve_point(
+                        w.item,
+                        PointTiming {
+                            dequeued_ns: w.dequeued_ns,
+                            probed_ns: w.probed_ns,
+                            executed_ns,
+                        },
+                        err.clone(),
+                    );
                 }
             }
         }
     }
 
-    /// Admits a submission's points whole, or rejects them with a 429 body.
-    fn admit(&self, client: &str, items: Vec<WorkItem>) -> Result<(), String> {
+    /// Admits a submission's points whole, or rejects them with a 429
+    /// body. On admission, returns the enqueue timestamp — stamped *under
+    /// the queue lock*, so no worker can dequeue a point before its
+    /// enqueue stamp exists and queue wait can never go negative.
+    fn admit(&self, client: &str, mut items: Vec<WorkItem>) -> Result<u64, String> {
         let mut q = self.queue.lock().expect("queue lock poisoned");
+        let enqueued_ns = self.obs.now_ns();
+        for it in &mut items {
+            it.enqueued_ns = enqueued_ns;
+        }
         match q.try_push_all(client, items) {
             Ok(()) => {
                 drop(q);
                 self.work_ready.notify_all();
-                Ok(())
+                Ok(enqueued_ns)
             }
             Err((err, _returned)) => {
                 drop(q);
@@ -243,6 +405,64 @@ impl ServeState {
                 Err(err.to_string())
             }
         }
+    }
+
+    /// The live introspection document behind `GET /v1/status`.
+    fn status_value(&self) -> serde_json::Value {
+        let (depth, by_client) = {
+            let q = self.queue.lock().expect("queue lock poisoned");
+            (q.len(), q.per_client_depths())
+        };
+        let inflight: Vec<String> = {
+            let mut keys: Vec<String> = self
+                .inflight
+                .lock()
+                .expect("inflight lock poisoned")
+                .keys()
+                .cloned()
+                .collect();
+            keys.sort();
+            keys
+        };
+        let (spans, recorded, evicted) = self.obs.recorder.snapshot();
+        let recent: Vec<serde_json::Value> =
+            spans.iter().rev().take(16).map(|s| s.to_value()).collect();
+        let slow: Vec<serde_json::Value> = obs::slowest(&spans, 8)
+            .iter()
+            .map(|s| s.to_value())
+            .collect();
+        jobj(vec![
+            ("uptime_ns", ju64(self.obs.now_ns())),
+            ("workers", jnum(self.workers_total)),
+            (
+                "busy_workers",
+                jnum(self.busy_workers.load(Ordering::SeqCst)),
+            ),
+            ("queue_depth", jnum(depth)),
+            (
+                "queue_depth_by_client",
+                jobj(
+                    by_client
+                        .iter()
+                        .map(|(c, n)| (c.as_str(), jnum(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "inflight_keys",
+                serde_json::Value::Seq(inflight.iter().map(|k| jstr(k)).collect()),
+            ),
+            (
+                "recorder",
+                jobj(vec![
+                    ("capacity", jnum(self.obs.recorder.capacity())),
+                    ("recorded", ju64(recorded)),
+                    ("evicted", ju64(evicted)),
+                ]),
+            ),
+            ("recent", serde_json::Value::Seq(recent)),
+            ("slow", serde_json::Value::Seq(slow)),
+        ])
     }
 }
 
@@ -274,6 +494,9 @@ impl Server {
             inflight: Mutex::new(HashMap::new()),
             metrics: Mutex::new(metrics),
             cache_dir: cfg.cache_dir.clone(),
+            obs: Obs::new(cfg.recorder, cfg.access_log.as_deref())?,
+            busy_workers: AtomicUsize::new(0),
+            workers_total: workers,
             shutdown: AtomicBool::new(false),
         });
         if let Some(dir) = &state.cache_dir {
@@ -345,9 +568,12 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
             .name("serve-conn".into())
             .stack_size(512 * 1024)
             .spawn(move || {
+                // The span's clock starts the moment the connection is
+                // picked up; reading the request counts as `parse`.
+                let accept_ns = state.obs.now_ns();
                 let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
                 if let Ok(req) = read_request(&mut stream) {
-                    let _ = handle(&state, &mut stream, &req);
+                    let _ = handle(&state, &mut stream, &req, accept_ns);
                 }
             });
     }
@@ -380,6 +606,10 @@ fn jnum(n: usize) -> serde_json::Value {
     serde_json::Value::U64(n as u64)
 }
 
+fn ju64(n: u64) -> serde_json::Value {
+    serde_json::Value::U64(n)
+}
+
 fn jbool(b: bool) -> serde_json::Value {
     serde_json::Value::Bool(b)
 }
@@ -392,13 +622,25 @@ fn json_error(msg: &str) -> String {
     compact(&jobj(vec![("error", jstr(msg))])) + "\n"
 }
 
-fn handle(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+fn handle(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    req: &Request,
+    accept_ns: u64,
+) -> std::io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => write_response(stream, 200, "text/plain", "ok\n"),
         ("GET", "/metrics") => {
             let depth = state.queue.lock().expect("queue lock poisoned").len();
+            let inflight = state.inflight.lock().expect("inflight lock poisoned").len();
             let mut m = state.metrics.lock().expect("metrics lock poisoned");
             m.gauge_set("chiplet_serve_queue_depth", &[], depth as f64);
+            m.gauge_set(
+                "chiplet_serve_busy_workers",
+                &[],
+                state.busy_workers.load(Ordering::SeqCst) as f64,
+            );
+            m.gauge_set("chiplet_serve_inflight_keys", &[], inflight as f64);
             let text = m.to_openmetrics_with_volatile();
             drop(m);
             write_response(
@@ -407,6 +649,16 @@ fn handle(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io:
                 "application/openmetrics-text; version=1.0.0; charset=utf-8",
                 &text,
             )
+        }
+        ("GET", "/v1/status") => {
+            let body =
+                serde_json::to_string_pretty(&state.status_value()).expect("serializes") + "\n";
+            write_response(stream, 200, "application/json", &body)
+        }
+        ("GET", "/v1/trace") => {
+            let (spans, _, _) = state.obs.recorder.snapshot();
+            let body = obs::chrome_trace(&spans);
+            write_response(stream, 200, "application/json", &body)
         }
         ("GET", "/v1/scenarios") => {
             let reg = paper_registry();
@@ -431,14 +683,16 @@ fn handle(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io:
                 + "\n";
             write_response(stream, 200, "application/json", &body)
         }
-        ("POST", "/v1/run") => handle_run(state, stream, req),
-        ("POST", "/v1/sweep") => handle_sweep(state, stream, req),
-        (_, "/healthz" | "/metrics" | "/v1/scenarios") => write_response(
-            stream,
-            405,
-            "application/json",
-            &json_error("method not allowed"),
-        ),
+        ("POST", "/v1/run") => handle_run(state, stream, req, accept_ns),
+        ("POST", "/v1/sweep") => handle_sweep(state, stream, req, accept_ns),
+        (_, "/healthz" | "/metrics" | "/v1/scenarios" | "/v1/status" | "/v1/trace") => {
+            write_response(
+                stream,
+                405,
+                "application/json",
+                &json_error("method not allowed"),
+            )
+        }
         (_, "/v1/run" | "/v1/sweep") => write_response(
             stream,
             405,
@@ -498,55 +752,237 @@ fn resolve_sweep(req: &Request) -> Result<SweepSpec, (u16, String)> {
     SweepSpec::from_json(text).map_err(|e| (400, e.to_string()))
 }
 
-fn handle_run(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
-    let client = client_of(req);
-    let spec = match resolve_spec(req) {
-        Ok(s) => s,
-        Err((status, msg)) => {
-            return write_response(stream, status, "application/json", &json_error(&msg))
+/// A span under construction on the connection-handler side: identity and
+/// the handler-stamped timestamps, completed into a [`ServeSpan`] once the
+/// response is on the wire.
+struct SpanDraft {
+    id: u64,
+    client: String,
+    route: &'static str,
+    point: String,
+    points: usize,
+    accept_ns: u64,
+    parsed_ns: u64,
+}
+
+impl SpanDraft {
+    fn new(state: &ServeState, accept_ns: u64, client: String, route: &'static str) -> SpanDraft {
+        SpanDraft {
+            id: state.obs.next_request_id(),
+            client,
+            route,
+            point: String::new(),
+            points: 0,
+            accept_ns,
+            parsed_ns: accept_ns,
         }
-    };
-    let (tx, rx) = mpsc::channel();
-    let item = WorkItem {
-        hash: spec_hash(&spec),
-        spec,
-        client: client.clone(),
-        reply: tx,
-    };
-    if let Err(msg) = state.admit(&client, vec![item]) {
-        return write_response(stream, 429, "application/json", &json_error(&msg));
     }
-    match rx.recv() {
-        Ok(Ok(served)) => write_response(
+
+    fn request_id(&self) -> String {
+        format!("r-{:08}", self.id)
+    }
+
+    /// Answers a request that never reached a worker (resolve failure or
+    /// admission reject): every post-parse phase collapses to zero width.
+    fn reject(
+        mut self,
+        state: &ServeState,
+        stream: &mut TcpStream,
+        status: u16,
+        msg: &str,
+    ) -> std::io::Result<()> {
+        let now = state.obs.now_ns();
+        if self.parsed_ns == self.accept_ns {
+            self.parsed_ns = now;
+        }
+        let outcome = if status == 429 { "rejected" } else { "error" };
+        let rid = self.request_id();
+        let r = write_response_with(
             stream,
-            200,
+            status,
             "application/json",
-            &format!("{}\n", served.json),
-        ),
-        Ok(Err(msg)) => write_response(stream, 400, "application/json", &json_error(&msg)),
-        Err(_) => write_response(
-            stream,
-            500,
-            "application/json",
-            &json_error("server shutting down"),
-        ),
+            &json_error(msg),
+            &[("X-Request-Id", &rid)],
+        );
+        self.finish(
+            state,
+            status,
+            outcome,
+            "none",
+            None,
+            now,
+            PointTiming {
+                dequeued_ns: now,
+                probed_ns: now,
+                executed_ns: now,
+            },
+        );
+        r
+    }
+
+    /// Seals the span — `done` stamped now, after the response bytes went
+    /// out — and hands it to the observability plane. Timestamps are
+    /// clamped monotone so the tiling invariant holds unconditionally.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        self,
+        state: &ServeState,
+        status: u16,
+        outcome: &'static str,
+        disposition: &'static str,
+        fallback: Option<String>,
+        admitted_ns: u64,
+        timing: PointTiming,
+    ) {
+        let done_ns = state.obs.now_ns();
+        let mut t = [
+            self.accept_ns,
+            self.parsed_ns,
+            admitted_ns,
+            timing.dequeued_ns,
+            timing.probed_ns,
+            timing.executed_ns,
+            done_ns,
+        ];
+        for i in 1..t.len() {
+            t[i] = t[i].max(t[i - 1]);
+        }
+        state.complete_span(ServeSpan {
+            id: self.id,
+            client: self.client,
+            route: self.route,
+            point: self.point,
+            points: self.points,
+            status,
+            outcome,
+            disposition,
+            fallback,
+            accept_ns: t[0],
+            parsed_ns: t[1],
+            admitted_ns: t[2],
+            dequeued_ns: t[3],
+            probed_ns: t[4],
+            executed_ns: t[5],
+            done_ns: t[6],
+        });
     }
 }
 
-fn handle_sweep(state: &ServeState, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+fn handle_run(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    req: &Request,
+    accept_ns: u64,
+) -> std::io::Result<()> {
     let client = client_of(req);
+    let mut draft = SpanDraft::new(state, accept_ns, client.clone(), "/v1/run");
+    let spec = match resolve_spec(req) {
+        Ok(s) => s,
+        Err((status, msg)) => return draft.reject(state, stream, status, &msg),
+    };
+    draft.point = spec_hash(&spec);
+    draft.points = 1;
+    draft.parsed_ns = state.obs.now_ns();
+    let (tx, rx) = mpsc::channel();
+    let item = WorkItem {
+        hash: draft.point.clone(),
+        spec,
+        client: client.clone(),
+        enqueued_ns: 0,
+        reply: tx,
+    };
+    let admitted_ns = match state.admit(&client, vec![item]) {
+        Ok(t) => t,
+        Err(msg) => return draft.reject(state, stream, 429, &msg),
+    };
+    let rid = draft.request_id();
+    match rx.recv() {
+        Ok((timing, Ok(served))) => {
+            let r = write_response_with(
+                stream,
+                200,
+                "application/json",
+                &format!("{}\n", served.json),
+                &[("X-Request-Id", &rid)],
+            );
+            draft.finish(
+                state,
+                200,
+                "ok",
+                served.disposition,
+                served.fallback,
+                admitted_ns,
+                timing,
+            );
+            r
+        }
+        Ok((timing, Err(msg))) => {
+            let r = write_response_with(
+                stream,
+                400,
+                "application/json",
+                &json_error(&msg),
+                &[("X-Request-Id", &rid)],
+            );
+            draft.finish(state, 400, "error", "none", None, admitted_ns, timing);
+            r
+        }
+        Err(_) => {
+            let now = state.obs.now_ns();
+            let r = write_response_with(
+                stream,
+                500,
+                "application/json",
+                &json_error("server shutting down"),
+                &[("X-Request-Id", &rid)],
+            );
+            draft.finish(
+                state,
+                500,
+                "error",
+                "none",
+                None,
+                admitted_ns,
+                PointTiming {
+                    dequeued_ns: now,
+                    probed_ns: now,
+                    executed_ns: now,
+                },
+            );
+            r
+        }
+    }
+}
+
+/// A sweep span's disposition from its per-point tallies.
+fn sweep_disposition(executed: usize, cached: usize) -> &'static str {
+    match (executed, cached) {
+        (0, 0) => "none",
+        (_, 0) => "executed",
+        (0, _) => "cache_hit",
+        _ => "mixed",
+    }
+}
+
+fn handle_sweep(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    req: &Request,
+    accept_ns: u64,
+) -> std::io::Result<()> {
+    let client = client_of(req);
+    let mut draft = SpanDraft::new(state, accept_ns, client.clone(), "/v1/sweep");
     let sweep = match resolve_sweep(req) {
         Ok(s) => s,
-        Err((status, msg)) => {
-            return write_response(stream, status, "application/json", &json_error(&msg))
-        }
+        Err((status, msg)) => return draft.reject(state, stream, status, &msg),
     };
+    draft.point = format!("sweep:{}", sweep.name);
     let points = match sweep.expand() {
         Ok(p) => p,
-        Err(e) => {
-            return write_response(stream, 400, "application/json", &json_error(&e.to_string()))
-        }
+        Err(e) => return draft.reject(state, stream, 400, &e.to_string()),
     };
+    draft.points = points.len();
+    draft.parsed_ns = state.obs.now_ns();
     let stream_mode = matches!(req.param("stream"), Some("1" | "true"));
     let mut receivers = Vec::with_capacity(points.len());
     let mut items = Vec::with_capacity(points.len());
@@ -556,53 +992,138 @@ fn handle_sweep(state: &ServeState, stream: &mut TcpStream, req: &Request) -> st
             hash: point.hash.clone(),
             spec: point.spec.clone(),
             client: client.clone(),
+            enqueued_ns: 0,
             reply: tx,
         });
         receivers.push(rx);
     }
-    if let Err(msg) = state.admit(&client, items) {
-        return write_response(stream, 429, "application/json", &json_error(&msg));
-    }
+    let admitted_ns = match state.admit(&client, items) {
+        Ok(t) => t,
+        Err(msg) => return draft.reject(state, stream, 429, &msg),
+    };
+    // A sweep's queue/probe phases are per-*point*, visible in the
+    // queue-wait/service histograms; the request-level span charges
+    // admission → last point reply to `exec`, so its phases still tile.
     if stream_mode {
-        stream_sweep(stream, &sweep, &points, receivers)
+        stream_sweep(
+            state,
+            stream,
+            &sweep,
+            &points,
+            receivers,
+            draft,
+            admitted_ns,
+        )
     } else {
-        collect_sweep(stream, &sweep, &points, receivers)
+        collect_sweep(
+            state,
+            stream,
+            &sweep,
+            &points,
+            receivers,
+            draft,
+            admitted_ns,
+        )
     }
 }
 
 /// Non-streaming sweep: wait for every point, answer with the aggregate
 /// [`SweepOutcome`] — the same bytes `chiplet-scenario sweep --json` prints.
+#[allow(clippy::too_many_arguments)]
 fn collect_sweep(
+    state: &ServeState,
     stream: &mut TcpStream,
     sweep: &SweepSpec,
     points: &[SweepPoint],
-    receivers: Vec<mpsc::Receiver<Result<Served, String>>>,
+    receivers: Vec<mpsc::Receiver<(PointTiming, Result<Served, String>)>>,
+    draft: SpanDraft,
+    admitted_ns: u64,
 ) -> std::io::Result<()> {
+    let rid = draft.request_id();
+    let sweep_timing = |state: &ServeState| {
+        let now = state.obs.now_ns();
+        PointTiming {
+            dequeued_ns: admitted_ns,
+            probed_ns: admitted_ns,
+            executed_ns: now,
+        }
+    };
     let mut results = Vec::with_capacity(points.len());
+    let (mut executed_n, mut cached_n) = (0usize, 0usize);
+    let mut fallback: Option<String> = None;
     for (point, rx) in points.iter().zip(receivers) {
         let served = match rx.recv() {
-            Ok(Ok(s)) => s,
-            Ok(Err(msg)) => {
-                return write_response(stream, 400, "application/json", &json_error(&msg))
+            Ok((_, Ok(s))) => s,
+            Ok((_, Err(msg))) => {
+                let t = sweep_timing(state);
+                let r = write_response_with(
+                    stream,
+                    400,
+                    "application/json",
+                    &json_error(&msg),
+                    &[("X-Request-Id", &rid)],
+                );
+                draft.finish(
+                    state,
+                    400,
+                    "error",
+                    sweep_disposition(executed_n, cached_n),
+                    fallback,
+                    admitted_ns,
+                    t,
+                );
+                return r;
             }
             Err(_) => {
-                return write_response(
+                let t = sweep_timing(state);
+                let r = write_response_with(
                     stream,
                     500,
                     "application/json",
                     &json_error("server shutting down"),
-                )
+                    &[("X-Request-Id", &rid)],
+                );
+                draft.finish(
+                    state,
+                    500,
+                    "error",
+                    sweep_disposition(executed_n, cached_n),
+                    fallback,
+                    admitted_ns,
+                    t,
+                );
+                return r;
             }
         };
+        if served.cached {
+            cached_n += 1;
+        } else {
+            executed_n += 1;
+        }
+        if fallback.is_none() {
+            fallback = served.fallback.clone();
+        }
         let report = match ScenarioReport::from_json(&served.json) {
             Ok(r) => r,
             Err(e) => {
-                return write_response(
+                let t = sweep_timing(state);
+                let r = write_response_with(
                     stream,
                     500,
                     "application/json",
                     &json_error(&format!("internal report parse: {e}")),
-                )
+                    &[("X-Request-Id", &rid)],
+                );
+                draft.finish(
+                    state,
+                    500,
+                    "error",
+                    sweep_disposition(executed_n, cached_n),
+                    fallback,
+                    admitted_ns,
+                    t,
+                );
+                return r;
             }
         };
         results.push(SweepPointResult {
@@ -611,74 +1132,129 @@ fn collect_sweep(
             report,
         });
     }
+    let timing = sweep_timing(state);
     let outcome = SweepOutcome {
         sweep: sweep.name.clone(),
         points: results,
     };
-    write_response(
+    let r = write_response_with(
         stream,
         200,
         "application/json",
         &format!("{}\n", outcome.to_json()),
-    )
+        &[("X-Request-Id", &rid)],
+    );
+    draft.finish(
+        state,
+        200,
+        "ok",
+        sweep_disposition(executed_n, cached_n),
+        fallback,
+        admitted_ns,
+        timing,
+    );
+    r
 }
 
 /// Streaming sweep: one compact JSON line per completed point (expansion
 /// order), then a `done` line with the tallies.
+#[allow(clippy::too_many_arguments)]
 fn stream_sweep(
+    state: &ServeState,
     stream: &mut TcpStream,
     sweep: &SweepSpec,
     points: &[SweepPoint],
-    receivers: Vec<mpsc::Receiver<Result<Served, String>>>,
+    receivers: Vec<mpsc::Receiver<(PointTiming, Result<Served, String>)>>,
+    draft: SpanDraft,
+    admitted_ns: u64,
 ) -> std::io::Result<()> {
-    let mut resp = ChunkedResponse::begin(stream, 200, "application/jsonl")?;
+    let rid = draft.request_id();
     let total = points.len();
     let (mut cached, mut executed, mut failed) = (0usize, 0usize, 0usize);
-    for (i, (point, rx)) in points.iter().zip(receivers).enumerate() {
-        let head = vec![
-            ("event", jstr("point")),
-            ("index", jnum(i)),
-            ("total", jnum(total)),
-            ("label", jstr(&point.label)),
-            ("hash", jstr(&point.hash)),
-        ];
-        let line = match rx.recv() {
-            Ok(Ok(s)) => {
-                if s.cached {
-                    cached += 1;
-                } else {
-                    executed += 1;
+    let mut fallback: Option<String> = None;
+    let mut executed_ns = admitted_ns;
+    // The response interleaves with execution; completing the span even
+    // when the client hangs up mid-stream is why the body writes live in
+    // an immediately-invoked closure instead of early returns.
+    let r = (|| -> std::io::Result<()> {
+        let mut resp = ChunkedResponse::begin_with(
+            stream,
+            200,
+            "application/jsonl",
+            &[("X-Request-Id", &rid)],
+        )?;
+        for (i, (point, rx)) in points.iter().zip(receivers).enumerate() {
+            let head = vec![
+                ("event", jstr("point")),
+                ("index", jnum(i)),
+                ("total", jnum(total)),
+                ("label", jstr(&point.label)),
+                ("hash", jstr(&point.hash)),
+            ];
+            let line = match rx.recv() {
+                Ok((_, Ok(s))) => {
+                    if s.cached {
+                        cached += 1;
+                    } else {
+                        executed += 1;
+                    }
+                    if fallback.is_none() {
+                        fallback = s.fallback.clone();
+                    }
+                    let mut fields = head;
+                    fields.push(("cached", jbool(s.cached)));
+                    fields.push(("ok", jbool(true)));
+                    jobj(fields)
                 }
-                let mut fields = head;
-                fields.push(("cached", jbool(s.cached)));
-                fields.push(("ok", jbool(true)));
-                jobj(fields)
-            }
-            Ok(Err(msg)) => {
-                failed += 1;
-                let mut fields = head;
-                fields.push(("ok", jbool(false)));
-                fields.push(("error", jstr(&msg)));
-                jobj(fields)
-            }
-            Err(_) => {
-                failed += 1;
-                let mut fields = head;
-                fields.push(("ok", jbool(false)));
-                fields.push(("error", jstr("server shutting down")));
-                jobj(fields)
-            }
-        };
-        resp.chunk(&format!("{}\n", compact(&line)))?;
+                Ok((_, Err(msg))) => {
+                    failed += 1;
+                    let mut fields = head;
+                    fields.push(("ok", jbool(false)));
+                    fields.push(("error", jstr(&msg)));
+                    jobj(fields)
+                }
+                Err(_) => {
+                    failed += 1;
+                    let mut fields = head;
+                    fields.push(("ok", jbool(false)));
+                    fields.push(("error", jstr("server shutting down")));
+                    jobj(fields)
+                }
+            };
+            resp.chunk(&format!("{}\n", compact(&line)))?;
+        }
+        executed_ns = state.obs.now_ns();
+        let done = jobj(vec![
+            ("event", jstr("done")),
+            ("sweep", jstr(&sweep.name)),
+            ("total", jnum(total)),
+            ("executed", jnum(executed)),
+            ("cached", jnum(cached)),
+            ("failed", jnum(failed)),
+        ]);
+        resp.chunk(&format!("{}\n", compact(&done)))?;
+        resp.finish()
+    })();
+    if executed_ns == admitted_ns {
+        executed_ns = state.obs.now_ns();
     }
-    let done = jobj(vec![
-        ("event", jstr("done")),
-        ("sweep", jstr(&sweep.name)),
-        ("total", jnum(total)),
-        ("executed", jnum(executed)),
-        ("cached", jnum(cached)),
-        ("failed", jnum(failed)),
-    ]);
-    resp.chunk(&format!("{}\n", compact(&done)))?;
-    resp.finish()
+    let outcome = if failed > 0 || r.is_err() {
+        "error"
+    } else {
+        "ok"
+    };
+    draft.finish(
+        state,
+        200,
+        outcome,
+        sweep_disposition(executed, cached),
+        fallback,
+        admitted_ns,
+        PointTiming {
+            dequeued_ns: admitted_ns,
+            probed_ns: admitted_ns,
+            executed_ns,
+        },
+    );
+    r
 }

@@ -11,6 +11,11 @@
 //! the caller gets an [`AdmissionError`] to turn into a 429. Partial
 //! admission would leave a sweep waiting forever on points that were never
 //! queued.
+//!
+//! Lanes are reclaimed the moment they drain: a client whose last pending
+//! point is popped costs no memory and no round-robin slot until it
+//! submits again, so the daemon's footprint is bounded by the *active*
+//! client set, not by every client identity ever seen.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -148,9 +153,11 @@ impl<T> FairQueue<T> {
         Ok(())
     }
 
-    /// Takes the next point round-robin: one per non-empty lane per turn of
-    /// the cursor. Empty lanes keep their slot (client identity is sticky),
-    /// so fairness holds across a client's successive submissions too.
+    /// Takes the next point round-robin: one per lane per turn of the
+    /// cursor. A lane whose last point is popped is removed on the spot
+    /// (its client re-registers on its next submission), so the lane set —
+    /// and each pop's scan — stays bounded by the clients with work
+    /// actually pending.
     pub fn pop(&mut self) -> Option<(String, T)> {
         if self.len == 0 || self.lanes.is_empty() {
             return None;
@@ -158,12 +165,49 @@ impl<T> FairQueue<T> {
         for probe in 0..self.lanes.len() {
             let i = (self.cursor + probe) % self.lanes.len();
             if let Some(item) = self.lanes[i].items.pop_front() {
-                self.cursor = (i + 1) % self.lanes.len();
                 self.len -= 1;
-                return Some((self.lanes[i].client.clone(), item));
+                let client = if self.lanes[i].items.is_empty() {
+                    self.remove_lane(i)
+                } else {
+                    self.cursor = (i + 1) % self.lanes.len();
+                    self.lanes[i].client.clone()
+                };
+                return Some((client, item));
             }
         }
         None
+    }
+
+    /// Removes the drained lane at `i`, fixing up the index map and the
+    /// cursor, and returns its client name. `swap_remove` moves the last
+    /// lane into slot `i`; pointing the cursor there keeps rotation fair —
+    /// that lane was next-up at the wrap anyway.
+    fn remove_lane(&mut self, i: usize) -> String {
+        let lane = self.lanes.swap_remove(i);
+        self.index.remove(&lane.client);
+        if i < self.lanes.len() {
+            self.index.insert(self.lanes[i].client.clone(), i);
+        }
+        self.cursor = if self.lanes.is_empty() {
+            0
+        } else {
+            i % self.lanes.len()
+        };
+        lane.client
+    }
+
+    /// Pending points per client, sorted by client name — the
+    /// `/v1/status` queue breakdown. Only clients with work pending
+    /// appear (drained lanes are gone).
+    pub fn per_client_depths(&self) -> Vec<(String, usize)> {
+        let mut depths: Vec<(String, usize)> = self
+            .lanes
+            .iter()
+            .filter(|l| !l.items.is_empty())
+            .map(|l| (l.client.clone(), l.items.len()))
+            .collect();
+        depths.sort();
+        depths
     }
 }
 
@@ -246,6 +290,55 @@ mod tests {
         }
         assert_eq!(served_a, 6);
         q.try_push_all("a", (0..6).collect()).unwrap();
+    }
+
+    #[test]
+    fn drained_lanes_are_reclaimed() {
+        let mut q = FairQueue::new(100, 100);
+        q.try_push_all("a", vec![1, 2]).unwrap();
+        q.try_push_all("b", vec![10]).unwrap();
+        assert_eq!(
+            q.per_client_depths(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        // b's only point pops → its lane vanishes immediately.
+        let popped: Vec<String> = std::iter::from_fn(|| q.pop().map(|(c, _)| c)).collect();
+        assert_eq!(popped.len(), 3);
+        assert!(q.is_empty());
+        assert!(q.per_client_depths().is_empty(), "all lanes reclaimed");
+        // A returning client just re-registers; nothing is sticky.
+        q.try_push_all("b", vec![11, 12]).unwrap();
+        assert_eq!(q.per_client_depths(), vec![("b".to_string(), 2)]);
+        assert_eq!(q.pop().unwrap(), ("b".to_string(), 11));
+        assert_eq!(q.pop().unwrap(), ("b".to_string(), 12));
+        assert!(q.per_client_depths().is_empty());
+    }
+
+    #[test]
+    fn lane_cleanup_preserves_fairness_and_loses_nothing() {
+        // Clients with very different lane depths: shallow lanes drain and
+        // are swap-removed mid-rotation; every item must still come out,
+        // per-client in FIFO order, with no lane served twice per turn.
+        let clients = 7;
+        let mut q = FairQueue::new(10_000, 10_000);
+        let mut expected = 0;
+        for c in 0..clients {
+            let depth = (c + 1) * 3;
+            let items: Vec<(usize, usize)> = (0..depth).map(|k| (c, k)).collect();
+            expected += depth;
+            q.try_push_all(&format!("c{c}"), items).unwrap();
+        }
+        let mut last_pos: Vec<Option<usize>> = vec![None; clients];
+        let mut served = 0;
+        while let Some((client, (c, k))) = q.pop() {
+            assert_eq!(client, format!("c{c}"));
+            // FIFO within a lane.
+            assert_eq!(last_pos[c].map_or(0, |p| p + 1), k, "lane c{c} reordered");
+            last_pos[c] = Some(k);
+            served += 1;
+        }
+        assert_eq!(served, expected, "items lost to lane cleanup");
+        assert!(q.per_client_depths().is_empty());
     }
 
     #[test]

@@ -356,7 +356,39 @@ pub fn take_parallel_fallbacks() -> Vec<ParallelFallback> {
     std::mem::take(&mut *FALLBACK_LOG.lock().expect("fallback log poisoned"))
 }
 
+std::thread_local! {
+    /// Per-thread capture sink for [`capture_parallel_fallbacks`]. `None`
+    /// outside a capture scope.
+    static FALLBACK_CAPTURE: std::cell::RefCell<Option<Vec<ParallelFallback>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with a **thread-local** fallback capture active and returns its
+/// result together with every parallel→sequential downgrade recorded *by
+/// this thread* during the call. Unlike [`take_parallel_fallbacks`] (a
+/// process-wide drain that mixes concurrent runs), this attributes each
+/// downgrade to the exact run that caused it — the serving daemon uses it
+/// to stamp per-request fallback reasons into its access log and flight
+/// recorder. The engine records the downgrade on the thread that calls
+/// [`Engine::run`] (before any worker threads spawn), so a capture around
+/// the run sees every downgrade of that run and no other's. The
+/// process-wide log still receives the entries; capture only observes.
+/// Nested captures are not supported — the inner scope wins.
+pub fn capture_parallel_fallbacks<T>(f: impl FnOnce() -> T) -> (T, Vec<ParallelFallback>) {
+    FALLBACK_CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    let out = f();
+    let captured = FALLBACK_CAPTURE
+        .with(|c| c.borrow_mut().take())
+        .unwrap_or_default();
+    (out, captured)
+}
+
 fn record_parallel_fallback(fb: ParallelFallback) {
+    FALLBACK_CAPTURE.with(|c| {
+        if let Some(captured) = c.borrow_mut().as_mut() {
+            captured.push(fb);
+        }
+    });
     let mut log = FALLBACK_LOG.lock().expect("fallback log poisoned");
     if log.len() < FALLBACK_LOG_CAP {
         log.push(fb);

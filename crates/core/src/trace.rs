@@ -166,6 +166,104 @@ pub fn decode_hop_label(label: u32) -> (Option<HopClass>, Option<u32>) {
     )
 }
 
+/// Incremental builder for Chrome trace-event JSON — the writer behind
+/// [`TraceReport::to_chrome_trace`], reusable for **wall-clock** spans too
+/// (the serving daemon's request timelines export through it, so daemon
+/// traces open in the same `chrome://tracing` / Perfetto tooling as sim
+/// traces).
+///
+/// Field order matches what the sim exporter always emitted (metadata:
+/// `name, ph, pid, tid, args`; complete events: `name, cat, ph, ts, dur,
+/// pid, tid, args`), so output through the builder is byte-identical to
+/// the pre-builder encoding. Events appear in insertion order; output is
+/// deterministic for a deterministic insertion sequence.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<serde_json::Value>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn obj(fields: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+        serde_json::Value::Map(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Emits a `process_name` metadata event labelling `pid`.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.metadata("process_name", pid, 0, name);
+    }
+
+    /// Emits a `thread_name` metadata event labelling `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.metadata("thread_name", pid, tid, name);
+    }
+
+    fn metadata(&mut self, kind: &str, pid: u64, tid: u64, name: &str) {
+        use serde_json::Value;
+        self.events.push(Self::obj(vec![
+            ("name", Value::Str(kind.into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+            ("args", Self::obj(vec![("name", Value::Str(name.into()))])),
+        ]));
+    }
+
+    /// Emits one complete (`"ph": "X"`) event. `ts_us`/`dur_us` are
+    /// microseconds, the unit Chrome's trace viewer expects.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event field list
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u64,
+        tid: u64,
+        args: Vec<(&str, serde_json::Value)>,
+    ) {
+        use serde_json::Value;
+        self.events.push(Self::obj(vec![
+            ("name", Value::Str(name.into())),
+            ("cat", Value::Str(cat.into())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::F64(ts_us)),
+            ("dur", Value::F64(dur_us)),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+            ("args", Self::obj(args)),
+        ]));
+    }
+
+    /// Events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace document (deterministic bytes).
+    pub fn finish(self) -> String {
+        let doc = Self::obj(vec![
+            ("traceEvents", serde_json::Value::Seq(self.events)),
+            ("displayTimeUnit", serde_json::Value::Str("ns".into())),
+        ]);
+        serde_json::to_string(&doc).expect("trace is always serializable")
+    }
+}
+
 /// Aggregate statistics for one hop class across all sampled transactions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HopBreakdown {
@@ -302,28 +400,13 @@ impl TraceReport {
     pub fn to_chrome_trace(&self, flow_names: &[String]) -> String {
         use serde_json::Value;
 
-        fn obj(fields: Vec<(&str, Value)>) -> Value {
-            Value::Map(
-                fields
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
-            )
-        }
-
-        let mut events: Vec<Value> = Vec::new();
+        let mut trace = ChromeTraceBuilder::new();
         let mut named: Vec<u32> = self.spans.iter().map(|s| s.group).collect();
         named.sort_unstable();
         named.dedup();
         for pid in named {
             if let Some(name) = flow_names.get(pid as usize) {
-                events.push(obj(vec![
-                    ("name", Value::Str("process_name".into())),
-                    ("ph", Value::Str("M".into())),
-                    ("pid", Value::U64(pid as u64)),
-                    ("tid", Value::U64(0)),
-                    ("args", obj(vec![("name", Value::Str(name.clone()))])),
-                ]));
+                trace.process_name(pid as u64, name);
             }
         }
         for span in &self.spans {
@@ -338,23 +421,18 @@ impl TraceReport {
                 if let Some(p) = point {
                     args.push(("point", Value::U64(p as u64)));
                 }
-                events.push(obj(vec![
-                    ("name", Value::Str(name.into())),
-                    ("cat", Value::Str("hop".into())),
-                    ("ph", Value::Str("X".into())),
-                    ("ts", Value::F64(hop.queue_enter_ns / 1000.0)),
-                    ("dur", Value::F64(hop.total_ns() / 1000.0)),
-                    ("pid", Value::U64(span.group as u64)),
-                    ("tid", Value::U64(span.lane as u64)),
-                    ("args", obj(args)),
-                ]));
+                trace.complete(
+                    name,
+                    "hop",
+                    hop.queue_enter_ns / 1000.0,
+                    hop.total_ns() / 1000.0,
+                    span.group as u64,
+                    span.lane as u64,
+                    args,
+                );
             }
         }
-        let doc = obj(vec![
-            ("traceEvents", Value::Seq(events)),
-            ("displayTimeUnit", Value::Str("ns".into())),
-        ]);
-        serde_json::to_string(&doc).expect("trace is always serializable")
+        trace.finish()
     }
 }
 

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the `chiplet-dse` fast path: what one design
+//! costs to score analytically, what the frontier extraction costs at
+//! search scale, and — as the ratio-gate denominator — what escalating
+//! that same design to the event engine costs. The committed baseline
+//! (`BENCH_engine.json`) carries a `dse fast-path exchange rate` ratio
+//! pinning the estimator at ≤ 1/1000 of the DES run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chiplet_bench::scenarios::dse::dse_epyc;
+use chiplet_net::dse::{estimate_design, pareto_frontier, ParetoPoint};
+
+fn bench_estimator(c: &mut Criterion) {
+    let spec = dse_epyc().base;
+    c.bench_function("dse/estimator_per_design", |b| {
+        b.iter(|| black_box(estimate_design(black_box(&spec)).expect("stock design estimates")))
+    });
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    // 10k synthetic scores drawn from a fixed LCG: the frontier cost at
+    // flagship search scale, independent of estimator cost.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let points: Vec<ParetoPoint> = (0..10_000)
+        .map(|i| ParetoPoint {
+            latency_ns: 100.0 + 900.0 * next(),
+            bandwidth_gb_s: 10.0 + 90.0 * next(),
+            cost: 50.0 + 150.0 * next(),
+            hash: i,
+        })
+        .collect();
+    c.bench_function("dse/frontier_10k", |b| {
+        b.iter(|| black_box(pareto_frontier(black_box(&points))))
+    });
+}
+
+fn bench_des_reference(c: &mut Criterion) {
+    let spec = dse_epyc().base;
+    c.bench_function("dse/des_reference_run", |b| {
+        b.iter(|| black_box(black_box(&spec).run().expect("stock design runs")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_estimator,
+    bench_frontier,
+    bench_des_reference
+);
+criterion_main!(benches);

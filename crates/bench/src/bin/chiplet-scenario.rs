@@ -5,6 +5,7 @@
 //! chiplet-scenario show <name>
 //! chiplet-scenario run <name|file.json> [--json]
 //! chiplet-scenario sweep <name|file.json> [--jobs N] [--no-cache] [--cache-dir DIR] [--json]
+//! chiplet-scenario dse <name|file.json> [--jobs N] [--budget N] [--json]
 //! ```
 //!
 //! `list` prints the registry of the paper's built-in scenarios; `run`
@@ -17,15 +18,24 @@
 //! default). Sweep output is byte-identical for any `--jobs` value and for
 //! cached vs fresh runs; execution stats go to stderr.
 //!
+//! `dse` runs a [`DseSpec`] design-space search: the candidate designs are
+//! expanded deterministically, scored with the analytical estimator across
+//! worker threads, Pareto-filtered, and the frontier escalated to full
+//! event-engine runs through the cached sweep runner. Like sweeps, the
+//! output is byte-identical for any `--jobs` value.
+//!
 //! [`ScenarioSpec`]: chiplet_net::scenario::ScenarioSpec
 //! [`ScenarioReport`]: chiplet_net::scenario::ScenarioReport
 //! [`SweepSpec`]: chiplet_net::scenario::SweepSpec
+//! [`DseSpec`]: chiplet_net::dse::DseSpec
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use chiplet_bench::scenarios::dse::render_dse;
 use chiplet_bench::scenarios::{paper_registry, render_report, render_sweep};
 use chiplet_bench::TextTable;
+use chiplet_net::dse::{DseRunner, DseSpec};
 use chiplet_net::metrics::MetricsRegistry;
 use chiplet_net::scenario::{ScenarioKind, ScenarioRun, ScenarioSpec, SweepRunner, SweepSpec};
 use chiplet_sim::PhaseProfiler;
@@ -52,6 +62,18 @@ commands:
       [--metrics PATH|-]   dump OpenMetrics telemetry, as for run
       [--metrics-all]      include volatile execution metrics in the dump
       [--profile]          print a wall-time phase breakdown to stderr
+  dse <name|file.json>     run a DseSpec design-space search: analytical
+                           scoring, Pareto frontier, event-engine escalation
+      [--jobs N]           scoring/escalation threads (default: one per core)
+      [--budget N]         score only the first N candidates of the
+                           deterministic expansion order
+      [--engine-workers N] engine threads for the escalated runs
+      [--no-cache]         skip the on-disk cache for escalated runs
+      [--cache-dir DIR]    cache directory (default: results/cache)
+      [--json]             print the DseOutcome as JSON
+      [--metrics PATH|-]   dump OpenMetrics telemetry, as for run
+      [--metrics-all]      include volatile execution metrics in the dump
+      [--profile]          print a wall-time phase breakdown to stderr
   lint-metrics <PATH|->    validate an OpenMetrics dump (EOF terminator,
                            TYPE-before-sample, no duplicate series)";
 
@@ -61,6 +83,7 @@ struct Opts {
     jobs: usize,
     cache: bool,
     cache_dir: PathBuf,
+    budget: Option<usize>,
     metrics: Option<String>,
     metrics_all: bool,
     profile: bool,
@@ -105,6 +128,7 @@ fn list() {
             ScenarioKind::Spec(_) => "spec",
             ScenarioKind::Study(_) => "study",
             ScenarioKind::Sweep(_) => "sweep",
+            ScenarioKind::Dse(_) => "dse",
         };
         t.row(vec![
             e.name.to_string(),
@@ -129,9 +153,13 @@ fn show(name: &str) -> Result<(), String> {
             println!("{}", sweep.to_json());
             Ok(())
         }
+        ScenarioKind::Dse(search) => {
+            println!("{}", search.to_json());
+            Ok(())
+        }
         ScenarioKind::Study(_) => Err(format!(
             "'{name}' is a composite study (it renders its own text); \
-             only declarative spec and sweep entries have a JSON form"
+             only declarative spec, sweep, and dse entries have a JSON form"
         )),
     }
 }
@@ -217,6 +245,13 @@ fn run(target: &str, opts: &Opts) -> Result<(), String> {
                 opts.emit(&format!("{}\n", outcome.to_json()));
             } else {
                 opts.emit(&render_sweep(&outcome));
+            }
+        }
+        ScenarioRun::Dse(outcome) => {
+            if opts.json {
+                opts.emit(&format!("{}\n", outcome.to_json()));
+            } else {
+                opts.emit(&render_dse(&outcome));
             }
         }
     }
@@ -317,6 +352,78 @@ fn sweep(target: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn dse(target: &str, opts: &Opts) -> Result<(), String> {
+    let mut prof = if opts.profile {
+        PhaseProfiler::enabled()
+    } else {
+        PhaseProfiler::disabled()
+    };
+    let ph_resolve = prof.register("cli/resolve");
+    let ph_run = prof.register("cli/run");
+    let ph_render = prof.register("cli/render");
+    let ph_metrics = prof.register("cli/metrics-write");
+
+    let t0 = prof.start();
+    let spec = if target.ends_with(".json") || std::path::Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        DseSpec::from_json(&text).map_err(|e| e.to_string())?
+    } else {
+        let reg = paper_registry();
+        let entry = reg
+            .get(target)
+            .ok_or_else(|| format!("unknown search '{target}' (try `chiplet-scenario list`)"))?;
+        match (entry.build)() {
+            ScenarioKind::Dse(search) => search,
+            _ => {
+                return Err(format!(
+                    "'{target}' is not a design-space search; run it with \
+                     `chiplet-scenario run {target}`"
+                ))
+            }
+        }
+    };
+    prof.record(ph_resolve, t0);
+    let runner = DseRunner {
+        jobs: opts.jobs,
+        cache_dir: opts.cache.then(|| opts.cache_dir.clone()),
+        budget: opts.budget,
+    };
+    let mut metrics = MetricsRegistry::new();
+    let t0 = prof.start();
+    let (outcome, stats) = if opts.metrics.is_some() {
+        runner.run_with_metrics(&spec, &mut metrics)
+    } else {
+        runner.run(&spec)
+    }
+    .map_err(|e| e.to_string())?;
+    prof.record(ph_run, t0);
+    eprintln!(
+        "dse {}: {} candidates ({} scored, {} infeasible) at {:.1} µs/design, \
+         frontier {}, escalated {} ({} executed, {} cached)",
+        spec.name,
+        stats.candidates,
+        stats.scored,
+        stats.infeasible,
+        stats.estimator_ns / 1e3,
+        stats.frontier,
+        stats.escalated,
+        stats.sweep.executed,
+        stats.sweep.cached,
+    );
+    let t0 = prof.start();
+    if opts.json {
+        opts.emit(&format!("{}\n", outcome.to_json()));
+    } else {
+        opts.emit(&render_dse(&outcome));
+    }
+    prof.record(ph_render, t0);
+    let t0 = prof.start();
+    opts.write_metrics(&metrics)?;
+    prof.record(ph_metrics, t0);
+    emit_profile(opts, &prof);
+    Ok(())
+}
+
 /// Validates an OpenMetrics dump with the workspace linter.
 fn lint_metrics(path: &str) -> Result<(), String> {
     let text = if path == "-" {
@@ -346,6 +453,7 @@ fn dispatch() -> Result<(), String> {
         jobs: 0,
         cache: true,
         cache_dir: PathBuf::from("results/cache"),
+        budget: None,
         metrics: None,
         metrics_all: false,
         profile: false,
@@ -364,6 +472,13 @@ fn dispatch() -> Result<(), String> {
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
                 opts.cache_dir = PathBuf::from(v);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                opts.budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("--budget needs a number, got '{v}'"))?,
+                );
             }
             "--metrics" => {
                 let v = it.next().ok_or("--metrics needs a path (or -)")?;
@@ -400,6 +515,11 @@ fn dispatch() -> Result<(), String> {
         }
         ["sweep", target] => {
             let result = sweep(target, &opts);
+            warn_engine_fallbacks();
+            result
+        }
+        ["dse", target] => {
+            let result = dse(target, &opts);
             warn_engine_fallbacks();
             result
         }

@@ -125,9 +125,9 @@ fn resolve_target(target: &str) -> Result<Target, String> {
     match (entry.build)() {
         ScenarioKind::Spec(spec) => Ok(Target::Spec(spec)),
         ScenarioKind::Sweep(sweep) => Ok(Target::Sweep(sweep)),
-        ScenarioKind::Study(_) => Err(format!(
-            "'{target}' is a composite study; the daemon serves declarative \
-             specs and sweeps"
+        ScenarioKind::Study(_) | ScenarioKind::Dse(_) => Err(format!(
+            "'{target}' is not a declarative spec or sweep; the daemon serves \
+             those only (run searches with `chiplet-scenario dse`)"
         )),
     }
 }

@@ -1,0 +1,208 @@
+//! Built-in design-space searches over the paper's platforms.
+//!
+//! These are [`DseSpec`]s: a base workload scenario plus design axes,
+//! expanded, scored analytically, Pareto-filtered, and frontier-escalated
+//! by `chiplet-scenario dse <name> [--jobs N] [--budget N]`. The flagship
+//! `dse_epyc` search covers both EPYC platforms with 10k+ candidates; the
+//! `dse_smoke` search is a sub-second CI determinism probe.
+
+use chiplet_net::dse::{DseAxis, DseOutcome, DseSpec};
+use chiplet_net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, EngineOptions, ScenarioFlow, ScenarioSpec, TargetSpec,
+    TopologyChoice,
+};
+use chiplet_sim::{ByteSize, SimTime};
+use std::fmt::Write;
+
+use crate::{f1, TextTable};
+
+/// The workload every candidate is scored under: a latency-sensitive probe
+/// (CCD 0 reading all DIMMs) sharing the NoC and every memory channel with
+/// a competing bandwidth stream from CCD 1 — designs must be ranked under
+/// multi-flow contention, not single-route hop counts. Flows may not share
+/// cores (the engine rejects that), and CCD 1 exists on every candidate
+/// (the CCD-count axis floor is 2).
+fn workload(name: &str, horizon_us: u64) -> ScenarioSpec {
+    let flow = |fname: &str, cores: CoreSelect| ScenarioFlow {
+        name: fname.into(),
+        demand: None,
+        engine: Some(EngineFlow {
+            cores,
+            nic: None,
+            target: TargetSpec::AllDimms,
+            op: None,
+            pattern: None,
+            working_set: Some(ByteSize::from_mib(64)),
+            start: None,
+            stop: None,
+        }),
+        links: Vec::new(),
+    };
+    ScenarioSpec {
+        name: name.into(),
+        description: "latency probe vs socket-wide stream, both unthrottled".into(),
+        topology: TopologyChoice::Named("epyc_9634".into()),
+        backend: BackendKind::Event,
+        seed: Some(42),
+        horizon: SimTime::from_micros(horizon_us),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            deterministic_memory: true,
+            ..Default::default()
+        }),
+        fluid: None,
+        flows: vec![
+            flow("probe", CoreSelect::Ccd(0)),
+            flow("stream", CoreSelect::Ccd(1)),
+        ],
+    }
+}
+
+/// The flagship search: 10,800 designs spanning both EPYC platforms —
+/// CCD count, NoC grid shape and routing, GMI/NoC capacity scaling, memory
+/// channel count, and CXL attach points. The 16 best frontier designs
+/// escalate to full event-engine runs.
+pub fn dse_epyc() -> DseSpec {
+    DseSpec {
+        name: "dse_epyc".into(),
+        description: "10,800-design search over both EPYC platforms".into(),
+        base: workload("dse_epyc", 30),
+        axes: vec![
+            DseAxis::Platform {
+                values: vec!["epyc_7302".into(), "epyc_9634".into()],
+            },
+            DseAxis::CcdCount {
+                values: vec![2, 4, 6, 8, 12],
+            },
+            DseAxis::QuadrantGrid {
+                values: vec![(2, 2), (3, 2), (4, 3)],
+            },
+            DseAxis::DiagonalExpress {
+                values: vec![false, true],
+            },
+            DseAxis::GmiScale {
+                values: vec![0.5, 0.75, 1.0, 1.25, 1.5],
+            },
+            DseAxis::NocScale {
+                values: vec![0.75, 1.0, 1.5],
+            },
+            DseAxis::UmcCount {
+                values: vec![4, 8, 12],
+            },
+            DseAxis::UmcScale {
+                values: vec![1.0, 1.25],
+            },
+            DseAxis::CxlDevices { values: vec![0, 2] },
+        ],
+        max_candidates: None,
+        escalate: Some(16),
+    }
+}
+
+/// The CI determinism probe: 480 designs on a 10 µs horizon, 8 escalated.
+/// Small enough to run twice per CI job, large enough to exercise most
+/// axis kinds and the frontier path.
+pub fn dse_smoke() -> DseSpec {
+    DseSpec {
+        name: "dse_smoke".into(),
+        description: "480-design CI smoke search (determinism probe)".into(),
+        base: workload("dse_smoke", 10),
+        axes: vec![
+            DseAxis::CcdCount {
+                values: vec![2, 4, 6, 8, 12],
+            },
+            DseAxis::QuadrantGrid {
+                values: vec![(2, 2), (3, 2)],
+            },
+            DseAxis::DiagonalExpress {
+                values: vec![false, true],
+            },
+            DseAxis::GmiScale {
+                values: vec![0.5, 1.0, 1.5],
+            },
+            DseAxis::NocScale {
+                values: vec![1.0, 1.5],
+            },
+            DseAxis::UmcCount {
+                values: vec![4, 12],
+            },
+            DseAxis::UmcScale {
+                values: vec![1.0, 1.25],
+            },
+        ],
+        max_candidates: None,
+        escalate: Some(8),
+    }
+}
+
+/// Renders a search outcome: the scoring summary, the frontier table, and
+/// the escalated designs' measured results.
+pub fn render_dse(outcome: &DseOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dse {} — {} candidates ({} scored, {} infeasible), frontier {}, escalated {}",
+        outcome.dse,
+        outcome.candidates,
+        outcome.scored,
+        outcome.infeasible,
+        outcome.frontier.len(),
+        outcome.escalation.points.len(),
+    );
+    let mut t = TextTable::new(vec![
+        "frontier design",
+        "est latency ns",
+        "est GB/s",
+        "cost",
+    ]);
+    for f in &outcome.frontier {
+        t.row(vec![
+            f.label.clone(),
+            f1(f.latency_ns),
+            f1(f.bandwidth_gb_s),
+            f1(f.cost),
+        ]);
+    }
+    let _ = write!(out, "{}", t.render());
+    if !outcome.escalation.points.is_empty() {
+        let _ = writeln!(out, "escalated (event engine):");
+        let mut t = TextTable::new(vec!["design", "flow", "achieved GB/s", "mean ns"]);
+        for p in &outcome.escalation.points {
+            let Some(o) = p.report.outcome() else {
+                continue;
+            };
+            for f in &o.flows {
+                t.row(vec![
+                    p.label.clone(),
+                    f.name.clone(),
+                    f1(f.achieved_gb_s),
+                    f.mean_latency_ns.map_or("-".to_string(), f1),
+                ]);
+            }
+        }
+        let _ = write!(out, "{}", t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_search_expands_past_ten_thousand() {
+        let search = dse_epyc();
+        let n: usize = search.axes.iter().map(|a| a.len()).product();
+        assert_eq!(n, 10_800);
+        assert!(n <= chiplet_net::dse::MAX_CANDIDATES);
+    }
+
+    #[test]
+    fn smoke_search_is_ci_sized() {
+        let search = dse_smoke();
+        let n: usize = search.axes.iter().map(|a| a.len()).product();
+        assert_eq!(n, 480);
+        let points = search.expand().unwrap();
+        assert_eq!(points.len(), n);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod ablation_monolithic;
 pub mod ablation_traffic;
 pub mod bdp_control;
+pub mod dse;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -145,6 +146,7 @@ pub fn render_named_with_metrics(name: &str, metrics: &mut MetricsRegistry) -> S
         ScenarioRun::Text(text) => text,
         ScenarioRun::Report(report) => render_report(&report),
         ScenarioRun::Sweep(outcome) => render_sweep(&outcome),
+        ScenarioRun::Dse(outcome) => dse::render_dse(&outcome),
     }
 }
 
@@ -245,6 +247,16 @@ pub fn paper_registry() -> ScenarioRegistry {
         name: "fig5_sweep",
         summary: "Figure 5 harvesting vs capacity x flow count (fluid sweep)",
         build: || ScenarioKind::Sweep(sweeps::fig5_sweep()),
+    });
+    reg.register(ScenarioEntry {
+        name: "dse_epyc",
+        summary: "10,800-design search over both EPYC platforms, 16 escalated",
+        build: || ScenarioKind::Dse(dse::dse_epyc()),
+    });
+    reg.register(ScenarioEntry {
+        name: "dse_smoke",
+        summary: "480-design CI smoke search (determinism probe), 8 escalated",
+        build: || ScenarioKind::Dse(dse::dse_smoke()),
     });
     reg
 }

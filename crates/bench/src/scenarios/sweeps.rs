@@ -55,6 +55,7 @@ pub fn fig3_sweep() -> SweepSpec {
             flow: "probe".into(),
             values: (1..=24).map(|i| Some(2.0 * i as f64)).collect(),
         }],
+        max_points: None,
     }
 }
 
@@ -78,5 +79,6 @@ pub fn fig5_sweep() -> SweepSpec {
                 values: vec![1, 2, 4],
             },
         ],
+        max_points: None,
     }
 }

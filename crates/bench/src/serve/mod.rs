@@ -670,6 +670,7 @@ fn handle(
                         ScenarioKind::Spec(_) => "spec",
                         ScenarioKind::Study(_) => "study",
                         ScenarioKind::Sweep(_) => "sweep",
+                        ScenarioKind::Dse(_) => "dse",
                     };
                     jobj(vec![
                         ("name", jstr(e.name)),

@@ -42,6 +42,11 @@
 //!   half): counters, gauges, and windowed quantile-sketch histograms with
 //!   label sets, fed by every engine and the sweep runner, encoded as
 //!   OpenMetrics text.
+//! * [`dse`] — **design-space exploration**: a deterministic candidate
+//!   generator over platform axes (CCD count, NoC grid, link-capacity
+//!   scales, CXL attach points), an analytical estimator ~1000x cheaper
+//!   than a DES run, Pareto-frontier extraction, and frontier escalation
+//!   to full event-engine runs through the content-cached sweep runner.
 //! * [`scenario`] — the **declarative scenario layer**: experiments as
 //!   JSON-serializable [`ScenarioSpec`]s run through a [`Backend`] trait by
 //!   either this crate's event engine or `chiplet_fluid`'s fluid sim, both
@@ -74,6 +79,7 @@
 
 pub mod bdp;
 pub mod critpath;
+pub mod dse;
 pub mod engine;
 pub mod export;
 pub mod flow;
@@ -88,6 +94,7 @@ pub mod traffic;
 
 pub use bdp::BdpMonitor;
 pub use critpath::{BlameMatrix, CritPathReport, FlowCritPath};
+pub use dse::{DseAxis, DseOutcome, DseRunner, DseSpec, DseStats, FrontierEntry};
 pub use engine::{
     capture_parallel_fallbacks, take_parallel_fallbacks, Engine, EngineConfig, ParallelFallback,
     RunResult,

@@ -46,3 +46,4 @@ pub use sweep::{
     run_specs_with_metrics, spec_hash, store_cache_entry, CacheLookup, SweepAxis, SweepOutcome,
     SweepPoint, SweepPointResult, SweepRunner, SweepSpec, SweepStats, MAX_POINTS,
 };
+pub(crate) use sweep::{fnv1a64, splitmix64};

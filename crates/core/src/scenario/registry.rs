@@ -15,6 +15,7 @@
 use super::report::ScenarioReport;
 use super::spec::{ScenarioError, ScenarioSpec};
 use super::sweep::{SweepOutcome, SweepRunner, SweepSpec};
+use crate::dse::{DseOutcome, DseRunner, DseSpec};
 use crate::metrics::MetricsRegistry;
 
 /// What a registry entry builds.
@@ -30,6 +31,9 @@ pub enum ScenarioKind {
     Study(fn(&mut MetricsRegistry) -> String),
     /// A declarative parameter sweep over a base spec.
     Sweep(SweepSpec),
+    /// A design-space search: analytical scoring, Pareto frontier, and
+    /// event-engine escalation.
+    Dse(DseSpec),
 }
 
 /// One named scenario.
@@ -51,6 +55,8 @@ pub enum ScenarioRun {
     Text(String),
     /// A sweep's aggregate outcome.
     Sweep(SweepOutcome),
+    /// A design-space search's frontier report.
+    Dse(DseOutcome),
 }
 
 /// A name → scenario table.
@@ -100,6 +106,9 @@ impl ScenarioRegistry {
             ScenarioKind::Sweep(sweep) => SweepRunner::default()
                 .run(&sweep)
                 .map(|(outcome, _)| ScenarioRun::Sweep(outcome)),
+            ScenarioKind::Dse(search) => DseRunner::default()
+                .run(&search)
+                .map(|(outcome, _)| ScenarioRun::Dse(outcome)),
         })
     }
 
@@ -119,6 +128,9 @@ impl ScenarioRegistry {
             ScenarioKind::Sweep(sweep) => SweepRunner::default()
                 .run_with_metrics(&sweep, metrics)
                 .map(|(outcome, _)| ScenarioRun::Sweep(outcome)),
+            ScenarioKind::Dse(search) => DseRunner::default()
+                .run_with_metrics(&search, metrics)
+                .map(|(outcome, _)| ScenarioRun::Dse(outcome)),
         })
     }
 }

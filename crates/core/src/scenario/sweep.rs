@@ -30,7 +30,8 @@ use super::report::ScenarioReport;
 use super::spec::{ScenarioError, ScenarioSpec, TopologyChoice};
 use crate::metrics::{MetricKind, MetricsRegistry};
 
-/// Hard cap on the number of points one sweep may expand to.
+/// Default cap on the number of points one sweep may expand to; override
+/// per sweep with [`SweepSpec::max_points`].
 pub const MAX_POINTS: usize = 10_000;
 
 fn invalid<T>(msg: impl Into<String>) -> Result<T, ScenarioError> {
@@ -202,6 +203,11 @@ pub struct SweepSpec {
     pub base: ScenarioSpec,
     /// The parameter axes (cartesian product, first axis outermost).
     pub axes: Vec<SweepAxis>,
+    /// Expansion cap for this sweep; `None` means [`MAX_POINTS`]. Large
+    /// escalation batches (the DSE frontier) raise it explicitly instead
+    /// of every sweep silently losing the guard rail.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_points: Option<usize>,
 }
 
 /// One expanded point of a sweep.
@@ -241,9 +247,11 @@ impl SweepSpec {
             }
             total = total.saturating_mul(axis.len());
         }
-        if total > MAX_POINTS {
+        let max_points = self.max_points.unwrap_or(MAX_POINTS);
+        if total > max_points {
             return invalid(format!(
-                "sweep '{}' expands to {total} points (max {MAX_POINTS})",
+                "sweep '{}' expands to {total} points (max_points limit {max_points}); \
+                 raise `max_points` on the sweep to allow more",
                 self.name
             ));
         }
@@ -288,7 +296,7 @@ impl SweepSpec {
 }
 
 /// FNV-1a 64-bit — stable across platforms and runs, unlike `DefaultHasher`.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -298,7 +306,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix64 finalizer: turns structured hash input into a well-mixed seed.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -379,8 +387,21 @@ impl SweepRunner {
     /// them in expansion order, byte-identical for any worker count.
     pub fn run(&self, sweep: &SweepSpec) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let points = sweep.expand()?;
+        self.run_points(&sweep.name, points)
+    }
+
+    /// Runs a pre-built list of points (bypassing [`SweepSpec::expand`])
+    /// through the same parallel, content-cached execution path. This is the
+    /// escalation entry for callers that assemble points themselves — the
+    /// DSE frontier hands its surviving candidates here so the expensive
+    /// tail is parallel and cache-deduplicated like any sweep.
+    pub fn run_points(
+        &self,
+        name: &str,
+        points: Vec<SweepPoint>,
+    ) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let (execs, _peak, corrupt) = self.execute(&points);
-        Self::collect(sweep, points, execs).map(|(outcome, mut stats, _)| {
+        Self::collect(name, points, execs).map(|(outcome, mut stats, _)| {
             stats.corrupt_healed = corrupt;
             (outcome, stats)
         })
@@ -403,7 +424,7 @@ impl SweepRunner {
     ) -> Result<(SweepOutcome, SweepStats), ScenarioError> {
         let points = sweep.expand()?;
         let (execs, peak, corrupt) = self.execute(&points);
-        let (outcome, mut stats, walls) = Self::collect(sweep, points, execs)?;
+        let (outcome, mut stats, walls) = Self::collect(&sweep.name, points, execs)?;
         stats.corrupt_healed = corrupt;
 
         metrics.describe(
@@ -544,7 +565,7 @@ impl SweepRunner {
     /// per-point wall times (expansion order).
     #[allow(clippy::type_complexity)]
     fn collect(
-        sweep: &SweepSpec,
+        sweep: &str,
         points: Vec<SweepPoint>,
         execs: Vec<Result<(ScenarioReport, bool, f64), ScenarioError>>,
     ) -> Result<(SweepOutcome, SweepStats, Vec<f64>), ScenarioError> {
@@ -570,7 +591,7 @@ impl SweepRunner {
         }
         Ok((
             SweepOutcome {
-                sweep: sweep.name.clone(),
+                sweep: sweep.to_string(),
                 points: out,
             },
             stats,

@@ -455,6 +455,7 @@ mod sweeps {
                     values: vec![20.0, 33.2],
                 },
             ],
+            max_points: None,
         }
     }
 
@@ -748,6 +749,7 @@ mod sweeps {
                     axes: vec![SweepAxis::HorizonUs {
                         values: vec![100, 200],
                     }],
+                    max_points: None,
                 })
             },
         });
@@ -849,6 +851,7 @@ mod metric_runs {
                 flow: "capped".into(),
                 values: vec![Some(2.0), None],
             }],
+            max_points: None,
         };
         let dump = |jobs| {
             let mut m = MetricsRegistry::new();

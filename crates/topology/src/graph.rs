@@ -23,8 +23,13 @@
 //! switch contributes the per-hop latency as node latency, and the
 //! CS/UMC/DRAM segment rides on the memory channel link — so a route's
 //! latency sum reproduces `PlatformSpec::dram_latency_ns` exactly.
-
-use std::collections::VecDeque;
+//!
+//! The graph is small (a few hundred nodes) but [`Topology::build`] and
+//! [`Topology::route`] sit on the hot path of the `chiplet-dse` analytical
+//! estimator, which builds and routes thousands of candidate topologies per
+//! second. Adjacency is therefore stored in CSR form (two flat arrays built
+//! in one pass) and the BFS prunes leaf subtrees that cannot lie on any
+//! simple path to the destination — see [`prune_chain`].
 
 use chiplet_sim::Bandwidth;
 use serde::{Deserialize, Serialize};
@@ -181,15 +186,50 @@ pub struct LinkSpec {
     pub write_cap: Option<Bandwidth>,
 }
 
+/// The single-attachment subtree ("chain") a node belongs to, used to prune
+/// the routing BFS. Every compute chiplet (cores/L3/TC/GMI port) hangs off
+/// the fabric by its one GMI link, every memory chain (CS/UMC/DIMM) by its
+/// one switch–CS link, and every peripheral (NIC, root complex + CXL
+/// devices) by its one hub link — so a *simple* path can only traverse a
+/// chain that contains one of its endpoints; entering any other chain is a
+/// dead end. Fabric nodes (switches, CCMs, the hub) return `None` and are
+/// never pruned.
+fn prune_chain(kind: &NodeKind) -> Option<(u8, u32)> {
+    match *kind {
+        NodeKind::Core { ccd, .. }
+        | NodeKind::L3Slice { ccd, .. }
+        | NodeKind::TrafficCtrl { ccd }
+        | NodeKind::GmiPort { ccd } => Some((0, ccd.0)),
+        NodeKind::CoherentStation { umc } | NodeKind::Umc { umc } => Some((1, umc.0)),
+        // DIMM ids mirror UMC ids by construction.
+        NodeKind::Dimm { dimm } => Some((1, dimm.0)),
+        NodeKind::RootComplex | NodeKind::CxlDevice { .. } | NodeKind::Nic { .. } => Some((2, 0)),
+        NodeKind::Ccm { .. } | NodeKind::NocSwitch { .. } | NodeKind::IoHub => None,
+    }
+}
+
+/// True for degree-1 nodes, which no simple path ever passes *through*.
+fn is_leaf(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::Core { .. }
+            | NodeKind::Dimm { .. }
+            | NodeKind::Nic { .. }
+            | NodeKind::CxlDevice { .. }
+    )
+}
+
 /// The instantiated SoC topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
     spec: PlatformSpec,
     nodes: Vec<Node>,
     links: Vec<LinkSpec>,
-    /// Outgoing adjacency: `adjacency[node] = [(link, neighbor)]`, in
-    /// deterministic construction order.
-    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    /// CSR adjacency: node `n`'s `(link, neighbor)` entries live in
+    /// `adj[adj_off[n] as usize..adj_off[n + 1] as usize]`, in deterministic
+    /// link-insertion order.
+    adj_off: Vec<u32>,
+    adj: Vec<(LinkId, NodeId)>,
     cores: Vec<NodeId>,
     dimms: Vec<NodeId>,
     umcs: Vec<NodeId>,
@@ -388,50 +428,91 @@ impl Topology {
 
     /// Deterministic shortest route between two nodes (BFS with fixed
     /// adjacency order), or `None` when disconnected.
+    ///
+    /// The BFS skips nodes whose [`prune_chain`] is neither endpoint's:
+    /// those subtrees hang off the fabric by a single edge, so no simple
+    /// path transits them and the surviving search discovers every live
+    /// node from the same predecessor as the unpruned BFS would — routes
+    /// are bit-identical, at a fraction of the visits.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<RoutePath> {
         if src == dst {
             return Some(RoutePath::trivial(src, self.node(src).latency_ns));
         }
         let n = self.nodes.len();
-        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-        let mut visited = vec![false; n];
-        let mut queue = VecDeque::new();
-        visited[src.index()] = true;
-        queue.push_back(src);
-        'bfs: while let Some(u) = queue.pop_front() {
-            for &(link, v) in &self.adjacency[u.index()] {
-                if !visited[v.index()] {
-                    visited[v.index()] = true;
-                    prev[v.index()] = Some((u, link));
+        let src_chain = prune_chain(&self.node(src).kind);
+        let dst_chain = prune_chain(&self.node(dst).kind);
+        // prev[v] packs (parent, link); MAX = undiscovered, MAX-1 = root.
+        const UNDISCOVERED: u64 = u64::MAX;
+        const ROOT: u64 = u64::MAX - 1;
+        thread_local! {
+            /// BFS scratch, reused across calls: the DSE estimator routes
+            /// thousands of times per second and the two per-call
+            /// allocations were a measurable share of its budget.
+            static SCRATCH: std::cell::RefCell<(Vec<u64>, Vec<NodeId>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        let hops = SCRATCH.with(|scratch| {
+            let (prev, queue) = &mut *scratch.borrow_mut();
+            prev.clear();
+            prev.resize(n, UNDISCOVERED);
+            queue.clear();
+            prev[src.index()] = ROOT;
+            queue.push(src);
+            let mut head = 0;
+            let mut found = false;
+            'bfs: while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let lo = self.adj_off[u.index()] as usize;
+                let hi = self.adj_off[u.index() + 1] as usize;
+                for &(link, v) in &self.adj[lo..hi] {
+                    if prev[v.index()] != UNDISCOVERED {
+                        continue;
+                    }
                     if v == dst {
+                        prev[v.index()] = (u.0 as u64) << 32 | link.0 as u64;
+                        found = true;
                         break 'bfs;
                     }
-                    queue.push_back(v);
+                    let vk = &self.nodes[v.index()].kind;
+                    if is_leaf(vk) {
+                        continue;
+                    }
+                    if let Some(chain) = prune_chain(vk) {
+                        if Some(chain) != src_chain && Some(chain) != dst_chain {
+                            continue;
+                        }
+                    }
+                    prev[v.index()] = (u.0 as u64) << 32 | link.0 as u64;
+                    queue.push(v);
                 }
             }
-        }
-        if !visited[dst.index()] {
-            return None;
-        }
-        // Reconstruct.
-        let mut rev = Vec::new();
-        let mut cur = dst;
-        while cur != src {
-            let (p, l) = prev[cur.index()].expect("visited node has predecessor");
-            rev.push((cur, l));
-            cur = p;
-        }
-        let mut hops = Vec::with_capacity(rev.len() + 1);
-        hops.push(Hop {
-            node: src,
-            via: None,
-        });
-        for &(node, link) in rev.iter().rev() {
+            if !found {
+                return None;
+            }
+            // Reconstruct.
+            let mut rev = Vec::new();
+            let mut cur = dst;
+            while cur != src {
+                let packed = prev[cur.index()];
+                debug_assert!(packed < ROOT, "visited node has predecessor");
+                let (p, l) = (NodeId((packed >> 32) as u32), LinkId(packed as u32));
+                rev.push((cur, l));
+                cur = p;
+            }
+            let mut hops = Vec::with_capacity(rev.len() + 1);
             hops.push(Hop {
-                node,
-                via: Some(link),
+                node: src,
+                via: None,
             });
-        }
+            for &(node, link) in rev.iter().rev() {
+                hops.push(Hop {
+                    node,
+                    via: Some(link),
+                });
+            }
+            Some(hops)
+        })?;
         Some(RoutePath::from_hops(hops, self))
     }
 
@@ -523,7 +604,6 @@ struct Builder {
     spec: PlatformSpec,
     nodes: Vec<Node>,
     links: Vec<LinkSpec>,
-    adjacency: Vec<Vec<(LinkId, NodeId)>>,
     cores: Vec<NodeId>,
     dimms: Vec<NodeId>,
     umcs: Vec<NodeId>,
@@ -542,11 +622,20 @@ impl Builder {
     fn new(spec: PlatformSpec) -> Self {
         let (cols, rows) = spec.quadrant_grid;
         let grid_w = cols * 2 - 1;
+        // Upper-bound node count so the hot DSE path builds without
+        // reallocation: switches + per-CCD subtree + per-UMC chain + I/O.
+        let per_socket = grid_w as usize * rows as usize
+            + spec.ccd_count as usize
+                * (3 + spec.ccx_per_ccd as usize * (1 + spec.cores_per_ccx as usize))
+            + 3 * spec.mem.umc_count as usize
+            + 4
+            + spec.cxl.as_ref().map_or(0, |c| c.device_count as usize);
+        let cap = per_socket * spec.socket_count as usize;
         Builder {
             spec,
-            nodes: Vec::new(),
-            links: Vec::new(),
-            adjacency: Vec::new(),
+            nodes: Vec::with_capacity(cap),
+            // Links track nodes closely (tree edges) plus the mesh.
+            links: Vec::with_capacity(cap + 8 * grid_w as usize * rows as usize),
             cores: Vec::new(),
             dimms: Vec::new(),
             umcs: Vec::new(),
@@ -569,7 +658,6 @@ impl Builder {
             latency_ns,
             quadrant,
         });
-        self.adjacency.push(Vec::new());
         id
     }
 
@@ -592,8 +680,6 @@ impl Builder {
             read_cap,
             write_cap,
         });
-        self.adjacency[a.index()].push((id, b));
-        self.adjacency[b.index()].push((id, a));
         id
     }
 
@@ -677,9 +763,17 @@ impl Builder {
     }
 
     fn build_compute_chiplets(&mut self, socket: u32) {
-        let spec = self.spec.clone();
-        for local_ccd in 0..spec.ccd_count {
-            let ccd_i = socket * spec.ccd_count + local_ccd;
+        // Copy the handful of scalar knobs out so the loop can borrow
+        // `self` mutably without cloning the whole spec per socket.
+        let (ccd_count, ccx_per_ccd, cores_per_ccx) = (
+            self.spec.ccd_count,
+            self.spec.ccx_per_ccd,
+            self.spec.cores_per_ccx,
+        );
+        let core_to_fabric_ns = self.spec.mem.core_to_fabric_ns;
+        let caps = self.spec.caps.clone();
+        for local_ccd in 0..ccd_count {
+            let ccd_i = socket * ccd_count + local_ccd;
             let ccd = CcdId(ccd_i);
             let quadrant = self.quadrant_of_index(local_ccd);
             self.ccd_quadrant.push(quadrant);
@@ -696,15 +790,15 @@ impl Builder {
                 LinkKind::Gmi,
                 gmi_port,
                 ccm,
-                spec.mem.core_to_fabric_ns,
-                Some(spec.caps.gmi_read),
-                Some(spec.caps.gmi_write),
+                core_to_fabric_ns,
+                Some(caps.gmi_read),
+                Some(caps.gmi_write),
             );
             let qswitch = self.quadrant_switch(socket, quadrant);
             self.add_link(LinkKind::CcmSwitch, ccm, qswitch, 0.0, None, None);
 
-            for ccx_local in 0..spec.ccx_per_ccd {
-                let ccx_global = ccd_i * spec.ccx_per_ccd + ccx_local;
+            for ccx_local in 0..ccx_per_ccd {
+                let ccx_global = ccd_i * ccx_per_ccd + ccx_local;
                 let l3 = self.add_node(
                     NodeKind::L3Slice {
                         ccx: ccx_global,
@@ -719,19 +813,19 @@ impl Builder {
                     l3,
                     tc,
                     0.0,
-                    Some(spec.caps.ccx_read),
-                    Some(spec.caps.ccx_write),
+                    Some(caps.ccx_read),
+                    Some(caps.ccx_write),
                 );
-                for core_local in 0..spec.cores_per_ccx {
-                    let core = CoreId(ccx_global * spec.cores_per_ccx + core_local);
+                for core_local in 0..cores_per_ccx {
+                    let core = CoreId(ccx_global * cores_per_ccx + core_local);
                     let cnode = self.add_node(NodeKind::Core { core, ccd }, 0.0, Some(quadrant));
                     self.add_link(
                         LinkKind::CoreL3,
                         cnode,
                         l3,
                         0.0,
-                        Some(spec.caps.core_read),
-                        Some(spec.caps.core_write),
+                        Some(caps.core_read),
+                        Some(caps.core_write),
                     );
                     self.cores.push(cnode);
                 }
@@ -742,9 +836,9 @@ impl Builder {
     }
 
     fn build_memory(&mut self, socket: u32) {
-        let spec = self.spec.clone();
-        for local_umc in 0..spec.mem.umc_count {
-            let umc_i = socket * spec.mem.umc_count + local_umc;
+        let mem = self.spec.mem.clone();
+        for local_umc in 0..mem.umc_count {
+            let umc_i = socket * mem.umc_count + local_umc;
             let umc = UmcId(umc_i);
             let quadrant = self.quadrant_of_index(local_umc);
             self.umc_quadrant.push(quadrant);
@@ -763,9 +857,9 @@ impl Builder {
                 LinkKind::MemChannel,
                 umc_node,
                 dimm_node,
-                spec.mem.cs_umc_dram_ns,
-                Some(spec.mem.umc_read_bw),
-                Some(spec.mem.umc_write_bw),
+                mem.cs_umc_dram_ns,
+                Some(mem.umc_read_bw),
+                Some(mem.umc_write_bw),
             );
             self.umcs.push(umc_node);
             self.dimms.push(dimm_node);
@@ -773,8 +867,8 @@ impl Builder {
     }
 
     fn build_io_path(&mut self, socket: u32) {
-        let spec = self.spec.clone();
-        let hub = self.add_node(NodeKind::IoHub, spec.noc.io_hub_latency_ns, None);
+        let io_hub_latency_ns = self.spec.noc.io_hub_latency_ns;
+        let hub = self.add_node(NodeKind::IoHub, io_hub_latency_ns, None);
         self.io_hubs.push(hub);
         // The hub hangs off every relay switch (odd columns) so every
         // quadrant reaches it in exactly two switch hops. Single-column
@@ -796,7 +890,7 @@ impl Builder {
         if socket != 0 {
             return;
         }
-        if let Some(nic) = spec.nic.clone() {
+        if let Some(nic) = self.spec.nic.clone() {
             let node = self.add_node(
                 NodeKind::Nic {
                     index: self.nics.len() as u32,
@@ -817,7 +911,7 @@ impl Builder {
             );
             self.nics.push(node);
         }
-        if let Some(cxl) = spec.cxl.clone() {
+        if let Some(cxl) = self.spec.cxl.clone() {
             let rc = self.add_node(NodeKind::RootComplex, cxl.root_complex_ns, None);
             // The shared hub→root-complex hop carries the aggregate
             // P-Link/CXL capacity.
@@ -856,11 +950,32 @@ impl Builder {
     }
 
     fn finish(self) -> Topology {
+        // CSR adjacency in two passes over the links. Filling in link-id
+        // order reproduces exactly the per-node neighbor order the old
+        // push-per-add_link representation had, so routes are unchanged.
+        let n = self.nodes.len();
+        let mut adj_off = vec![0u32; n + 1];
+        for l in &self.links {
+            adj_off[l.a.index() + 1] += 1;
+            adj_off[l.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        let mut adj = vec![(LinkId(0), NodeId(0)); 2 * self.links.len()];
+        for l in &self.links {
+            adj[cursor[l.a.index()] as usize] = (l.id, l.b);
+            cursor[l.a.index()] += 1;
+            adj[cursor[l.b.index()] as usize] = (l.id, l.a);
+            cursor[l.b.index()] += 1;
+        }
         Topology {
             spec: self.spec,
             nodes: self.nodes,
             links: self.links,
-            adjacency: self.adjacency,
+            adj_off,
+            adj,
             cores: self.cores,
             dimms: self.dimms,
             umcs: self.umcs,

@@ -1,64 +1,164 @@
-//! Topology explorer: the paper's §4 #1 — a device-tree-like hardware
-//! abstraction for chiplet networks. Dumps the `chiplet-net` descriptor
-//! (the `/sys/firmware/chiplet-net` analog) and walks end-to-end routes,
-//! showing per-position hop counts and latencies.
+//! Topology explorer: interactive-scale design-space exploration with the
+//! `chiplet-dse` analytical estimator.
+//!
+//! Enumerates a few hundred EPYC-9634-derived designs (CCD count, NoC grid
+//! shape, diagonal express links, GMI capacity scaling), scores each one
+//! analytically in microseconds, prints the Pareto frontier over
+//! (latency, bandwidth, cost), and walks the winning design's routes the
+//! way the original explorer walked the stock platforms.
 //!
 //! Run with: `cargo run --release --example topology_explorer`
 
-use server_chiplet_networking::topology::descriptor::ChipletNetDescriptor;
-use server_chiplet_networking::topology::{CoreId, DimmPosition, NpsMode, PlatformSpec, Topology};
+use server_chiplet_networking::net::dse::{
+    cost_proxy, estimate_design, pareto_frontier, DseAxis, DseSpec, ParetoPoint,
+};
+use server_chiplet_networking::net::scenario::{
+    BackendKind, CoreSelect, EngineFlow, EngineOptions, ScenarioFlow, ScenarioSpec, TargetSpec,
+    TopologyChoice,
+};
+use server_chiplet_networking::sim::{ByteSize, SimTime};
+use server_chiplet_networking::topology::{CoreId, DimmPosition, Topology};
+
+/// The workload each design is ranked under: a latency probe on CCD 0
+/// contending with a bandwidth stream on CCD 1, both reading all DIMMs.
+fn workload() -> ScenarioSpec {
+    let flow = |name: &str, ccd: u32| ScenarioFlow {
+        name: name.into(),
+        demand: None,
+        engine: Some(EngineFlow {
+            cores: CoreSelect::Ccd(ccd),
+            nic: None,
+            target: TargetSpec::AllDimms,
+            op: None,
+            pattern: None,
+            working_set: Some(ByteSize::from_mib(64)),
+            start: None,
+            stop: None,
+        }),
+        links: Vec::new(),
+    };
+    ScenarioSpec {
+        name: "explorer".into(),
+        description: "latency probe vs bandwidth stream".into(),
+        topology: TopologyChoice::Named("epyc_9634".into()),
+        backend: BackendKind::Event,
+        seed: Some(42),
+        horizon: SimTime::from_micros(30),
+        policy: Default::default(),
+        engine: Some(EngineOptions {
+            deterministic_memory: true,
+            ..Default::default()
+        }),
+        fluid: None,
+        flows: vec![flow("probe", 0), flow("stream", 1)],
+    }
+}
 
 fn main() {
-    for spec in [PlatformSpec::epyc_7302(), PlatformSpec::epyc_9634()] {
-        let topo = Topology::build(&spec);
-        println!("=== {} ===", spec.name);
+    let search = DseSpec {
+        name: "explorer".into(),
+        description: "EPYC 9634 derivatives: CCDs x grid x routing x GMI".into(),
+        base: workload(),
+        axes: vec![
+            DseAxis::CcdCount {
+                values: vec![2, 4, 6, 8, 12],
+            },
+            DseAxis::QuadrantGrid {
+                values: vec![(2, 2), (3, 2), (4, 3)],
+            },
+            DseAxis::DiagonalExpress {
+                values: vec![false, true],
+            },
+            DseAxis::GmiScale {
+                values: vec![0.5, 0.75, 1.0, 1.25, 1.5],
+            },
+        ],
+        max_candidates: None,
+        escalate: None,
+    };
 
-        // The descriptor: what an OS would read at boot.
-        let desc = ChipletNetDescriptor::from_topology(&topo);
+    let candidates = search.expand().expect("search expands");
+    println!(
+        "exploring {} designs over {} axes...",
+        candidates.len(),
+        search.axes.len()
+    );
+
+    // Score every candidate analytically; infeasible combinations (e.g. a
+    // CCD count the workload cannot place) are skipped, not fatal.
+    let mut scored = Vec::new();
+    let t0 = std::time::Instant::now();
+    for point in &candidates {
+        if let Ok(est) = estimate_design(&point.spec) {
+            scored.push((point, est));
+        }
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "scored {} designs in {:.1} ms ({:.1} µs/design)\n",
+        scored.len(),
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / scored.len().max(1) as f64,
+    );
+
+    let points: Vec<ParetoPoint> = scored
+        .iter()
+        .map(|(p, est)| ParetoPoint {
+            latency_ns: est.latency_ns,
+            bandwidth_gb_s: est.bandwidth_gb_s,
+            cost: est.cost,
+            hash: u64::from_str_radix(&p.hash, 16).expect("hex hash"),
+        })
+        .collect();
+    let frontier = pareto_frontier(&points);
+
+    println!(
+        "Pareto frontier: {} of {} designs (minimize latency & cost, maximize bandwidth)",
+        frontier.len(),
+        scored.len()
+    );
+    println!(
+        "{:<52} {:>12} {:>10} {:>8}",
+        "design", "latency ns", "GB/s", "cost"
+    );
+    for &i in &frontier {
+        let (point, est) = &scored[i];
+        let label = point
+            .label
+            .strip_prefix("explorer [")
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or(&point.label);
         println!(
-            "descriptor: {} nodes, {} links, {} capacity points (v{})",
-            desc.nodes.len(),
-            desc.links.len(),
-            desc.capacity_point_count(),
-            desc.version
+            "{:<52} {:>12.1} {:>10.1} {:>8.1}",
+            label, est.latency_ns, est.bandwidth_gb_s, est.cost
         );
-
-        // Route walk: core 0 to a DIMM at each position.
-        println!("routes from core0 (1 GiB pointer-chase working set):");
-        for pos in DimmPosition::ALL {
-            let Some(dimm) = topo.dimm_at_position(CoreId(0), pos) else {
-                continue;
-            };
-            let path = topo.route_core_to_dimm(CoreId(0), dimm);
-            println!(
-                "  {pos:<10} -> {dimm}: {} graph hops, {} switch hops, {:.0} ns unloaded",
-                path.link_count(),
-                path.switch_hops,
-                path.latency_ns
-            );
-        }
-        if topo.cxl_device_count() > 0 {
-            let path = topo.route_core_to_cxl(CoreId(0), 0).unwrap();
-            println!(
-                "  {:<10} -> cxl0: {} graph hops, {} switch hops, {:.0} ns unloaded",
-                "cxl",
-                path.link_count(),
-                path.switch_hops,
-                path.latency_ns
-            );
-        }
-
-        // NPS scoping: which DIMMs a core interleaves over.
-        for nps in [NpsMode::Nps1, NpsMode::Nps2, NpsMode::Nps4] {
-            let dimms = topo.dimms_in_scope(CoreId(0), nps);
-            println!("  {nps}: core0 interleaves over {} DIMMs", dimms.len());
-        }
-        println!();
     }
 
-    // Print a JSON excerpt of the descriptor so the format is visible.
-    let topo = Topology::build(&PlatformSpec::epyc_7302());
-    let json = ChipletNetDescriptor::from_topology(&topo).to_json();
-    let excerpt: String = json.lines().take(24).collect::<Vec<_>>().join("\n");
-    println!("descriptor JSON (first lines):\n{excerpt}\n  ...");
+    // Walk the lowest-latency frontier design's routes, the way the old
+    // explorer walked the stock platforms.
+    let best = frontier
+        .iter()
+        .map(|&i| &scored[i])
+        .min_by(|a, b| a.1.latency_ns.total_cmp(&b.1.latency_ns))
+        .expect("frontier is non-empty");
+    let platform = best.0.spec.topology.platform().expect("inline platform");
+    let topo = Topology::build(&platform);
+    println!(
+        "\nbest-latency design: {} (cost proxy {:.1})",
+        best.0.label,
+        cost_proxy(&platform)
+    );
+    println!("routes from core0:");
+    for pos in DimmPosition::ALL {
+        let Some(dimm) = topo.dimm_at_position(CoreId(0), pos) else {
+            continue;
+        };
+        let path = topo.route_core_to_dimm(CoreId(0), dimm);
+        println!(
+            "  {pos:<10} -> {dimm}: {} graph hops, {} switch hops, {:.0} ns unloaded",
+            path.link_count(),
+            path.switch_hops,
+            path.latency_ns
+        );
+    }
 }
